@@ -1,0 +1,34 @@
+//! # async-cluster
+//!
+//! Cluster substrate for the ASYNC reproduction.
+//!
+//! The paper evaluates on an XSEDE Comet cluster with injected stragglers:
+//! a *Controlled Delay Straggler* (one worker slowed by 0–100 % of its
+//! iteration time, §6.3) and *Production Cluster Stragglers* (the empirical
+//! Microsoft/Google distribution: 25 % of machines straggle; 80 % of those
+//! uniformly at 150–250 % of the average task time, 20 % long-tail up to
+//! 10×). We have no cluster, so this crate provides the simulation
+//! substrate those experiments run on:
+//!
+//! * [`time`]: microsecond-resolution virtual time ([`VTime`], [`VDur`]);
+//! * [`straggler`]: the delay models, seeded and deterministic;
+//! * [`profile`]: per-worker speed and communication cost models;
+//! * [`event`]: a deterministic discrete-event queue (ties broken by
+//!   insertion order) used by the simulated engine backend;
+//! * [`metrics`]: wait-time recorders and convergence traces — the
+//!   quantities plotted in Figures 3–8 and Tables 3.
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod straggler;
+pub mod time;
+
+pub use event::EventQueue;
+pub use metrics::{ConvergenceTrace, WaitTimeRecorder};
+pub use profile::{ClusterSpec, CommModel, WorkerProfile};
+pub use straggler::{DelayModel, PcsConfig};
+pub use time::{VDur, VTime};
+
+/// Identifies one worker (executor) in the cluster, dense from 0.
+pub type WorkerId = usize;

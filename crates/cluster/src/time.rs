@@ -1,0 +1,192 @@
+//! Virtual time: `u64` microseconds since simulation start.
+//!
+//! All scheduling math in the simulated backend uses these newtypes instead
+//! of raw integers so durations and instants cannot be confused, and so the
+//! bench harnesses print milliseconds exactly like the paper's figures.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in virtual time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(u64);
+
+/// A span of virtual time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VDur(u64);
+
+impl VTime {
+    /// The simulation epoch.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Constructs from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us)
+    }
+
+    /// Microseconds since epoch.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since epoch (the unit of the paper's time axes).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration since `earlier`; saturates to zero rather than underflowing.
+    #[inline]
+    pub fn saturating_since(self, earlier: VTime) -> VDur {
+        VDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+}
+
+impl VDur {
+    /// The zero duration.
+    pub const ZERO: VDur = VDur(0);
+
+    /// Constructs from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VDur(us)
+    }
+
+    /// Constructs from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VDur(ms * 1_000)
+    }
+
+    /// Constructs from fractional seconds (rounds to microseconds, clamped
+    /// at zero).
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        VDur((secs.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds as a float.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Scales by a nonnegative factor (rounds to microseconds).
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> VDur {
+        debug_assert!(k >= 0.0, "negative duration scale");
+        VDur((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<VDur> for VTime {
+    type Output = VTime;
+    #[inline]
+    fn add(self, rhs: VDur) -> VTime {
+        VTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VDur> for VTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for VDur {
+    type Output = VDur;
+    #[inline]
+    fn add(self, rhs: VDur) -> VDur {
+        VDur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VTime {
+    type Output = VDur;
+    /// Panics on underflow in debug builds; prefer
+    /// [`VTime::saturating_since`] when ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: VTime) -> VDur {
+        VDur(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for VDur {
+    fn sum<I: Iterator<Item = VDur>>(iter: I) -> VDur {
+        iter.fold(VDur::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for VTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl std::fmt::Display for VDur {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let t = VTime::from_micros(1_500);
+        let d = VDur::from_millis(2);
+        assert_eq!((t + d).as_micros(), 3_500);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let a = VTime::from_micros(10);
+        let b = VTime::from_micros(50);
+        assert_eq!(b.saturating_since(a).as_micros(), 40);
+        assert_eq!(a.saturating_since(b), VDur::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VDur::from_secs_f64(0.001).as_micros(), 1_000);
+        assert_eq!(VDur::from_secs_f64(-5.0), VDur::ZERO);
+        assert!((VTime::from_micros(2_500).as_millis_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(VDur::from_micros(100).mul_f64(2.5).as_micros(), 250);
+        assert_eq!(VDur::from_micros(100).mul_f64(0.0), VDur::ZERO);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: VDur = [VDur::from_millis(1), VDur::from_millis(2)].into_iter().sum();
+        assert_eq!(total, VDur::from_millis(3));
+        assert_eq!(format!("{total}"), "3.000ms");
+    }
+}

@@ -1,0 +1,430 @@
+//! The `ASYNCbroadcaster` (§4.3): history broadcast.
+//!
+//! Variance-reduced methods (SAGA/ASAGA) need, for every sampled row `j`,
+//! the model parameters as they were when `j` was *last* sampled. Classic
+//! Spark broadcast would have to ship an ever-growing table of past model
+//! vectors with every task — the overhead the paper calls out as the reason
+//! Mllib has no SAGA. The `ASYNCbroadcaster` instead:
+//!
+//! * keeps the *server-side* history of broadcast versions;
+//! * ships only version **IDs** with each task (8 bytes per sample);
+//! * lets workers resolve IDs against their local cache, fetching a missed
+//!   version from the server once and caching it;
+//! * reference-counts versions by the per-sample version map and prunes
+//!   history that no sample can reference any more, bounding memory on the
+//!   server and (via eviction watermarks) on the workers.
+//!
+//! [`AsyncBcast::push`] is the paper's `AC.ASYNCbroadcast(w)`;
+//! [`HistoryHandle::value`] is `w_br.value` and
+//! [`HistoryHandle::value_at`] is `w_br.value(index)` from Algorithm 4.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sparklet::{Payload, WorkerCtx};
+
+/// Counters describing a history broadcast's traffic and memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistoryStats {
+    /// Versions pushed so far.
+    pub versions_pushed: u64,
+    /// Versions currently retained on the server.
+    pub versions_live: u64,
+    /// Bytes currently retained on the server.
+    pub live_bytes: u64,
+    /// Worker cache misses served by the server.
+    pub fetches: u64,
+    /// Bytes shipped to workers for those misses.
+    pub fetched_bytes: u64,
+}
+
+struct Entry<T> {
+    value: Arc<T>,
+    bytes: u64,
+    rc: u64,
+}
+
+struct VersionTable<T> {
+    versions: Vec<Option<Entry<T>>>,
+    index_version: HashMap<u64, u64>,
+    /// Sample universe size: once every index has an explicit entry, the
+    /// base version can no longer be implicitly referenced.
+    n_indices: u64,
+    min_live: u64,
+    live_count: u64,
+    live_bytes: u64,
+}
+
+impl<T> VersionTable<T> {
+    fn latest(&self) -> u64 {
+        (self.versions.len() - 1) as u64
+    }
+
+    fn base_pinned(&self) -> bool {
+        (self.index_version.len() as u64) < self.n_indices
+    }
+
+    fn prunable(&self, v: u64) -> bool {
+        if v == self.latest() {
+            return false;
+        }
+        if v == 0 && self.base_pinned() {
+            return false;
+        }
+        match &self.versions[v as usize] {
+            Some(e) => e.rc == 0,
+            None => false,
+        }
+    }
+
+    fn try_prune(&mut self, v: u64) {
+        if self.prunable(v) {
+            if let Some(e) = self.versions[v as usize].take() {
+                self.live_count -= 1;
+                self.live_bytes -= e.bytes;
+            }
+        }
+        // Advance the live watermark past pruned slots.
+        while (self.min_live as usize) < self.versions.len()
+            && self.versions[self.min_live as usize].is_none()
+        {
+            self.min_live += 1;
+        }
+    }
+}
+
+/// A versioned history broadcast. Cheap to clone; clones share the store.
+pub struct AsyncBcast<T: Payload + Send + Sync + 'static> {
+    id: u64,
+    table: Arc<RwLock<VersionTable<T>>>,
+    fetches: Arc<AtomicU64>,
+    fetched_bytes: Arc<AtomicU64>,
+    pushed: Arc<AtomicU64>,
+}
+
+impl<T: Payload + Send + Sync + 'static> Clone for AsyncBcast<T> {
+    fn clone(&self) -> Self {
+        Self {
+            id: self.id,
+            table: Arc::clone(&self.table),
+            fetches: Arc::clone(&self.fetches),
+            fetched_bytes: Arc::clone(&self.fetched_bytes),
+            pushed: Arc::clone(&self.pushed),
+        }
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
+    /// Creates the broadcast with its base value (version 0). `n_indices`
+    /// is the sample universe size (`n` in SAGA): it controls when version
+    /// 0 stops being implicitly referenced by never-sampled rows.
+    pub fn new(id: u64, initial: T, n_indices: u64) -> Self {
+        let bytes = initial.encoded_len();
+        let table = VersionTable {
+            versions: vec![Some(Entry { value: Arc::new(initial), bytes, rc: 0 })],
+            index_version: HashMap::new(),
+            n_indices,
+            min_live: 0,
+            live_count: 1,
+            live_bytes: bytes,
+        };
+        Self {
+            id,
+            table: Arc::new(RwLock::new(table)),
+            fetches: Arc::new(AtomicU64::new(0)),
+            fetched_bytes: Arc::new(AtomicU64::new(0)),
+            pushed: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// This broadcast's id (unique within one context).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Publishes a new version of the value; returns its version number.
+    /// Only the 8-byte version ID travels with subsequent tasks.
+    pub fn push(&self, value: T) -> u64 {
+        let bytes = value.encoded_len();
+        let mut t = self.table.write();
+        let prev_latest = t.latest();
+        t.versions.push(Some(Entry { value: Arc::new(value), bytes, rc: 0 }));
+        t.live_count += 1;
+        t.live_bytes += bytes;
+        // The previous latest loses its "latest" pin; prune if unreferenced.
+        t.try_prune(prev_latest);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        t.latest()
+    }
+
+    /// Latest version number.
+    pub fn latest_version(&self) -> u64 {
+        self.table.read().latest()
+    }
+
+    /// The version sample `idx` last saw (version 0 if never recorded) —
+    /// the paper's "ID of the previously broadcast variable for the
+    /// specified index".
+    pub fn version_for_index(&self, idx: u64) -> u64 {
+        self.table.read().index_version.get(&idx).copied().unwrap_or(0)
+    }
+
+    /// Records that samples `indices` have now been processed at `version`
+    /// (SAGA's `update table` step), updating reference counts and pruning
+    /// versions that no sample references any more.
+    pub fn record_use(&self, indices: &[u64], version: u64) {
+        let mut t = self.table.write();
+        debug_assert!((version as usize) < t.versions.len(), "recording unknown version");
+        for &idx in indices {
+            debug_assert!(idx < t.n_indices, "index {idx} out of declared universe");
+            let old = t.index_version.insert(idx, version);
+            if let Some(e) = t.versions[version as usize].as_mut() {
+                e.rc += 1;
+            }
+            match old {
+                Some(o) => {
+                    if let Some(e) = t.versions[o as usize].as_mut() {
+                        e.rc -= 1;
+                    }
+                    t.try_prune(o);
+                }
+                None => {
+                    // The index previously referenced version 0 implicitly;
+                    // once the whole universe is explicit, v0 may go.
+                    if !t.base_pinned() {
+                        t.try_prune(0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes of version-ID metadata shipped with a task carrying `samples`
+    /// sampled rows (one 8-byte ID each, plus the current version ID).
+    pub fn id_ship_bytes(samples: usize) -> u64 {
+        8 * (samples as u64 + 1)
+    }
+
+    /// A handle capturing the latest version and the live watermark, for
+    /// capture in task closures.
+    pub fn handle(&self) -> HistoryHandle<T> {
+        let t = self.table.read();
+        HistoryHandle {
+            bcast_id: self.id,
+            version: t.latest(),
+            min_live: t.min_live,
+            table: Arc::clone(&self.table),
+            fetches: Arc::clone(&self.fetches),
+            fetched_bytes: Arc::clone(&self.fetched_bytes),
+        }
+    }
+
+    /// Current traffic/memory counters.
+    pub fn stats(&self) -> HistoryStats {
+        let t = self.table.read();
+        HistoryStats {
+            versions_pushed: self.pushed.load(Ordering::Relaxed),
+            versions_live: t.live_count,
+            live_bytes: t.live_bytes,
+            fetches: self.fetches.load(Ordering::Relaxed),
+            fetched_bytes: self.fetched_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A worker-side view of an [`AsyncBcast`] at a fixed version, captured in
+/// task closures. Resolution order: local cache, then a (charged) fetch
+/// from the server store.
+pub struct HistoryHandle<T: Payload + Send + Sync + 'static> {
+    bcast_id: u64,
+    version: u64,
+    min_live: u64,
+    table: Arc<RwLock<VersionTable<T>>>,
+    fetches: Arc<AtomicU64>,
+    fetched_bytes: Arc<AtomicU64>,
+}
+
+impl<T: Payload + Send + Sync + 'static> Clone for HistoryHandle<T> {
+    fn clone(&self) -> Self {
+        Self {
+            bcast_id: self.bcast_id,
+            version: self.version,
+            min_live: self.min_live,
+            table: Arc::clone(&self.table),
+            fetches: Arc::clone(&self.fetches),
+            fetched_bytes: Arc::clone(&self.fetched_bytes),
+        }
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> HistoryHandle<T> {
+    /// The version this handle was created at (the task's model version).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Resolves the handle's own version — `w_br.value` in Algorithm 4.
+    pub fn value(&self, ctx: &mut WorkerCtx) -> Arc<T> {
+        self.value_at(ctx, self.version)
+    }
+
+    /// Resolves an arbitrary historical `version` — `w_br.value(index)`
+    /// in Algorithm 4, with the version looked up by the server at task
+    /// submission.
+    ///
+    /// # Panics
+    /// Panics if `version` was pruned, which means the caller failed to
+    /// keep it referenced through [`AsyncBcast::record_use`].
+    pub fn value_at(&self, ctx: &mut WorkerCtx, version: u64) -> Arc<T> {
+        // Honour the server's watermark: cached versions below it can never
+        // be requested again.
+        ctx.cache_evict_below(self.bcast_id, self.min_live);
+        let key = (self.bcast_id, version);
+        if let Some(any) = ctx.cache_get(key) {
+            return any.downcast::<T>().expect("history cache type mismatch");
+        }
+        let (value, bytes) = {
+            let t = self.table.read();
+            let entry = t.versions[version as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
+            (Arc::clone(&entry.value), entry.bytes)
+        };
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.fetched_bytes.fetch_add(bytes, Ordering::Relaxed);
+        ctx.cache_put_fetched(key, value.clone() as Arc<dyn std::any::Any + Send + Sync>, bytes);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bcast(n: u64) -> AsyncBcast<Vec<f64>> {
+        AsyncBcast::new(0, vec![0.0; 4], n)
+    }
+
+    #[test]
+    fn push_advances_versions() {
+        let b = bcast(10);
+        assert_eq!(b.latest_version(), 0);
+        assert_eq!(b.push(vec![1.0; 4]), 1);
+        assert_eq!(b.push(vec![2.0; 4]), 2);
+        assert_eq!(b.latest_version(), 2);
+        assert_eq!(b.stats().versions_pushed, 3);
+    }
+
+    #[test]
+    fn index_versions_default_to_base() {
+        let b = bcast(10);
+        assert_eq!(b.version_for_index(7), 0);
+        b.push(vec![1.0; 4]);
+        b.record_use(&[7], 1);
+        assert_eq!(b.version_for_index(7), 1);
+        assert_eq!(b.version_for_index(3), 0);
+    }
+
+    #[test]
+    fn worker_cache_hit_after_first_fetch() {
+        let b = bcast(10);
+        b.push(vec![1.0; 4]);
+        let h = b.handle();
+        let mut ctx = WorkerCtx::new(0);
+        let v1 = h.value(&mut ctx);
+        assert_eq!(v1[0], 1.0);
+        assert_eq!(b.stats().fetches, 1);
+        let _v2 = h.value(&mut ctx);
+        assert_eq!(b.stats().fetches, 1, "second access must hit the worker cache");
+        let (charged, _) = ctx.take_charges();
+        assert_eq!(charged, (vec![1.0f64; 4]).encoded_len());
+    }
+
+    #[test]
+    fn historical_versions_resolvable_until_released() {
+        let b = bcast(4);
+        b.push(vec![1.0; 4]); // v1
+        b.record_use(&[0, 1], 1);
+        b.push(vec![2.0; 4]); // v2
+        let h = b.handle();
+        let mut ctx = WorkerCtx::new(0);
+        // Sample 0 last saw v1; sample 2 still implicitly at v0.
+        assert_eq!(h.value_at(&mut ctx, b.version_for_index(0))[0], 1.0);
+        assert_eq!(h.value_at(&mut ctx, b.version_for_index(2))[0], 0.0);
+    }
+
+    #[test]
+    fn pruning_drops_unreferenced_versions() {
+        let b = bcast(2);
+        b.push(vec![1.0; 4]); // v1
+        b.record_use(&[0, 1], 1); // all indices explicit: v0 released
+        assert_eq!(b.stats().versions_live, 1, "only v1 lives: {:?}", b.stats());
+        b.push(vec![2.0; 4]); // v2
+        // v1 still referenced by both indices.
+        assert_eq!(b.stats().versions_live, 2);
+        b.record_use(&[0], 2);
+        // v1 still referenced by index 1.
+        assert_eq!(b.stats().versions_live, 2);
+        b.record_use(&[1], 2);
+        // Now v1 unreferenced and not latest: pruned.
+        assert_eq!(b.stats().versions_live, 1);
+    }
+
+    #[test]
+    fn base_stays_pinned_while_universe_incomplete() {
+        let b = bcast(3);
+        b.push(vec![1.0; 4]);
+        b.record_use(&[0, 1], 1); // index 2 never recorded: v0 pinned
+        assert_eq!(b.stats().versions_live, 2);
+        let h = b.handle();
+        let mut ctx = WorkerCtx::new(0);
+        assert_eq!(h.value_at(&mut ctx, 0)[0], 0.0);
+    }
+
+    #[test]
+    fn latest_is_never_pruned() {
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        for i in 0..5 {
+            let v = b.push(vec![i as f64; 4]);
+            b.record_use(&[0], v);
+            let s = b.stats();
+            assert_eq!(s.versions_live, 1, "only latest should live");
+        }
+    }
+
+    #[test]
+    fn eviction_watermark_trims_worker_caches() {
+        let b = bcast(1);
+        let mut ctx = WorkerCtx::new(0);
+        // Fetch v0 into the cache.
+        b.handle().value_at(&mut ctx, 0);
+        assert_eq!(ctx.cache_len(), 1);
+        b.record_use(&[0], 0);
+        let v1 = b.push(vec![1.0; 4]);
+        b.record_use(&[0], v1); // v0 pruned on the server
+        // A new handle carries the advanced watermark; resolving evicts v0.
+        let h = b.handle();
+        h.value(&mut ctx);
+        assert_eq!(ctx.cache_len(), 1, "stale v0 evicted, v1 cached");
+    }
+
+    #[test]
+    fn id_ship_bytes_is_linear_in_batch() {
+        assert_eq!(AsyncBcast::<Vec<f64>>::id_ship_bytes(0), 8);
+        assert_eq!(AsyncBcast::<Vec<f64>>::id_ship_bytes(100), 808);
+    }
+
+    #[test]
+    #[should_panic(expected = "pruned")]
+    fn resolving_pruned_version_panics() {
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        b.push(vec![1.0; 4]);
+        b.record_use(&[0], 1); // v0 pruned
+        let mut ctx = WorkerCtx::new(0);
+        b.handle().value_at(&mut ctx, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The `STAT` table (§4.1).
+//!
+//! For each worker the server stores its most recent status: availability,
+//! staleness, and average task-completion time. The table is maintained by
+//! the coordinator (the result pump in [`crate::context::AsyncContext`])
+//! and consumed by barrier-control filters through read-only
+//! [`StatSnapshot`]s — the paper's `AC.STAT`.
+
+use async_cluster::{VDur, VTime, WorkerId};
+
+/// Information about a task currently executing on a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    /// Model version (server update count) the task was issued at.
+    pub issued_version: u64,
+    /// Submission instant.
+    pub issued_at: VTime,
+    /// Mini-batch size declared at submission.
+    pub minibatch: u64,
+}
+
+/// One worker's row of the `STAT` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// False once the worker has failed.
+    pub alive: bool,
+    /// True when the worker is not executing a task (§4.1: "a worker is
+    /// available if it is not executing a task").
+    pub available: bool,
+    /// Tasks completed so far — the worker's SSP clock.
+    pub clock: u64,
+    /// Running average of task service times (submission → result arrival).
+    pub avg_completion: VDur,
+    /// The in-flight task, if any.
+    pub inflight: Option<InFlight>,
+    /// When the worker last submitted a result.
+    pub last_result_at: Option<VTime>,
+}
+
+impl WorkerStat {
+    fn new() -> Self {
+        Self {
+            alive: true,
+            available: true,
+            clock: 0,
+            avg_completion: VDur::ZERO,
+            inflight: None,
+            last_result_at: None,
+        }
+    }
+
+    /// Staleness of this worker's in-flight task as of `version`: how many
+    /// model updates have happened since the task was issued.
+    pub fn inflight_staleness(&self, version: u64) -> Option<u64> {
+        self.inflight.map(|f| version.saturating_sub(f.issued_version))
+    }
+}
+
+/// The mutable `STAT` table owned by the context.
+#[derive(Debug, Clone)]
+pub struct StatTable {
+    workers: Vec<WorkerStat>,
+    completed_total: u64,
+}
+
+impl StatTable {
+    /// A table for `n` workers, all idle and alive.
+    pub fn new(n: usize) -> Self {
+        Self { workers: vec![WorkerStat::new(); n], completed_total: 0 }
+    }
+
+    /// Number of workers (rows).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Row accessor.
+    pub fn get(&self, w: WorkerId) -> &WorkerStat {
+        &self.workers[w]
+    }
+
+    /// Marks `w` busy with a task issued now.
+    pub fn task_issued(&mut self, w: WorkerId, version: u64, at: VTime, minibatch: u64) {
+        let s = &mut self.workers[w];
+        debug_assert!(s.alive && s.available, "issuing to unavailable worker {w}");
+        s.available = false;
+        s.inflight = Some(InFlight { issued_version: version, issued_at: at, minibatch });
+    }
+
+    /// Marks `w` idle after a completion, folding `service` into its
+    /// average completion time. Returns the in-flight info for attribute
+    /// tagging.
+    pub fn task_completed(&mut self, w: WorkerId, at: VTime, service: VDur) -> Option<InFlight> {
+        let s = &mut self.workers[w];
+        let inflight = s.inflight.take();
+        s.available = true;
+        s.last_result_at = Some(at);
+        // Running mean: avg += (x − avg) / n.
+        s.clock += 1;
+        let n = s.clock;
+        let delta = service.as_micros() as i64 - s.avg_completion.as_micros() as i64;
+        let new_avg = s.avg_completion.as_micros() as i64 + delta / n as i64;
+        s.avg_completion = VDur::from_micros(new_avg.max(0) as u64);
+        self.completed_total += 1;
+        inflight
+    }
+
+    /// Marks `w` dead (its in-flight task, if any, is forgotten).
+    pub fn worker_died(&mut self, w: WorkerId) {
+        let s = &mut self.workers[w];
+        s.alive = false;
+        s.available = false;
+        s.inflight = None;
+    }
+
+    /// Total tasks completed across all workers.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// An immutable snapshot for barrier filters (the paper's `AC.STAT`).
+    pub fn snapshot(&self, now: VTime, version: u64) -> StatSnapshot {
+        StatSnapshot { now, version, workers: self.workers.clone() }
+    }
+}
+
+/// A read-only view of the `STAT` table at a moment in time.
+#[derive(Debug, Clone)]
+pub struct StatSnapshot {
+    /// Engine time of the snapshot.
+    pub now: VTime,
+    /// Server model version (update count) at the snapshot.
+    pub version: u64,
+    /// Worker rows, indexed by worker id.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl StatSnapshot {
+    /// Number of alive workers.
+    pub fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Number of available workers (the paper stores this on the server).
+    pub fn available_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.available).count()
+    }
+
+    /// Maximum staleness over in-flight tasks (the paper's
+    /// "maximum overall worker staleness"); 0 when nothing is in flight.
+    pub fn max_staleness(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter_map(|w| w.inflight_staleness(self.version))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum SSP clock over alive workers; `None` if none alive.
+    pub fn min_clock(&self) -> Option<u64> {
+        self.workers.iter().filter(|w| w.alive).map(|w| w.clock).min()
+    }
+
+    /// Median average-completion time over alive workers with history.
+    pub fn median_avg_completion(&self) -> Option<VDur> {
+        let mut v: Vec<VDur> = self
+            .workers
+            .iter()
+            .filter(|w| w.alive && w.clock > 0)
+            .map(|w| w.avg_completion)
+            .collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        Some(v[v.len() / 2])
+    }
+
+    /// Worker ids that are available (alive and idle).
+    pub fn available_workers(&self) -> Vec<WorkerId> {
+        (0..self.workers.len()).filter(|&w| self.workers[w].available).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_and_complete_cycle() {
+        let mut t = StatTable::new(2);
+        assert!(t.get(0).available);
+        t.task_issued(0, 5, VTime::from_micros(10), 32);
+        assert!(!t.get(0).available);
+        let snap = t.snapshot(VTime::from_micros(10), 7);
+        assert_eq!(snap.workers[0].inflight_staleness(7), Some(2));
+        assert_eq!(snap.max_staleness(), 2);
+        assert_eq!(snap.available_count(), 1);
+
+        let inflight =
+            t.task_completed(0, VTime::from_micros(50), VDur::from_micros(40)).unwrap();
+        assert_eq!(inflight.issued_version, 5);
+        assert_eq!(inflight.minibatch, 32);
+        assert!(t.get(0).available);
+        assert_eq!(t.get(0).clock, 1);
+        assert_eq!(t.get(0).avg_completion, VDur::from_micros(40));
+    }
+
+    #[test]
+    fn avg_completion_is_running_mean() {
+        let mut t = StatTable::new(1);
+        for (i, svc) in [100u64, 200, 300].iter().enumerate() {
+            t.task_issued(0, i as u64, VTime::ZERO, 1);
+            t.task_completed(0, VTime::from_micros(*svc), VDur::from_micros(*svc));
+        }
+        assert_eq!(t.get(0).avg_completion, VDur::from_micros(200));
+        assert_eq!(t.completed_total(), 3);
+    }
+
+    #[test]
+    fn death_clears_state() {
+        let mut t = StatTable::new(2);
+        t.task_issued(1, 0, VTime::ZERO, 1);
+        t.worker_died(1);
+        let s = t.snapshot(VTime::ZERO, 0);
+        assert!(!s.workers[1].alive);
+        assert!(!s.workers[1].available);
+        assert_eq!(s.alive_count(), 1);
+        assert_eq!(s.max_staleness(), 0);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let mut t = StatTable::new(3);
+        t.task_issued(0, 0, VTime::ZERO, 1);
+        t.task_completed(0, VTime::from_micros(10), VDur::from_micros(10));
+        t.task_issued(1, 1, VTime::ZERO, 1);
+        t.task_completed(1, VTime::from_micros(30), VDur::from_micros(30));
+        let s = t.snapshot(VTime::from_micros(30), 2);
+        assert_eq!(s.min_clock(), Some(0)); // worker 2 has done nothing
+        assert_eq!(s.median_avg_completion(), Some(VDur::from_micros(30)));
+        assert_eq!(s.available_workers(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn staleness_saturates() {
+        let s = WorkerStat {
+            alive: true,
+            available: false,
+            clock: 0,
+            avg_completion: VDur::ZERO,
+            inflight: Some(InFlight { issued_version: 9, issued_at: VTime::ZERO, minibatch: 1 }),
+            last_result_at: None,
+        };
+        assert_eq!(s.inflight_staleness(4), Some(0), "future-issued tasks clamp to 0");
+    }
+}

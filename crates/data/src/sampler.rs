@@ -1,0 +1,150 @@
+//! Deterministic mini-batch sampling.
+//!
+//! Every algorithm in the paper samples a fraction `b` of rows per task
+//! (§2, eq. 5). For reproducibility we derive the sampling RNG from
+//! `(seed, iteration, partition)` with a splitmix-style hash, so a run is a
+//! pure function of its configuration regardless of execution interleaving.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled mini-batch: local row indices into one [`crate::Block`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MiniBatch {
+    /// Local (block-relative) row indices, strictly increasing.
+    pub rows: Vec<u32>,
+}
+
+impl MiniBatch {
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Mixes `(seed, iteration, partition)` into an independent RNG stream.
+///
+/// Uses the splitmix64 finalizer twice, which is the standard way to derive
+/// uncorrelated streams from structured keys.
+pub fn derive_rng(seed: u64, iteration: u64, partition: u64) -> SmallRng {
+    let mut z = seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ partition.rotate_left(32);
+    z = splitmix64(z);
+    z = splitmix64(z);
+    SmallRng::seed_from_u64(z)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples `⌈fraction·n⌉` distinct rows from `0..n` without replacement
+/// (at least 1 when `n > 0`), returned sorted. `fraction` is clamped to
+/// `[0, 1]`.
+pub fn sample_fraction(rng: &mut SmallRng, n: usize, fraction: f64) -> MiniBatch {
+    if n == 0 {
+        return MiniBatch { rows: Vec::new() };
+    }
+    let fraction = fraction.clamp(0.0, 1.0);
+    let k = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+    sample_k(rng, n, k)
+}
+
+/// Samples exactly `k ≤ n` distinct rows from `0..n`, sorted ascending.
+/// Uses Floyd's algorithm: `O(k)` draws, no `O(n)` shuffle.
+pub fn sample_k(rng: &mut SmallRng, n: usize, k: usize) -> MiniBatch {
+    assert!(k <= n, "sample_k: k={k} > n={n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut rows: Vec<u32> = chosen.into_iter().map(|i| i as u32).collect();
+    rows.sort_unstable();
+    MiniBatch { rows }
+}
+
+/// Samples `k` rows from `0..n` with replacement (unsorted, in draw order).
+pub fn sample_with_replacement(rng: &mut SmallRng, n: usize, k: usize) -> Vec<u32> {
+    assert!(n > 0, "sample_with_replacement: empty population");
+    (0..k).map(|_| rng.gen_range(0..n) as u32).collect()
+}
+
+/// Bernoulli row sampling with probability `p` — Mllib's `RDD.sample`
+/// semantics (expected `p·n` rows, variable batch size).
+pub fn sample_bernoulli(rng: &mut SmallRng, n: usize, p: f64) -> MiniBatch {
+    let p = p.clamp(0.0, 1.0);
+    let rows =
+        (0..n).filter(|_| rng.gen::<f64>() < p).map(|i| i as u32).collect();
+    MiniBatch { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_rng_is_deterministic_and_key_sensitive() {
+        let a: Vec<u32> = sample_k(&mut derive_rng(1, 2, 3), 100, 10).rows;
+        let b: Vec<u32> = sample_k(&mut derive_rng(1, 2, 3), 100, 10).rows;
+        assert_eq!(a, b);
+        let c: Vec<u32> = sample_k(&mut derive_rng(1, 2, 4), 100, 10).rows;
+        let d: Vec<u32> = sample_k(&mut derive_rng(1, 3, 3), 100, 10).rows;
+        assert!(a != c || a != d, "distinct keys should give distinct streams");
+    }
+
+    #[test]
+    fn sample_k_gives_distinct_sorted_in_range() {
+        let mut rng = derive_rng(7, 0, 0);
+        for _ in 0..100 {
+            let mb = sample_k(&mut rng, 50, 12);
+            assert_eq!(mb.len(), 12);
+            for w in mb.rows.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(mb.rows.iter().all(|&r| (r as usize) < 50));
+        }
+    }
+
+    #[test]
+    fn sample_k_full_population() {
+        let mut rng = derive_rng(7, 0, 0);
+        let mb = sample_k(&mut rng, 10, 10);
+        assert_eq!(mb.rows, (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_fraction_sizes() {
+        let mut rng = derive_rng(9, 0, 0);
+        assert_eq!(sample_fraction(&mut rng, 100, 0.1).len(), 10);
+        assert_eq!(sample_fraction(&mut rng, 100, 0.0).len(), 1); // min 1
+        assert_eq!(sample_fraction(&mut rng, 100, 1.0).len(), 100);
+        assert_eq!(sample_fraction(&mut rng, 0, 0.5).len(), 0);
+        assert_eq!(sample_fraction(&mut rng, 7, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn bernoulli_sampling_is_near_expectation() {
+        let mut rng = derive_rng(11, 0, 0);
+        let mb = sample_bernoulli(&mut rng, 10_000, 0.2);
+        let got = mb.len() as f64;
+        assert!((got - 2000.0).abs() < 200.0, "got {got} rows, expected ~2000");
+    }
+
+    #[test]
+    fn with_replacement_can_repeat() {
+        let mut rng = derive_rng(13, 0, 0);
+        let v = sample_with_replacement(&mut rng, 3, 100);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|&r| r < 3));
+    }
+}

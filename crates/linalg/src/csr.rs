@@ -1,0 +1,335 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! CSR blocks are the storage format for sparse datasets (rcv1-like): the
+//! whole partition's rows live in three contiguous arrays, which keeps
+//! per-mini-batch gradient evaluation cache-friendly.
+
+use crate::dense;
+use crate::sparse::SparseVec;
+use crate::{Error, Result};
+
+/// A CSR matrix: row `i` occupies `indices[indptr[i]..indptr[i+1]]` /
+/// `data[indptr[i]..indptr[i+1]]`, with column indices strictly increasing
+/// within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    pub fn new(
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+        nrows: usize,
+        ncols: usize,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "indptr length {} != nrows+1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr.first() != Some(&0) || *indptr.last().expect("nonempty indptr") != indices.len()
+        {
+            return Err(Error::InvalidStructure(
+                "indptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if indices.len() != data.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indices/data length mismatch: {} vs {}",
+                indices.len(),
+                data.len()
+            )));
+        }
+        for w in indptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(Error::InvalidStructure("indptr must be nondecreasing".to_string()));
+            }
+        }
+        for r in 0..nrows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(Error::InvalidStructure(format!(
+                        "row {r}: column indices not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(Error::InvalidStructure(format!(
+                        "row {r}: column {last} out of range for ncols {ncols}"
+                    )));
+                }
+            }
+        }
+        Ok(Self { indptr, indices, data, nrows, ncols })
+    }
+
+    /// Builds from a list of sparse rows, all with dimension `ncols`.
+    pub fn from_rows(rows: &[SparseVec], ncols: usize) -> Result<Self> {
+        let nnz: usize = rows.iter().map(SparseVec::nnz).sum();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut data = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for (i, r) in rows.iter().enumerate() {
+            if r.dim() != ncols {
+                return Err(Error::DimensionMismatch {
+                    op: "CsrMatrix::from_rows",
+                    expected: ncols,
+                    got: r.dim(),
+                });
+            }
+            let _ = i;
+            indices.extend_from_slice(r.indices());
+            data.extend_from_slice(r.values());
+            indptr.push(indices.len());
+        }
+        Self::new(indptr, indices, data, rows.len(), ncols)
+    }
+
+    /// Builds from `(row, col, value)` triplets; duplicates are summed.
+    pub fn from_triplets(
+        triplets: &[(usize, u32, f64)],
+        nrows: usize,
+        ncols: usize,
+    ) -> Result<Self> {
+        let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nrows];
+        for &(r, c, v) in triplets {
+            if r >= nrows {
+                return Err(Error::InvalidStructure(format!("triplet row {r} out of range")));
+            }
+            per_row[r].push((c, v));
+        }
+        let rows = per_row
+            .into_iter()
+            .map(|p| SparseVec::from_pairs(p, ncols))
+            .collect::<Result<Vec<_>>>()?;
+        Self::from_rows(&rows, ncols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        assert!(i < self.nrows, "row {i} out of range ({} rows)", self.nrows);
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Number of nonzeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Dot product of row `i` with a dense vector `w` (`xᵢᵀw`).
+    ///
+    /// # Panics
+    /// Panics if `w.len() != ncols`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.ncols, "row_dot: dim mismatch");
+        let (idx, val) = self.row(i);
+        let mut acc = 0.0;
+        for (c, v) in idx.iter().zip(val.iter()) {
+            acc += *v * w[*c as usize];
+        }
+        acc
+    }
+
+    /// `out += a * rowᵢ`, scattered into a dense buffer.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != ncols`.
+    #[inline]
+    pub fn row_axpy(&self, i: usize, a: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.ncols, "row_axpy: dim mismatch");
+        let (idx, val) = self.row(i);
+        for (c, v) in idx.iter().zip(val.iter()) {
+            out[*c as usize] += a * *v;
+        }
+    }
+
+    /// `out = A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x dim mismatch");
+        assert_eq!(out.len(), self.nrows, "matvec: out dim mismatch");
+        for i in 0..self.nrows {
+            out[i] = self.row_dot(i, x);
+        }
+    }
+
+    /// `out += Aᵀ·y`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_t_acc(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.nrows, "matvec_t: y dim mismatch");
+        assert_eq!(out.len(), self.ncols, "matvec_t: out dim mismatch");
+        for i in 0..self.nrows {
+            self.row_axpy(i, y[i], out);
+        }
+    }
+
+    /// Extracts rows `[start, end)` into a new owned CSR block.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(start <= end && end <= self.nrows, "slice_rows: bad range {start}..{end}");
+        let lo = self.indptr[start];
+        let hi = self.indptr[end];
+        let indptr = self.indptr[start..=end].iter().map(|p| p - lo).collect();
+        CsrMatrix {
+            indptr,
+            indices: self.indices[lo..hi].to_vec(),
+            data: self.data[lo..hi].to_vec(),
+            nrows: end - start,
+            ncols: self.ncols,
+        }
+    }
+
+    /// Densifies into a [`crate::DenseMatrix`]; intended for tests.
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut flat = vec![0.0; self.nrows * self.ncols];
+        for i in 0..self.nrows {
+            let (idx, val) = self.row(i);
+            for (c, v) in idx.iter().zip(val.iter()) {
+                flat[i * self.ncols + *c as usize] = *v;
+            }
+        }
+        crate::DenseMatrix::from_flat(flat, self.nrows, self.ncols)
+            .expect("densified buffer has exact size")
+    }
+
+    /// Squared Euclidean norm of row `i`.
+    #[inline]
+    pub fn row_norm2_sq(&self, i: usize) -> f64 {
+        let (_, val) = self.row(i);
+        dense::norm2_sq(val)
+    }
+
+    /// Approximate in-memory footprint in bytes (all three arrays).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_triplets(&[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)], 3, 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(CsrMatrix::new(vec![0, 1], vec![0], vec![1.0], 2, 3).is_err()); // bad indptr len
+        assert!(CsrMatrix::new(vec![0, 2], vec![1, 0], vec![1.0, 1.0], 1, 3).is_err()); // unsorted
+        assert!(CsrMatrix::new(vec![0, 1], vec![5], vec![1.0], 1, 3).is_err()); // col range
+        assert!(CsrMatrix::new(vec![0, 1], vec![0], vec![1.0], 1, 3).is_ok());
+    }
+
+    #[test]
+    fn rows_and_nnz() {
+        let a = sample();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.row_nnz(1), 0);
+        let (idx, val) = a.row(2);
+        assert_eq!(idx, &[0, 1]);
+        assert_eq!(val, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        a.matvec(&x, &mut out);
+        let dense_a = a.to_dense();
+        let mut out_d = [0.0; 3];
+        dense_a.matvec(&x, &mut out_d);
+        assert_eq!(out, out_d);
+    }
+
+    #[test]
+    fn matvec_t_matches_dense() {
+        let a = sample();
+        let y = [1.0, 5.0, -1.0];
+        let mut out = [0.0; 3];
+        a.matvec_t_acc(&y, &mut out);
+        let mut out_d = [0.0; 3];
+        a.to_dense().matvec_t_acc(&y, &mut out_d);
+        assert_eq!(out, out_d);
+    }
+
+    #[test]
+    fn slice_rows_preserves_content() {
+        let a = sample();
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.row_nnz(0), 0);
+        let (idx, val) = s.row(1);
+        assert_eq!(idx, &[0, 1]);
+        assert_eq!(val, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_dot_and_axpy() {
+        let a = sample();
+        let w = [1.0, 1.0, 1.0];
+        assert_eq!(a.row_dot(0, &w), 3.0);
+        let mut acc = [0.0; 3];
+        a.row_axpy(0, 2.0, &mut acc);
+        assert_eq!(acc, [2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_rows_matrix() {
+        let a = CsrMatrix::from_rows(&[], 7).unwrap();
+        assert_eq!(a.nrows(), 0);
+        assert_eq!(a.nnz(), 0);
+    }
+}

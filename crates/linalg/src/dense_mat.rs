@@ -1,0 +1,178 @@
+//! Row-major dense matrices.
+
+use crate::dense;
+use crate::{Error, Result};
+
+/// A row-major dense matrix. Rows are training examples in this codebase,
+/// so row access is the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    data: Vec<f64>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl DenseMatrix {
+    /// Builds from a flat row-major buffer.
+    pub fn from_flat(data: Vec<f64>, nrows: usize, ncols: usize) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(Error::InvalidStructure(format!(
+                "flat buffer length {} != {nrows}x{ncols}",
+                data.len()
+            )));
+        }
+        Ok(Self { data, nrows, ncols })
+    }
+
+    /// Builds from row slices; all rows must share a length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(Error::InvalidStructure(format!(
+                    "row {i} has length {} but row 0 has {ncols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { data, nrows: rows.len(), ncols })
+    }
+
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { data: vec![0.0; nrows * ncols], nrows, ncols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.nrows, "row {i} out of range ({} rows)", self.nrows);
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `out = A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x dim mismatch");
+        assert_eq!(out.len(), self.nrows, "matvec: out dim mismatch");
+        for i in 0..self.nrows {
+            out[i] = dense::dot(self.row(i), x);
+        }
+    }
+
+    /// `out += Aᵀ·y` (accumulating transpose product).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec_t_acc(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.nrows, "matvec_t: y dim mismatch");
+        assert_eq!(out.len(), self.ncols, "matvec_t: out dim mismatch");
+        for i in 0..self.nrows {
+            dense::axpy(y[i], self.row(i), out);
+        }
+    }
+
+    /// Extracts rows `[start, end)` into a new owned matrix.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice_rows(&self, start: usize, end: usize) -> DenseMatrix {
+        assert!(start <= end && end <= self.nrows, "slice_rows: bad range {start}..{end}");
+        DenseMatrix {
+            data: self.data[start * self.ncols..end * self.ncols].to_vec(),
+            nrows: end - start,
+            ncols: self.ncols,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (data buffer only).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn from_flat_validates_len() {
+        assert!(DenseMatrix::from_flat(vec![0.0; 5], 2, 3).is_err());
+        assert!(DenseMatrix::from_flat(vec![0.0; 6], 2, 3).is_ok());
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let a = m();
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 2);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = m();
+        let mut out = [0.0; 3];
+        a.matvec(&[1.0, -1.0], &mut out);
+        assert_eq!(out, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_accumulates() {
+        let a = m();
+        let mut out = [10.0, 10.0];
+        a.matvec_t_acc(&[1.0, 0.0, 1.0], &mut out);
+        assert_eq!(out, [16.0, 18.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts() {
+        let a = m();
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = DenseMatrix::zeros(0, 4);
+        assert_eq!(a.nrows(), 0);
+        let mut out: [f64; 0] = [];
+        a.matvec(&[0.0; 4], &mut out);
+    }
+}

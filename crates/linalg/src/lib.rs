@@ -1,0 +1,67 @@
+//! # async-linalg
+//!
+//! Dense and sparse linear-algebra kernels for the ASYNC reproduction.
+//!
+//! This crate stands in for the Breeze/netlib BLAS stack the paper uses on
+//! Spark. It provides exactly the operations the distributed optimization
+//! algorithms need:
+//!
+//! * level-1 kernels over `&[f64]` slices ([`dense`]): dot, axpy, scal,
+//!   norms, elementwise combinators;
+//! * a row-major [`DenseMatrix`] and a compressed-sparse-row [`CsrMatrix`]
+//!   with row access, `A·x`, and `Aᵀ·x` ([`dense_mat`], [`csr`]);
+//! * a unified [`Matrix`] enum so downstream code is storage-agnostic;
+//! * chunked multi-threaded variants built on crossbeam scoped threads
+//!   ([`parallel`]);
+//! * a conjugate-gradient least-squares solver ([`solve`]) used to compute
+//!   high-precision baseline optima for the paper's error metric.
+//!
+//! All kernels are pure, allocation-conscious (callers pass output buffers
+//! where it matters), and deterministic.
+
+pub mod csr;
+pub mod dense;
+pub mod dense_mat;
+pub mod matrix;
+pub mod parallel;
+pub mod solve;
+pub mod sparse;
+
+pub use csr::CsrMatrix;
+pub use dense_mat::DenseMatrix;
+pub use matrix::Matrix;
+pub use parallel::ParallelismCfg;
+pub use sparse::SparseVec;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing or validating matrices and vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// What was being attempted.
+        op: &'static str,
+        /// Dimension expected by the left/primary operand.
+        expected: usize,
+        /// Dimension actually provided.
+        got: usize,
+    },
+    /// A sparse structure violated an invariant (unsorted or out-of-range
+    /// indices, malformed indptr, ...).
+    InvalidStructure(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, expected, got } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, got {got}")
+            }
+            Error::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

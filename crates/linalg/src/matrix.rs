@@ -1,0 +1,168 @@
+//! Storage-agnostic matrix wrapper.
+//!
+//! Optimization code operates on [`Matrix`] so the same gradient kernels run
+//! on dense (mnist8m/epsilon-like) and sparse (rcv1-like) datasets.
+
+use crate::csr::CsrMatrix;
+use crate::dense_mat::DenseMatrix;
+
+/// Either a dense row-major matrix or a CSR sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Matrix {
+    /// Dense row-major storage.
+    Dense(DenseMatrix),
+    /// Compressed sparse row storage.
+    Sparse(CsrMatrix),
+}
+
+impl Matrix {
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.nrows(),
+            Matrix::Sparse(m) => m.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.ncols(),
+            Matrix::Sparse(m) => m.ncols(),
+        }
+    }
+
+    /// Number of stored entries (dense: `nrows*ncols`).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.nrows() * m.ncols(),
+            Matrix::Sparse(m) => m.nnz(),
+        }
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        match self {
+            Matrix::Dense(m) => m.ncols(),
+            Matrix::Sparse(m) => m.row_nnz(i),
+        }
+    }
+
+    /// `xᵢᵀw` for row `i`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, w: &[f64]) -> f64 {
+        match self {
+            Matrix::Dense(m) => crate::dense::dot(m.row(i), w),
+            Matrix::Sparse(m) => m.row_dot(i, w),
+        }
+    }
+
+    /// `out += a * xᵢ` for row `i`.
+    #[inline]
+    pub fn row_axpy(&self, i: usize, a: f64, out: &mut [f64]) {
+        match self {
+            Matrix::Dense(m) => crate::dense::axpy(a, m.row(i), out),
+            Matrix::Sparse(m) => m.row_axpy(i, a, out),
+        }
+    }
+
+    /// Squared Euclidean norm of row `i`.
+    #[inline]
+    pub fn row_norm2_sq(&self, i: usize) -> f64 {
+        match self {
+            Matrix::Dense(m) => crate::dense::norm2_sq(m.row(i)),
+            Matrix::Sparse(m) => m.row_norm2_sq(i),
+        }
+    }
+
+    /// `out = A·x`.
+    pub fn matvec(&self, x: &[f64], out: &mut [f64]) {
+        match self {
+            Matrix::Dense(m) => m.matvec(x, out),
+            Matrix::Sparse(m) => m.matvec(x, out),
+        }
+    }
+
+    /// `out += Aᵀ·y`.
+    pub fn matvec_t_acc(&self, y: &[f64], out: &mut [f64]) {
+        match self {
+            Matrix::Dense(m) => m.matvec_t_acc(y, out),
+            Matrix::Sparse(m) => m.matvec_t_acc(y, out),
+        }
+    }
+
+    /// Extracts rows `[start, end)` as an owned matrix of the same storage.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        match self {
+            Matrix::Dense(m) => Matrix::Dense(m.slice_rows(start, end)),
+            Matrix::Sparse(m) => Matrix::Sparse(m.slice_rows(start, end)),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Matrix::Dense(m) => m.bytes(),
+            Matrix::Sparse(m) => m.bytes(),
+        }
+    }
+
+    /// True if stored as CSR.
+    #[inline]
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Matrix::Sparse(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both() -> (Matrix, Matrix) {
+        let sparse =
+            CsrMatrix::from_triplets(&[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)], 2, 3).unwrap();
+        let dense = sparse.to_dense();
+        (Matrix::Sparse(sparse), Matrix::Dense(dense))
+    }
+
+    #[test]
+    fn row_ops_agree_across_storage() {
+        let (s, d) = both();
+        let w = [1.0, 2.0, 3.0];
+        for i in 0..2 {
+            assert!((s.row_dot(i, &w) - d.row_dot(i, &w)).abs() < 1e-15);
+            assert!((s.row_norm2_sq(i) - d.row_norm2_sq(i)).abs() < 1e-15);
+            let mut a = [0.0; 3];
+            let mut b = [0.0; 3];
+            s.row_axpy(i, 2.0, &mut a);
+            d.row_axpy(i, 2.0, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_across_storage() {
+        let (s, d) = both();
+        let x = [1.0, -1.0, 0.5];
+        let mut so = [0.0; 2];
+        let mut dd = [0.0; 2];
+        s.matvec(&x, &mut so);
+        d.matvec(&x, &mut dd);
+        assert_eq!(so, dd);
+    }
+
+    #[test]
+    fn shape_reporting() {
+        let (s, d) = both();
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(d.nnz(), 6);
+        assert_eq!(s.nrows(), d.nrows());
+        assert!(s.is_sparse());
+        assert!(!d.is_sparse());
+    }
+}

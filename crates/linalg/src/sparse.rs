@@ -1,0 +1,181 @@
+//! Sparse vectors in coordinate (index/value) form.
+//!
+//! A [`SparseVec`] is the natural representation of a single high-dimensional
+//! training example (e.g. one rcv1 document: dimension 47k, ~70 nonzeros).
+
+use crate::{Error, Result};
+
+/// A sparse vector: strictly increasing `indices` paired with `values`,
+/// embedded in a space of dimension `dim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    dim: usize,
+}
+
+impl SparseVec {
+    /// Builds a sparse vector, validating that indices are strictly
+    /// increasing and within `dim`.
+    pub fn new(indices: Vec<u32>, values: Vec<f64>, dim: usize) -> Result<Self> {
+        if indices.len() != values.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indices/values length mismatch: {} vs {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(Error::InvalidStructure(format!(
+                    "indices not strictly increasing at {} >= {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= dim {
+                return Err(Error::InvalidStructure(format!(
+                    "index {last} out of range for dim {dim}"
+                )));
+            }
+        }
+        Ok(Self { indices, values, dim })
+    }
+
+    /// Builds from possibly-unsorted `(index, value)` pairs; duplicate
+    /// indices are summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>, dim: usize) -> Result<Self> {
+        pairs.sort_unstable_by_key(|p| p.0);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if indices.last() == Some(&i) {
+                *values.last_mut().expect("values nonempty when indices nonempty") += v;
+            } else {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self::new(indices, values, dim)
+    }
+
+    /// The embedding dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The stored indices (strictly increasing).
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The stored values, parallel to [`Self::indices`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sparse–dense dot product `xᵀw`.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.dim()`.
+    #[inline]
+    pub fn dot_dense(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.dim, "dot_dense: dim mismatch");
+        let mut acc = 0.0;
+        for (i, v) in self.indices.iter().zip(self.values.iter()) {
+            acc += *v * w[*i as usize];
+        }
+        acc
+    }
+
+    /// `out += a * self` scattered into a dense buffer.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    #[inline]
+    pub fn axpy_into_dense(&self, a: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "axpy_into_dense: dim mismatch");
+        for (i, v) in self.indices.iter().zip(self.values.iter()) {
+            out[*i as usize] += a * *v;
+        }
+    }
+
+    /// Squared Euclidean norm of the sparse vector.
+    #[inline]
+    pub fn norm2_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Densifies into a `Vec<f64>` of length `dim`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.indices.iter().zip(self.values.iter()) {
+            out[*i as usize] = *v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)], dim: usize) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec(), dim).unwrap()
+    }
+
+    #[test]
+    fn new_validates_ordering() {
+        assert!(SparseVec::new(vec![2, 1], vec![1.0, 1.0], 5).is_err());
+        assert!(SparseVec::new(vec![1, 1], vec![1.0, 1.0], 5).is_err());
+        assert!(SparseVec::new(vec![0, 4], vec![1.0, 1.0], 5).is_ok());
+    }
+
+    #[test]
+    fn new_validates_range_and_len() {
+        assert!(SparseVec::new(vec![5], vec![1.0], 5).is_err());
+        assert!(SparseVec::new(vec![0], vec![], 5).is_err());
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = sv(&[(3, 1.0), (1, 2.0), (3, 4.0)], 5);
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.values(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn dot_dense_matches_dense() {
+        let v = sv(&[(0, 2.0), (3, -1.0)], 4);
+        let w = [1.0, 10.0, 100.0, 5.0];
+        assert!((v.dot_dense(&w) - (2.0 - 5.0)).abs() < 1e-15);
+        let dense = v.to_dense();
+        assert!((crate::dense::dot(&dense, &w) - v.dot_dense(&w)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_scatters() {
+        let v = sv(&[(1, 3.0)], 3);
+        let mut out = [1.0, 1.0, 1.0];
+        v.axpy_into_dense(2.0, &mut out);
+        assert_eq!(out, [1.0, 7.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_vector_ok() {
+        let v = SparseVec::new(vec![], vec![], 10).unwrap();
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.dot_dense(&vec![1.0; 10]), 0.0);
+        assert_eq!(v.norm2_sq(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use async_linalg::dense;
+use async_linalg::parallel::{self, ParallelismCfg};
+use async_linalg::{CsrMatrix, Matrix, SparseVec};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0..100.0f64, len)
+}
+
+fn sparse_triplets(nrows: usize, ncols: usize) -> impl Strategy<Value = Vec<(usize, u32, f64)>> {
+    proptest::collection::vec(
+        (0..nrows, 0..ncols as u32, -10.0..10.0f64),
+        0..(nrows * ncols).min(64),
+    )
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(n in 0usize..64) {
+        let strat = (finite_vec(n), finite_vec(n));
+        proptest!(|((x, y) in strat)| {
+            let a = dense::dot(&x, &y);
+            let b = dense::dot(&y, &x);
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+        });
+    }
+
+    #[test]
+    fn axpy_is_linear(x in finite_vec(16), y in finite_vec(16), a in -5.0..5.0f64) {
+        // axpy(a,x,y) == y + a*x elementwise
+        let mut got = y.clone();
+        dense::axpy(a, &x, &mut got);
+        for i in 0..16 {
+            prop_assert!((got[i] - (y[i] + a * x[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in finite_vec(24), y in finite_vec(24)) {
+        let mut sum = x.clone();
+        dense::add_assign(&mut sum, &y);
+        let lhs = dense::norm2(&sum);
+        let rhs = dense::norm2(&x) + dense::norm2(&y);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn csr_round_trips_via_dense(trips in sparse_triplets(8, 6)) {
+        let csr = CsrMatrix::from_triplets(&trips, 8, 6).unwrap();
+        let dense_m = csr.to_dense();
+        // Every kernel must agree between the two storages.
+        let w: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        for i in 0..8 {
+            let a = csr.row_dot(i, &w);
+            let b = dense::dot(dense_m.row(i), &w);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_matvec_t_is_adjoint(trips in sparse_triplets(8, 6), x in finite_vec(6), y in finite_vec(8)) {
+        // <A x, y> == <x, Aᵀ y>
+        let csr = CsrMatrix::from_triplets(&trips, 8, 6).unwrap();
+        let mut ax = vec![0.0; 8];
+        csr.matvec(&x, &mut ax);
+        let mut aty = vec![0.0; 6];
+        csr.matvec_t_acc(&y, &mut aty);
+        let lhs = dense::dot(&ax, &y);
+        let rhs = dense::dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() <= 1e-7 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn sparse_vec_dot_matches_dense(pairs in proptest::collection::vec((0u32..32, -10.0..10.0f64), 0..20), w in finite_vec(32)) {
+        let sv = SparseVec::from_pairs(pairs, 32).unwrap();
+        let dense_v = sv.to_dense();
+        let a = sv.dot_dense(&w);
+        let b = dense::dot(&dense_v, &w);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_serial(n in 0usize..500, threads in 1usize..9) {
+        let serial: u64 = (0..n as u64).map(|i| i * i).sum();
+        let par = parallel::par_map_reduce(
+            ParallelismCfg::with_threads(threads),
+            n,
+            0u64,
+            |r| r.map(|i| (i as u64) * (i as u64)).sum(),
+            |a, b| a + b,
+        );
+        prop_assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_matvec_matches_serial(trips in sparse_triplets(12, 5), threads in 1usize..5) {
+        let m = Matrix::Sparse(CsrMatrix::from_triplets(&trips, 12, 5).unwrap());
+        let w = vec![0.5; 5];
+        let mut serial = vec![0.0; 12];
+        m.matvec(&w, &mut serial);
+        let mut par = vec![0.0; 12];
+        parallel::par_matvec(ParallelismCfg::with_threads(threads), &m, &w, &mut par);
+        prop_assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn split_ranges_partition_property(len in 0usize..200, parts in 1usize..17) {
+        let rs = parallel::split_ranges(len, parts);
+        let covered: usize = rs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(covered, len);
+        for w in rs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+            // Balanced to within one element.
+            prop_assert!(w[0].len().abs_diff(w[1].len()) <= 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cgls_recovers_planted_solution(seed in 0u64..50) {
+        // Plant w*, build consistent y = A w*, and require near-zero residual.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let nrows = 20;
+        let ncols = 6;
+        let rows: Vec<Vec<f64>> =
+            (0..nrows).map(|_| (0..ncols).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let a = Matrix::Dense(async_linalg::DenseMatrix::from_rows(&rows).unwrap());
+        let w_star: Vec<f64> = (0..ncols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut y = vec![0.0; nrows];
+        a.matvec(&w_star, &mut y);
+        let res = async_linalg::solve::cgls(
+            ParallelismCfg::sequential(), &a, &y, 0.0, 1e-12, 200);
+        let mut pred = vec![0.0; nrows];
+        a.matvec(&res.w, &mut pred);
+        let resid: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
+        prop_assert!(resid < 1e-8, "residual {resid}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Classic Spark-style broadcast variables.
+//!
+//! A broadcast wraps an immutable value shipped to each worker at most
+//! once; tasks capture the handle and read `value()`. The driver charges
+//! the transfer bytes to the first task per worker that uses the variable —
+//! exactly Spark's per-executor broadcast cost. These measured bytes are
+//! what the paper's `ASYNCbroadcaster` (see `async-core`) avoids for model
+//! history, and the `ablate_broadcast` bench compares the two directly.
+
+use std::sync::Arc;
+
+use crate::payload::Payload;
+
+/// A handle to a broadcast value. Cloning shares the value.
+pub struct Broadcast<T> {
+    id: u64,
+    bytes: u64,
+    value: Arc<T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Self { id: self.id, bytes: self.bytes, value: Arc::clone(&self.value) }
+    }
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(id: u64, bytes: u64, value: T) -> Self {
+        Self { id, bytes, value: Arc::new(value) }
+    }
+
+    /// The broadcast value (Spark's `Broadcast.value`).
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Shared handle to the value for capture in task closures.
+    pub fn value_arc(&self) -> Arc<T> {
+        Arc::clone(&self.value)
+    }
+
+    /// Unique id of this broadcast.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Declared wire size.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The charge descriptor passed to stage execution so the driver can
+    /// bill first-use transfers per worker.
+    pub fn charge(&self) -> BcastCharge {
+        BcastCharge { id: self.id, bytes: self.bytes }
+    }
+}
+
+/// Identifies a broadcast use for per-worker transfer billing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcastCharge {
+    /// Broadcast id.
+    pub id: u64,
+    /// Wire size in bytes.
+    pub bytes: u64,
+}
+
+/// Driver-side broadcast registry: allocates ids and tracks which workers
+/// have already received which broadcasts.
+pub struct BroadcastRegistry {
+    next_id: u64,
+    seen: Vec<std::collections::HashSet<u64>>,
+}
+
+impl BroadcastRegistry {
+    /// Registry for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self { next_id: 0, seen: vec![std::collections::HashSet::new(); workers] }
+    }
+
+    /// Creates a broadcast from a payload value.
+    pub fn create<T: Payload>(&mut self, value: T) -> Broadcast<T> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = value.encoded_len();
+        Broadcast::new(id, bytes, value)
+    }
+
+    /// Bytes that must be shipped to `worker` for the given uses (first use
+    /// of each broadcast only); marks them as seen.
+    pub fn charge_for(&mut self, worker: usize, uses: &[BcastCharge]) -> u64 {
+        let mut total = 0;
+        for u in uses {
+            if self.seen[worker].insert(u.id) {
+                total += u.bytes;
+            }
+        }
+        total
+    }
+
+    /// Forgets everything a worker has seen (used when a worker is replaced
+    /// after failure — a fresh executor has an empty broadcast cache).
+    pub fn reset_worker(&mut self, worker: usize) {
+        self.seen[worker].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_ids_and_sizes() {
+        let mut reg = BroadcastRegistry::new(2);
+        let a = reg.create(vec![1.0f64; 10]);
+        let b = reg.create(2.0f64);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.bytes(), 8 + 80);
+        assert_eq!(b.bytes(), 8);
+        assert_eq!(*b.value(), 2.0);
+    }
+
+    #[test]
+    fn first_use_charges_then_free() {
+        let mut reg = BroadcastRegistry::new(2);
+        let a = reg.create(vec![0.0f64; 100]);
+        let uses = [a.charge()];
+        assert_eq!(reg.charge_for(0, &uses), a.bytes());
+        assert_eq!(reg.charge_for(0, &uses), 0);
+        // Other worker still pays once.
+        assert_eq!(reg.charge_for(1, &uses), a.bytes());
+    }
+
+    #[test]
+    fn reset_worker_forces_recharge() {
+        let mut reg = BroadcastRegistry::new(1);
+        let a = reg.create(1.0f64);
+        assert_eq!(reg.charge_for(0, &[a.charge()]), 8);
+        reg.reset_worker(0);
+        assert_eq!(reg.charge_for(0, &[a.charge()]), 8);
+    }
+
+    #[test]
+    fn multiple_uses_charge_independently() {
+        let mut reg = BroadcastRegistry::new(1);
+        let a = reg.create(vec![0.0f64; 4]);
+        let b = reg.create(vec![0.0f64; 8]);
+        let total = reg.charge_for(0, &[a.charge(), b.charge()]);
+        assert_eq!(total, a.bytes() + b.bytes());
+    }
+}

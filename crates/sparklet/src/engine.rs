@@ -1,0 +1,139 @@
+//! The execution-engine abstraction.
+//!
+//! An [`Engine`] is a cluster of workers that execute opaque [`Task`]s.
+//! The driver submits a task to a specific (available) worker and later
+//! receives a [`Completion`]. Two implementations exist:
+//!
+//! * [`crate::sim::SimEngine`] — deterministic virtual-time simulation;
+//! * [`crate::threaded::ThreadedEngine`] — real OS threads and real delays.
+//!
+//! Both give the *same semantics*: a task conceptually begins executing
+//! against the state captured at submission (exactly like a Spark task
+//! shipping with its broadcast snapshot) and its result arrives after the
+//! modelled/real duration. Asynchronous algorithms built on top observe
+//! stale results precisely as they would on a real cluster.
+
+use std::any::Any;
+
+use async_cluster::{VDur, VTime, WorkerId};
+
+use crate::worker::WorkerCtx;
+
+/// Type-erased task result.
+pub type TaskOutput = Box<dyn Any + Send>;
+
+/// The closure a task runs on its worker.
+pub type TaskFn = Box<dyn FnOnce(&mut WorkerCtx) -> TaskOutput + Send>;
+
+/// A unit of work bound for one worker.
+pub struct Task {
+    /// Caller-chosen tag (e.g. partition index) echoed back in the
+    /// completion; used to resubmit lost work.
+    pub tag: u64,
+    /// Abstract compute cost in work units (≈ matrix nonzeros touched).
+    pub cost: f64,
+    /// Bytes shipped *with* the task (resolved classic-broadcast payloads).
+    pub bytes_in: u64,
+    /// The work itself.
+    pub run: TaskFn,
+}
+
+/// A successfully finished task.
+pub struct TaskDone {
+    /// Worker that executed the task.
+    pub worker: WorkerId,
+    /// Tag from the submitted [`Task`].
+    pub tag: u64,
+    /// The closure's output.
+    pub output: TaskOutput,
+    /// When the task was submitted.
+    pub issued_at: VTime,
+    /// When the result reached the server.
+    pub finished_at: VTime,
+    /// Modelled (or measured) execution duration, including injected
+    /// straggler delay and communication.
+    pub service_time: VDur,
+    /// Total bytes shipped to the worker for this task (task payload plus
+    /// on-demand fetches charged during execution).
+    pub bytes_in: u64,
+}
+
+/// What the engine reports back to the driver.
+pub enum Completion {
+    /// Task finished normally.
+    Done(TaskDone),
+    /// The worker died while this task was in flight; the task is lost and
+    /// should be resubmitted elsewhere (Spark semantics: lineage makes the
+    /// recomputation safe).
+    Lost {
+        /// The failed worker.
+        worker: WorkerId,
+        /// Tag of the lost task.
+        tag: u64,
+    },
+    /// A worker died while idle.
+    WorkerDown {
+        /// The failed worker.
+        worker: WorkerId,
+    },
+}
+
+/// Submission errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The target worker is already executing a task.
+    WorkerBusy(WorkerId),
+    /// The target worker has failed.
+    WorkerDead(WorkerId),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WorkerBusy(w) => write!(f, "worker {w} is busy"),
+            EngineError::WorkerDead(w) => write!(f, "worker {w} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A cluster of workers executing tasks. One task per worker at a time
+/// (one executor slot, as in the paper's per-worker executors).
+pub trait Engine: Send {
+    /// Total workers, dead or alive.
+    fn workers(&self) -> usize;
+
+    /// Current engine time (virtual for the simulator, real-elapsed for
+    /// the threaded backend).
+    fn now(&self) -> VTime;
+
+    /// True when `w` is alive and idle.
+    fn available(&self, w: WorkerId) -> bool;
+
+    /// True when `w` has not failed.
+    fn alive(&self, w: WorkerId) -> bool;
+
+    /// Submits a task to worker `w`.
+    fn submit(&mut self, w: WorkerId, task: Task) -> Result<(), EngineError>;
+
+    /// Waits for the next completion, advancing the clock. Returns `None`
+    /// when nothing is in flight.
+    fn next(&mut self) -> Option<Completion>;
+
+    /// Returns a completion only if one is ready *without advancing time*:
+    /// in the simulator "ready" means scheduled at or before the current
+    /// clock; in the threaded backend, already sitting in the result queue.
+    fn try_next(&mut self) -> Option<Completion>;
+
+    /// Number of tasks in flight.
+    fn pending(&self) -> usize;
+
+    /// Immediately fails a worker (its in-flight task, if any, is lost and
+    /// will surface as [`Completion::Lost`]).
+    fn kill_worker(&mut self, w: WorkerId);
+
+    /// Schedules a failure at a future instant (simulation only; the
+    /// default is a no-op so threaded tests call [`Engine::kill_worker`]).
+    fn schedule_failure(&mut self, _w: WorkerId, _at: VTime) {}
+}

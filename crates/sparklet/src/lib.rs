@@ -1,0 +1,47 @@
+//! # sparklet
+//!
+//! A from-scratch, in-process reimplementation of the slice of Apache Spark
+//! that the ASYNC paper builds on. Spark itself is JVM-scale machinery; the
+//! paper's contribution only relies on a small, well-defined core, all of
+//! which is implemented (not mocked) here:
+//!
+//! * **Partitioned RDDs with lineage** ([`rdd`]): lazy `map` / `filter` /
+//!   `sample` transformations over immutable partitioned collections; any
+//!   partition can be recomputed from its lineage on any worker, which is
+//!   what makes fault tolerance work.
+//! * **Execution engines** ([`engine`], [`sim`], [`threaded`]): a cluster of
+//!   workers that run opaque tasks. The *simulated* engine executes task
+//!   closures eagerly and schedules their completions on a deterministic
+//!   virtual clock (discrete-event style) so experiments are exactly
+//!   reproducible; the *threaded* engine runs one OS thread per worker with
+//!   real queues and real sleeps for injected straggler delays.
+//! * **Broadcast variables** ([`broadcast`]): Spark-style immutable
+//!   broadcasts, shipped to each worker at most once, with byte accounting —
+//!   the measurement that motivates the paper's `ASYNCbroadcaster`.
+//! * **A BSP driver** ([`driver`]): stages of one task per partition with a
+//!   full barrier, per-worker wait-time bookkeeping, straggler-aware
+//!   scheduling of queued partitions, and resubmission of tasks lost to
+//!   worker failures.
+//!
+//! The asynchronous layer of the paper (`ASYNCcontext` and friends) lives in
+//! the `async-core` crate and drives this engine through
+//! [`driver::Driver`]'s low-level submission API.
+
+pub mod broadcast;
+pub mod driver;
+pub mod engine;
+pub mod payload;
+pub mod rdd;
+pub mod sim;
+pub mod threaded;
+pub mod worker;
+
+pub use broadcast::{BcastCharge, Broadcast};
+pub use driver::{Driver, StageStats};
+pub use engine::{Completion, Engine, EngineError, Task, TaskDone};
+pub use payload::Payload;
+pub use rdd::Rdd;
+pub use worker::WorkerCtx;
+
+/// Identifies one worker, dense from 0 (re-exported from async-cluster).
+pub type WorkerId = async_cluster::WorkerId;

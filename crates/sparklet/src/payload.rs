@@ -1,0 +1,115 @@
+//! Payload sizing and wire encoding for broadcast values.
+//!
+//! The simulated engine charges communication time per byte, so every
+//! broadcastable value reports its encoded size. [`Payload::encode`] writes
+//! the actual little-endian wire format; the engines only need
+//! [`Payload::encoded_len`], but tests use `encode` to verify that the
+//! declared sizes match reality.
+
+use bytes::{BufMut, BytesMut};
+
+/// A value that can be broadcast: knows its wire size and representation.
+pub trait Payload {
+    /// Exact encoded size in bytes.
+    fn encoded_len(&self) -> u64;
+
+    /// Appends the wire encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+}
+
+impl Payload for f64 {
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+}
+
+impl Payload for u64 {
+    fn encoded_len(&self) -> u64 {
+        8
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+}
+
+impl Payload for Vec<f64> {
+    /// Length prefix plus the raw entries.
+    fn encoded_len(&self) -> u64 {
+        8 + 8 * self.len() as u64
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for v in self {
+            buf.put_f64_le(*v);
+        }
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn encoded_len(&self) -> u64 {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<T: Payload> Payload for Vec<(u64, T)> {
+    /// A keyed table: length prefix, then `key, value` pairs. This is the
+    /// shape of the naive SAGA "model parameter table" broadcast that the
+    /// paper calls out as impractically large (§5.2, Algorithm 3).
+    fn encoded_len(&self) -> u64 {
+        8 + self.iter().map(|(_, v)| 8 + v.encoded_len()).sum::<u64>()
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        for (k, v) in self {
+            buf.put_u64_le(*k);
+            v.encode(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoded_bytes<P: Payload>(p: &P) -> usize {
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        buf.len()
+    }
+
+    #[test]
+    fn scalar_sizes_match_encoding() {
+        assert_eq!(encoded_bytes(&1.5f64) as u64, 1.5f64.encoded_len());
+        assert_eq!(encoded_bytes(&7u64) as u64, 7u64.encoded_len());
+    }
+
+    #[test]
+    fn vec_size_matches_encoding() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(encoded_bytes(&v) as u64, v.encoded_len());
+        assert_eq!(v.encoded_len(), 8 + 800);
+    }
+
+    #[test]
+    fn table_size_matches_encoding_and_grows() {
+        let small: Vec<(u64, Vec<f64>)> = vec![(0, vec![1.0; 10])];
+        let big: Vec<(u64, Vec<f64>)> = (0..50).map(|k| (k, vec![1.0; 10])).collect();
+        assert_eq!(encoded_bytes(&small) as u64, small.encoded_len());
+        assert_eq!(encoded_bytes(&big) as u64, big.encoded_len());
+        assert!(big.encoded_len() > 40 * small.encoded_len());
+    }
+
+    #[test]
+    fn tuple_composes() {
+        let p = (2.0f64, vec![1.0f64, 2.0]);
+        assert_eq!(p.encoded_len(), 8 + (8 + 16));
+        assert_eq!(encoded_bytes(&p) as u64, p.encoded_len());
+    }
+}

@@ -1,0 +1,380 @@
+//! Deterministic virtual-time engine.
+//!
+//! Task closures execute *eagerly at submission* on the driver thread —
+//! which is exactly when a real worker would snapshot its inputs (Spark
+//! ships the broadcast state captured at task-launch) — and the *result is
+//! delivered* at the task's modelled completion instant through a
+//! deterministic event queue. The asynchrony the paper studies is therefore
+//! reproduced faithfully: the server sees results tagged with the model
+//! version they were computed against, arbitrarily stale relative to the
+//! advancing virtual clock, with straggler delays stretching exactly the
+//! workers the delay model selects.
+//!
+//! Determinism: same spec + same submission sequence ⇒ identical completion
+//! order and identical timestamps, bit for bit.
+
+use async_cluster::straggler::DelayAssignment;
+use async_cluster::{ClusterSpec, EventQueue, VDur, VTime, WorkerId};
+
+use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskOutput};
+use crate::worker::WorkerCtx;
+
+enum SimEvent {
+    Finish {
+        worker: WorkerId,
+        epoch: u64,
+        tag: u64,
+        output: TaskOutput,
+        issued_at: VTime,
+        service_time: VDur,
+        bytes_in: u64,
+    },
+    Fail {
+        worker: WorkerId,
+    },
+}
+
+/// The simulated engine. See the module docs for the execution model.
+pub struct SimEngine {
+    spec: ClusterSpec,
+    assignment: DelayAssignment,
+    clock: VTime,
+    queue: EventQueue<SimEvent>,
+    ctxs: Vec<WorkerCtx>,
+    busy: Vec<bool>,
+    dead: Vec<bool>,
+    /// Incremented when a worker's in-flight task is cancelled by failure;
+    /// stale Finish events are dropped by epoch mismatch.
+    epoch: Vec<u64>,
+    inflight_tag: Vec<Option<u64>>,
+    task_seq: Vec<u64>,
+    pending: usize,
+}
+
+impl SimEngine {
+    /// Builds an engine from a validated [`ClusterSpec`].
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation.
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let n = spec.workers;
+        let assignment = spec.delay.assign(n);
+        Self {
+            assignment,
+            clock: VTime::ZERO,
+            queue: EventQueue::new(),
+            ctxs: (0..n).map(WorkerCtx::new).collect(),
+            busy: vec![false; n],
+            dead: vec![false; n],
+            epoch: vec![0; n],
+            inflight_tag: vec![None; n],
+            task_seq: vec![0; n],
+            pending: 0,
+            spec,
+        }
+    }
+
+    /// Read-only access to a worker's context (for cache statistics).
+    pub fn worker_ctx(&self, w: WorkerId) -> &WorkerCtx {
+        &self.ctxs[w]
+    }
+
+    /// The realized straggler assignment (who straggles, with what class).
+    pub fn delay_assignment(&self) -> &DelayAssignment {
+        &self.assignment
+    }
+}
+
+impl Engine for SimEngine {
+    fn workers(&self) -> usize {
+        self.spec.workers
+    }
+
+    fn now(&self) -> VTime {
+        self.clock
+    }
+
+    fn available(&self, w: WorkerId) -> bool {
+        !self.dead[w] && !self.busy[w]
+    }
+
+    fn alive(&self, w: WorkerId) -> bool {
+        !self.dead[w]
+    }
+
+    fn submit(&mut self, w: WorkerId, task: Task) -> Result<(), EngineError> {
+        if self.dead[w] {
+            return Err(EngineError::WorkerDead(w));
+        }
+        if self.busy[w] {
+            return Err(EngineError::WorkerBusy(w));
+        }
+        let issued_at = self.clock;
+        // Execute now: the closure sees exactly the state captured at
+        // submission, like a task shipped to a real worker.
+        let output = (task.run)(&mut self.ctxs[w]);
+        let (extra_bytes, extra_time) = self.ctxs[w].take_charges();
+        let bytes_in = task.bytes_in + extra_bytes;
+
+        let seq = self.task_seq[w];
+        self.task_seq[w] += 1;
+        let factor = self.assignment.factor(w, seq);
+        let exec = self.spec.profiles[w].exec_time(task.cost).mul_f64(factor);
+        let service_time = self.spec.sched_overhead
+            + self.spec.comm.transfer_time(bytes_in)
+            + exec
+            + extra_time
+            // Result submission message back to the server.
+            + self.spec.comm.per_msg;
+
+        self.busy[w] = true;
+        self.inflight_tag[w] = Some(task.tag);
+        self.pending += 1;
+        self.queue.push(
+            issued_at + service_time,
+            SimEvent::Finish {
+                worker: w,
+                epoch: self.epoch[w],
+                tag: task.tag,
+                output,
+                issued_at,
+                service_time,
+                bytes_in,
+            },
+        );
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<Completion> {
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                SimEvent::Finish { worker, epoch, tag, output, issued_at, service_time, bytes_in } => {
+                    if epoch != self.epoch[worker] {
+                        continue; // cancelled by a failure
+                    }
+                    self.clock = self.clock.max(t);
+                    self.busy[worker] = false;
+                    self.inflight_tag[worker] = None;
+                    self.pending -= 1;
+                    return Some(Completion::Done(TaskDone {
+                        worker,
+                        tag,
+                        output,
+                        issued_at,
+                        finished_at: t,
+                        service_time,
+                        bytes_in,
+                    }));
+                }
+                SimEvent::Fail { worker } => {
+                    if self.dead[worker] {
+                        continue;
+                    }
+                    self.clock = self.clock.max(t);
+                    return Some(self.fail_now(worker));
+                }
+            }
+        }
+        None
+    }
+
+    fn try_next(&mut self) -> Option<Completion> {
+        match self.queue.peek_time() {
+            Some(t) if t <= self.clock => self.next(),
+            _ => None,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn kill_worker(&mut self, w: WorkerId) {
+        if !self.dead[w] {
+            // Killing is immediate; surface the Lost/WorkerDown completion
+            // through the normal queue so ordering stays deterministic.
+            self.queue.push(self.clock, SimEvent::Fail { worker: w });
+        }
+    }
+
+    fn schedule_failure(&mut self, w: WorkerId, at: VTime) {
+        self.queue.push(at, SimEvent::Fail { worker: w });
+    }
+}
+
+impl SimEngine {
+    fn fail_now(&mut self, w: WorkerId) -> Completion {
+        self.dead[w] = true;
+        if self.busy[w] {
+            self.busy[w] = false;
+            self.epoch[w] += 1; // cancels the in-flight Finish event
+            self.pending -= 1;
+            let tag = self.inflight_tag[w].take().expect("busy worker has a tag");
+            Completion::Lost { worker: w, tag }
+        } else {
+            Completion::WorkerDown { worker: w }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_cluster::{CommModel, DelayModel};
+
+    fn quiet_spec(workers: usize, delay: DelayModel) -> ClusterSpec {
+        ClusterSpec::homogeneous(workers, delay)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO)
+    }
+
+    fn task(tag: u64, cost: f64, value: i64) -> Task {
+        Task { tag, cost, bytes_in: 0, run: Box::new(move |_| Box::new(value)) }
+    }
+
+    fn run_to_done(engine: &mut SimEngine) -> Vec<(u64, i64, VTime)> {
+        let mut out = Vec::new();
+        while let Some(c) = engine.next() {
+            if let Completion::Done(d) = c {
+                out.push((d.tag, *d.output.downcast::<i64>().unwrap(), d.finished_at));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn completions_ordered_by_cost() {
+        let mut e = SimEngine::new(quiet_spec(3, DelayModel::None));
+        e.submit(0, task(0, 3e8, 10)).unwrap();
+        e.submit(1, task(1, 1e8, 20)).unwrap();
+        e.submit(2, task(2, 2e8, 30)).unwrap();
+        let done = run_to_done(&mut e);
+        let tags: Vec<u64> = done.iter().map(|d| d.0).collect();
+        assert_eq!(tags, vec![1, 2, 0]);
+        // Default speed 2e8/s → costs 1e8 = 0.5 s.
+        assert_eq!(done[0].2, VTime::from_micros(500_000));
+    }
+
+    #[test]
+    fn straggler_factor_stretches_exactly_target() {
+        let delay = DelayModel::ControlledDelay { worker: 1, intensity: 1.0 };
+        let mut e = SimEngine::new(quiet_spec(2, delay));
+        e.submit(0, task(0, 2e8, 1)).unwrap();
+        e.submit(1, task(1, 2e8, 2)).unwrap();
+        let done = run_to_done(&mut e);
+        assert_eq!(done[0].0, 0);
+        assert_eq!(done[0].2, VTime::from_micros(1_000_000));
+        assert_eq!(done[1].0, 1);
+        assert_eq!(done[1].2, VTime::from_micros(2_000_000)); // 2x slower
+    }
+
+    #[test]
+    fn busy_and_dead_submissions_rejected() {
+        let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
+        e.submit(0, task(0, 1.0, 1)).unwrap();
+        assert_eq!(e.submit(0, task(1, 1.0, 1)).unwrap_err(), EngineError::WorkerBusy(0));
+        assert!(!e.available(0));
+        let _ = e.next();
+        e.kill_worker(0);
+        let c = e.next();
+        assert!(matches!(c, Some(Completion::WorkerDown { worker: 0 })));
+        assert_eq!(e.submit(0, task(2, 1.0, 1)).unwrap_err(), EngineError::WorkerDead(0));
+    }
+
+    #[test]
+    fn failure_loses_inflight_task() {
+        let mut e = SimEngine::new(quiet_spec(2, DelayModel::None));
+        e.submit(0, task(7, 2e8, 1)).unwrap();
+        e.schedule_failure(0, VTime::from_micros(1000));
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 7 }) => {}
+            _ => panic!("expected Lost completion"),
+        }
+        assert_eq!(e.pending(), 0);
+        // The cancelled Finish event must not surface.
+        assert!(e.next().is_none());
+        assert!(!e.alive(0));
+        assert!(e.alive(1));
+    }
+
+    #[test]
+    fn try_next_does_not_advance_clock() {
+        let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
+        e.submit(0, task(0, 2e8, 1)).unwrap();
+        assert!(e.try_next().is_none());
+        assert_eq!(e.now(), VTime::ZERO);
+        assert!(matches!(e.next(), Some(Completion::Done(_))));
+        assert_eq!(e.now(), VTime::from_micros(1_000_000));
+    }
+
+    #[test]
+    fn try_next_returns_ready_completion_at_same_instant() {
+        let mut e = SimEngine::new(quiet_spec(2, DelayModel::None));
+        // Same cost → both finish at the same virtual instant.
+        e.submit(0, task(0, 2e8, 1)).unwrap();
+        e.submit(1, task(1, 2e8, 2)).unwrap();
+        assert!(matches!(e.next(), Some(Completion::Done(_))));
+        // Second completion is at the (now-current) clock: ready.
+        assert!(matches!(e.try_next(), Some(Completion::Done(_))));
+        assert!(e.try_next().is_none());
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let build = || {
+            let mut e = SimEngine::new(quiet_spec(
+                4,
+                DelayModel::ProductionCluster(async_cluster::PcsConfig::paper(3)),
+            ));
+            for w in 0..4 {
+                e.submit(w, task(w as u64, 1e8 + w as f64, w as i64)).unwrap();
+            }
+            run_to_done(&mut e)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn comm_model_charges_bytes() {
+        let spec = ClusterSpec::homogeneous(1, DelayModel::None)
+            .with_comm(CommModel { per_msg: VDur::ZERO, ns_per_byte: 1000.0 })
+            .with_sched_overhead(VDur::ZERO);
+        let mut e = SimEngine::new(spec);
+        // 1e6 bytes at 1000 ns/B = 1 s transfer; zero compute cost.
+        e.submit(0, Task { tag: 0, cost: 0.0, bytes_in: 1_000_000, run: Box::new(|_| Box::new(())) })
+            .unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => {
+                assert_eq!(d.finished_at, VTime::from_micros(1_000_000));
+                assert_eq!(d.bytes_in, 1_000_000);
+            }
+            _ => panic!("expected Done"),
+        }
+    }
+
+    #[test]
+    fn charges_from_ctx_extend_duration() {
+        let spec = ClusterSpec::homogeneous(1, DelayModel::None)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO);
+        let mut e = SimEngine::new(spec);
+        e.submit(
+            0,
+            Task {
+                tag: 0,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|ctx| {
+                    ctx.charge_time(VDur::from_millis(5));
+                    Box::new(())
+                }),
+            },
+        )
+        .unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(d.finished_at, VTime::from_micros(5_000)),
+            _ => panic!("expected Done"),
+        }
+    }
+}

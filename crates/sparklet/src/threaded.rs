@@ -1,0 +1,409 @@
+//! Real-thread engine: one OS thread per worker.
+//!
+//! Gives the same [`Engine`] semantics as the simulator but with genuine
+//! concurrency: tasks run on their worker's thread, straggler delays are
+//! injected as real sleeps, and completion order is whatever the operating
+//! system produces. Useful for validating that algorithm implementations
+//! do not depend on the simulator's determinism, and as the "it actually
+//! runs in parallel" backend for examples.
+//!
+//! Time reporting: [`Engine::now`] returns real elapsed time since engine
+//! construction, as a [`VTime`]. The modelled cost of a task is converted
+//! to a real sleep via `time_scale` (`1.0` = model microseconds sleep as
+//! real microseconds; tests use small scales to stay fast). The straggler
+//! factor additionally stretches the *measured* compute time, so "a 100 %
+//! delay means the worker executes jobs at half speed" holds for real work
+//! too.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use async_cluster::straggler::DelayAssignment;
+use async_cluster::{ClusterSpec, VTime, WorkerId};
+
+use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskFn, TaskOutput};
+use crate::worker::WorkerCtx;
+
+enum Msg {
+    Run { tag: u64, cost: f64, bytes_in: u64, run: TaskFn, seq: u64 },
+    Stop,
+}
+
+struct WireDone {
+    worker: WorkerId,
+    tag: u64,
+    output: TaskOutput,
+    bytes_in: u64,
+}
+
+/// The threaded engine. See the module docs.
+pub struct ThreadedEngine {
+    spec: ClusterSpec,
+    start: Instant,
+    txs: Vec<Sender<Msg>>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    results_rx: Receiver<WireDone>,
+    busy: Vec<bool>,
+    dead: Vec<bool>,
+    inflight_tag: Vec<Option<u64>>,
+    issued_at: Vec<VTime>,
+    task_seq: Vec<u64>,
+    pending: usize,
+    /// Failure notifications waiting to be handed out by `next`.
+    queued: VecDeque<Completion>,
+}
+
+impl ThreadedEngine {
+    /// Spawns one worker thread per cluster worker. `time_scale` converts
+    /// modelled task time into real sleep time (e.g. `0.01` sleeps 10 ms
+    /// for every modelled second).
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation or `time_scale` is negative.
+    pub fn new(spec: ClusterSpec, time_scale: f64) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        assert!(time_scale >= 0.0, "time_scale must be nonnegative");
+        let n = spec.workers;
+        let assignment = spec.delay.assign(n);
+        let (res_tx, res_rx) = unbounded::<WireDone>();
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for w in 0..n {
+            let (tx, rx) = unbounded::<Msg>();
+            txs.push(tx);
+            let res_tx = res_tx.clone();
+            let profile = spec.profiles[w].clone();
+            let comm = spec.comm.clone();
+            let assignment = assignment.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sparklet-worker-{w}"))
+                .spawn(move || worker_loop(w, rx, res_tx, profile, comm, assignment, time_scale))
+                .expect("failed to spawn worker thread");
+            handles.push(Some(handle));
+        }
+        Self {
+            spec,
+            start: Instant::now(),
+            txs,
+            handles,
+            results_rx: res_rx,
+            busy: vec![false; n],
+            dead: vec![false; n],
+            inflight_tag: vec![None; n],
+            issued_at: vec![VTime::ZERO; n],
+            task_seq: vec![0; n],
+            pending: 0,
+            queued: VecDeque::new(),
+        }
+    }
+
+    fn elapsed(&self) -> VTime {
+        VTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn accept(&mut self, d: WireDone) -> Option<Completion> {
+        if self.dead[d.worker] {
+            // Orphaned result from a killed worker: already reported Lost.
+            return None;
+        }
+        let finished_at = self.elapsed();
+        self.busy[d.worker] = false;
+        self.inflight_tag[d.worker] = None;
+        self.pending -= 1;
+        let issued_at = self.issued_at[d.worker];
+        Some(Completion::Done(TaskDone {
+            worker: d.worker,
+            tag: d.tag,
+            output: d.output,
+            issued_at,
+            finished_at,
+            service_time: finished_at.saturating_since(issued_at),
+            bytes_in: d.bytes_in,
+        }))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: WorkerId,
+    rx: Receiver<Msg>,
+    res_tx: Sender<WireDone>,
+    profile: async_cluster::WorkerProfile,
+    comm: async_cluster::CommModel,
+    assignment: DelayAssignment,
+    time_scale: f64,
+) {
+    let mut ctx = WorkerCtx::new(w);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Stop => break,
+            Msg::Run { tag, cost, bytes_in, run, seq } => {
+                let t0 = Instant::now();
+                let output = run(&mut ctx);
+                let measured = t0.elapsed();
+                let (extra_bytes, extra_time) = ctx.take_charges();
+                let total_bytes = bytes_in + extra_bytes;
+                let factor = assignment.factor(w, seq);
+                // Modelled time (cost + communication + explicit charges),
+                // scaled into real time, all stretched by the straggler
+                // factor; plus the stretch of the real compute time.
+                let modelled =
+                    profile.exec_time(cost) + comm.transfer_time(total_bytes) + extra_time;
+                let sleep_us = modelled.as_micros() as f64 * time_scale * factor
+                    + measured.as_secs_f64() * 1e6 * (factor - 1.0).max(0.0);
+                if sleep_us >= 1.0 {
+                    std::thread::sleep(Duration::from_micros(sleep_us as u64));
+                }
+                if res_tx.send(WireDone { worker: w, tag, output, bytes_in: total_bytes }).is_err()
+                {
+                    break; // engine dropped
+                }
+            }
+        }
+    }
+}
+
+impl Engine for ThreadedEngine {
+    fn workers(&self) -> usize {
+        self.spec.workers
+    }
+
+    fn now(&self) -> VTime {
+        self.elapsed()
+    }
+
+    fn available(&self, w: WorkerId) -> bool {
+        !self.dead[w] && !self.busy[w]
+    }
+
+    fn alive(&self, w: WorkerId) -> bool {
+        !self.dead[w]
+    }
+
+    fn submit(&mut self, w: WorkerId, task: Task) -> Result<(), EngineError> {
+        if self.dead[w] {
+            return Err(EngineError::WorkerDead(w));
+        }
+        if self.busy[w] {
+            return Err(EngineError::WorkerBusy(w));
+        }
+        let seq = self.task_seq[w];
+        self.task_seq[w] += 1;
+        self.busy[w] = true;
+        self.inflight_tag[w] = Some(task.tag);
+        self.issued_at[w] = self.elapsed();
+        self.pending += 1;
+        self.txs[w]
+            .send(Msg::Run { tag: task.tag, cost: task.cost, bytes_in: task.bytes_in, run: task.run, seq })
+            .expect("worker thread is alive while not marked dead");
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.queued.pop_front() {
+                return Some(c);
+            }
+            if self.pending == 0 {
+                return None;
+            }
+            match self.results_rx.recv() {
+                Ok(d) => {
+                    if let Some(c) = self.accept(d) {
+                        return Some(c);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.queued.pop_front() {
+                return Some(c);
+            }
+            match self.results_rx.try_recv() {
+                Ok(d) => {
+                    if let Some(c) = self.accept(d) {
+                        return Some(c);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn kill_worker(&mut self, w: WorkerId) {
+        if self.dead[w] {
+            return;
+        }
+        self.dead[w] = true;
+        let _ = self.txs[w].send(Msg::Stop);
+        if self.busy[w] {
+            self.busy[w] = false;
+            self.pending -= 1;
+            let tag = self.inflight_tag[w].take().expect("busy worker has a tag");
+            self.queued.push_back(Completion::Lost { worker: w, tag });
+        } else {
+            self.queued.push_back(Completion::WorkerDown { worker: w });
+        }
+    }
+}
+
+impl Drop for ThreadedEngine {
+    fn drop(&mut self) {
+        for (w, tx) in self.txs.iter().enumerate() {
+            if !self.dead[w] {
+                let _ = tx.send(Msg::Stop);
+            }
+        }
+        for h in self.handles.iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_cluster::{CommModel, DelayModel, VDur};
+
+    fn spec(workers: usize, delay: DelayModel) -> ClusterSpec {
+        ClusterSpec::homogeneous(workers, delay)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO)
+    }
+
+    fn task(tag: u64, value: i64) -> Task {
+        Task { tag, cost: 0.0, bytes_in: 0, run: Box::new(move |_| Box::new(value)) }
+    }
+
+    #[test]
+    fn runs_tasks_and_returns_results() {
+        let mut e = ThreadedEngine::new(spec(4, DelayModel::None), 0.0);
+        for w in 0..4 {
+            e.submit(w, task(w as u64, w as i64 * 10)).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        while let Some(Completion::Done(d)) = e.next() {
+            seen.insert(d.tag, *d.output.downcast::<i64>().unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+        for w in 0..4u64 {
+            assert_eq!(seen[&w], w as i64 * 10);
+        }
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn tasks_actually_run_concurrently() {
+        // Two tasks that each sleep ~30 ms must finish in well under 60 ms
+        // of wall time if they truly overlap.
+        let mut e = ThreadedEngine::new(spec(2, DelayModel::None), 0.0);
+        let t0 = Instant::now();
+        for w in 0..2 {
+            e.submit(
+                w,
+                Task {
+                    tag: w as u64,
+                    cost: 0.0,
+                    bytes_in: 0,
+                    run: Box::new(|_| {
+                        std::thread::sleep(Duration::from_millis(30));
+                        Box::new(())
+                    }),
+                },
+            )
+            .unwrap();
+        }
+        let mut n = 0;
+        while let Some(Completion::Done(_)) = e.next() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        assert!(t0.elapsed() < Duration::from_millis(55), "took {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn straggler_sleep_injection_slows_target() {
+        // Worker 1 at 100% delay on a modelled 20 ms task; worker 0 fast.
+        let delay = DelayModel::ControlledDelay { worker: 1, intensity: 1.0 };
+        let mut sp = spec(2, delay);
+        sp.profiles = vec![async_cluster::WorkerProfile { speed: 1e6 }; 2];
+        let mut e = ThreadedEngine::new(sp, 1.0);
+        // cost 20_000 units at 1e6 units/s = 20 ms modelled.
+        for w in 0..2 {
+            e.submit(w, Task { tag: w as u64, cost: 20_000.0, bytes_in: 0, run: Box::new(|_| Box::new(())) })
+                .unwrap();
+        }
+        let first = match e.next() {
+            Some(Completion::Done(d)) => d.tag,
+            _ => panic!(),
+        };
+        assert_eq!(first, 0, "non-straggler should finish first");
+        let second = match e.next() {
+            Some(Completion::Done(d)) => d,
+            _ => panic!(),
+        };
+        assert_eq!(second.tag, 1);
+        assert!(second.service_time >= VDur::from_micros(35_000), "straggler too fast: {}", second.service_time);
+    }
+
+    #[test]
+    fn kill_worker_reports_lost_task() {
+        let mut e = ThreadedEngine::new(spec(2, DelayModel::None), 0.0);
+        e.submit(
+            0,
+            Task {
+                tag: 9,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|_| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Box::new(())
+                }),
+            },
+        )
+        .unwrap();
+        e.kill_worker(0);
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 9 }) => {}
+            _ => panic!("expected Lost"),
+        }
+        assert!(!e.alive(0));
+        assert!(e.submit(0, task(0, 0)).is_err());
+        // The orphaned real result must not surface.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(e.try_next().is_none());
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn busy_rejection() {
+        let mut e = ThreadedEngine::new(spec(1, DelayModel::None), 0.0);
+        e.submit(
+            0,
+            Task {
+                tag: 0,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|_| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    Box::new(())
+                }),
+            },
+        )
+        .unwrap();
+        assert_eq!(e.submit(0, task(1, 1)).unwrap_err(), EngineError::WorkerBusy(0));
+        while e.next().is_some() {}
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-worker executor state.
+//!
+//! Each worker owns a [`WorkerCtx`]: a versioned value cache (the local
+//! store behind the paper's `ASYNCbroadcast` — workers keep previously
+//! received model parameters so the server can ship only IDs) and transfer
+//! accounting that task closures use to charge on-demand fetches to the
+//! task's duration.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use async_cluster::{VDur, WorkerId};
+
+/// A cached, type-erased, shareable value.
+pub type CachedValue = Arc<dyn Any + Send + Sync>;
+
+/// Counters describing a worker's cache behaviour — exposed so experiments
+/// can report history-broadcast hit rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache hits (value already local — only an ID was shipped).
+    pub hits: u64,
+    /// Cache misses (value fetched from the server on demand).
+    pub misses: u64,
+    /// Total bytes fetched on misses.
+    pub bytes_fetched: u64,
+}
+
+/// Mutable per-worker state handed to every task closure.
+pub struct WorkerCtx {
+    worker: WorkerId,
+    cache: HashMap<(u64, u64), CachedValue>,
+    stats: CacheStats,
+    pending_bytes: u64,
+    pending_time: VDur,
+}
+
+impl WorkerCtx {
+    /// A fresh context for `worker`.
+    pub fn new(worker: WorkerId) -> Self {
+        Self {
+            worker,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+            pending_bytes: 0,
+            pending_time: VDur::ZERO,
+        }
+    }
+
+    /// This worker's id.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    /// Looks up a cached value by `(broadcast id, version)`; counts a hit.
+    pub fn cache_get(&mut self, key: (u64, u64)) -> Option<CachedValue> {
+        let v = self.cache.get(&key).cloned();
+        if v.is_some() {
+            self.stats.hits += 1;
+        }
+        v
+    }
+
+    /// Inserts a value fetched from the server, charging `bytes` of
+    /// transfer to the currently running task; counts a miss.
+    pub fn cache_put_fetched(&mut self, key: (u64, u64), value: CachedValue, bytes: u64) {
+        self.stats.misses += 1;
+        self.stats.bytes_fetched += bytes;
+        self.pending_bytes += bytes;
+        self.cache.insert(key, value);
+    }
+
+    /// Inserts without charging (e.g. a value the worker itself produced).
+    pub fn cache_put_local(&mut self, key: (u64, u64), value: CachedValue) {
+        self.cache.insert(key, value);
+    }
+
+    /// Evicts all versions of `bcast_id` strictly below `min_version` —
+    /// called when the server's reference counts show old history can no
+    /// longer be requested.
+    pub fn cache_evict_below(&mut self, bcast_id: u64, min_version: u64) {
+        self.cache.retain(|&(b, v), _| b != bcast_id || v >= min_version);
+    }
+
+    /// Number of cached entries (all broadcasts).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Charges additional transfer `bytes` to the running task without
+    /// touching the cache (e.g. side data pulled from the server).
+    pub fn charge_bytes(&mut self, bytes: u64) {
+        self.pending_bytes += bytes;
+    }
+
+    /// Charges additional virtual `time` to the running task (e.g. modelled
+    /// disk reads).
+    pub fn charge_time(&mut self, time: VDur) {
+        self.pending_time += time;
+    }
+
+    /// Cache behaviour counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drains the pending per-task charges; called by the engine after each
+    /// task to fold them into the task's duration.
+    pub fn take_charges(&mut self) -> (u64, VDur) {
+        let out = (self.pending_bytes, self.pending_time);
+        self.pending_bytes = 0;
+        self.pending_time = VDur::ZERO;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_and_miss_counting() {
+        let mut ctx = WorkerCtx::new(3);
+        assert_eq!(ctx.worker(), 3);
+        assert!(ctx.cache_get((1, 0)).is_none());
+        ctx.cache_put_fetched((1, 0), Arc::new(42u32), 100);
+        let v = ctx.cache_get((1, 0)).expect("cached");
+        assert_eq!(*v.downcast::<u32>().unwrap(), 42);
+        let s = ctx.cache_stats();
+        assert_eq!((s.hits, s.misses, s.bytes_fetched), (1, 1, 100));
+    }
+
+    #[test]
+    fn fetch_charges_accumulate_and_drain() {
+        let mut ctx = WorkerCtx::new(0);
+        ctx.cache_put_fetched((1, 0), Arc::new(()), 64);
+        ctx.charge_bytes(36);
+        ctx.charge_time(VDur::from_micros(500));
+        let (b, t) = ctx.take_charges();
+        assert_eq!(b, 100);
+        assert_eq!(t, VDur::from_micros(500));
+        assert_eq!(ctx.take_charges(), (0, VDur::ZERO));
+    }
+
+    #[test]
+    fn local_puts_do_not_charge() {
+        let mut ctx = WorkerCtx::new(0);
+        ctx.cache_put_local((2, 5), Arc::new(1.0f64));
+        assert_eq!(ctx.take_charges(), (0, VDur::ZERO));
+        assert_eq!(ctx.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn eviction_respects_watermark_per_broadcast() {
+        let mut ctx = WorkerCtx::new(0);
+        for v in 0..5 {
+            ctx.cache_put_local((1, v), Arc::new(v));
+            ctx.cache_put_local((2, v), Arc::new(v));
+        }
+        ctx.cache_evict_below(1, 3);
+        assert_eq!(ctx.cache_len(), 2 + 5);
+        assert!(ctx.cache_get((1, 2)).is_none());
+        assert!(ctx.cache_get((1, 3)).is_some());
+        assert!(ctx.cache_get((2, 0)).is_some());
+    }
+}
