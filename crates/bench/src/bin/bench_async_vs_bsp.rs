@@ -1,0 +1,25 @@
+//! Records the ASP-vs-BSP controlled-delay-straggler datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_async_vs_bsp
+//! [output.json]` (default `BENCH_async_vs_bsp.json` in the current
+//! directory). The output is deterministic for the default configuration.
+
+use async_bench::{run_async_vs_bsp, AblationCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_async_vs_bsp.json".to_string());
+    let ablation = run_async_vs_bsp(AblationCfg::default());
+    let json = ablation.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "async_vs_bsp: wall-clock speedup {:.3}x (ASP {} vs BSP {}), mean wait {} vs {} -> {}",
+        ablation.wall_clock_speedup,
+        ablation.asp.report.wall_clock,
+        ablation.bsp.report.wall_clock,
+        ablation.asp.report.mean_wait,
+        ablation.bsp.report.mean_wait,
+        out,
+    );
+}

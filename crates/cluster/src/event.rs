@@ -48,7 +48,10 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` at `time`. Events at equal times pop in the

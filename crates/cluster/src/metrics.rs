@@ -52,11 +52,10 @@ impl WaitTimeRecorder {
 
     /// Mean wait of worker `w` (zero if it never waited).
     pub fn mean_for(&self, w: WorkerId) -> VDur {
-        if self.counts[w] == 0 {
-            VDur::ZERO
-        } else {
-            VDur::from_micros(self.sums[w].as_micros() / self.counts[w])
-        }
+        self.sums[w]
+            .as_micros()
+            .checked_div(self.counts[w])
+            .map_or(VDur::ZERO, VDur::from_micros)
     }
 
     /// Mean wait across all recorded intervals of all workers — the paper's
@@ -64,11 +63,7 @@ impl WaitTimeRecorder {
     pub fn overall_mean(&self) -> VDur {
         let total: u64 = self.sums.iter().map(|d| d.as_micros()).sum();
         let n: u64 = self.counts.iter().sum();
-        if n == 0 {
-            VDur::ZERO
-        } else {
-            VDur::from_micros(total / n)
-        }
+        total.checked_div(n).map_or(VDur::ZERO, VDur::from_micros)
     }
 
     /// Per-worker means, indexed by worker id (Figure 4/6 bars).
@@ -115,7 +110,10 @@ impl ConvergenceTrace {
     /// Earliest time at which the error drops to `target` or below — the
     /// "time to target error" used for the paper's speedup claims.
     pub fn time_to_reach(&self, target: f64) -> Option<VTime> {
-        self.points.iter().find(|&&(_, e)| e <= target).map(|&(t, _)| t)
+        self.points
+            .iter()
+            .find(|&&(_, e)| e <= target)
+            .map(|&(t, _)| t)
     }
 
     /// CSV rendering with the given series name:

@@ -23,12 +23,18 @@ pub struct CommModel {
 impl CommModel {
     /// A 0.5 ms round-trip, ~1 GB/s network — commodity-cluster flavour.
     pub fn commodity() -> Self {
-        Self { per_msg: VDur::from_micros(500), ns_per_byte: 1.0 }
+        Self {
+            per_msg: VDur::from_micros(500),
+            ns_per_byte: 1.0,
+        }
     }
 
     /// Zero-cost communication (isolate computation effects in tests).
     pub fn free() -> Self {
-        Self { per_msg: VDur::ZERO, ns_per_byte: 0.0 }
+        Self {
+            per_msg: VDur::ZERO,
+            ns_per_byte: 0.0,
+        }
     }
 
     /// Time to ship `bytes` in one message.
@@ -134,7 +140,10 @@ mod tests {
 
     #[test]
     fn transfer_time_includes_latency_and_bandwidth() {
-        let c = CommModel { per_msg: VDur::from_micros(100), ns_per_byte: 10.0 };
+        let c = CommModel {
+            per_msg: VDur::from_micros(100),
+            ns_per_byte: 10.0,
+        };
         // 1 MB at 10 ns/B = 10 ms, plus 0.1 ms latency.
         let t = c.transfer_time(1_000_000);
         assert_eq!(t.as_micros(), 100 + 10_000);

@@ -156,12 +156,17 @@ pub struct DelayAssignment {
 impl DelayAssignment {
     /// The class assigned to `worker`.
     pub fn class(&self, worker: WorkerId) -> StragglerClass {
-        self.classes.get(worker).copied().unwrap_or(StragglerClass::Normal)
+        self.classes
+            .get(worker)
+            .copied()
+            .unwrap_or(StragglerClass::Normal)
     }
 
     /// Worker ids with a non-normal class (for reporting).
     pub fn stragglers(&self) -> Vec<WorkerId> {
-        (0..self.classes.len()).filter(|&w| self.classes[w] != StragglerClass::Normal).collect()
+        (0..self.classes.len())
+            .filter(|&w| self.classes[w] != StragglerClass::Normal)
+            .collect()
     }
 
     /// Total duration factor for the `task_seq`-th task executed by
@@ -209,7 +214,11 @@ mod tests {
 
     #[test]
     fn cds_delays_only_target() {
-        let a = DelayModel::ControlledDelay { worker: 2, intensity: 1.0 }.assign(8);
+        let a = DelayModel::ControlledDelay {
+            worker: 2,
+            intensity: 1.0,
+        }
+        .assign(8);
         assert_eq!(a.factor(2, 5), 2.0);
         for w in [0, 1, 3, 7] {
             assert_eq!(a.factor(w, 5), 1.0);
@@ -219,14 +228,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn cds_worker_out_of_range_panics() {
-        DelayModel::ControlledDelay { worker: 8, intensity: 0.3 }.assign(8);
+        DelayModel::ControlledDelay {
+            worker: 8,
+            intensity: 0.3,
+        }
+        .assign(8);
     }
 
     #[test]
     fn pcs_matches_paper_counts_on_32_workers() {
         let a = DelayModel::ProductionCluster(PcsConfig::paper(42)).assign(32);
-        let uniform = (0..32).filter(|&w| a.class(w) == StragglerClass::Uniform).count();
-        let long = (0..32).filter(|&w| a.class(w) == StragglerClass::LongTail).count();
+        let uniform = (0..32)
+            .filter(|&w| a.class(w) == StragglerClass::Uniform)
+            .count();
+        let long = (0..32)
+            .filter(|&w| a.class(w) == StragglerClass::LongTail)
+            .count();
         // Paper: 6 uniform + 2 long-tail on 32 workers.
         assert_eq!(uniform, 6);
         assert_eq!(long, 2);
@@ -259,7 +276,10 @@ mod tests {
         }
         let c = DelayModel::ProductionCluster(PcsConfig::paper(10)).assign(32);
         let same = (0..32).all(|w| a.class(w) == c.class(w));
-        assert!(!same, "different seeds should move stragglers with overwhelming probability");
+        assert!(
+            !same,
+            "different seeds should move stragglers with overwhelming probability"
+        );
     }
 
     #[test]

@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn sum_and_display() {
-        let total: VDur = [VDur::from_millis(1), VDur::from_millis(2)].into_iter().sum();
+        let total: VDur = [VDur::from_millis(1), VDur::from_millis(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, VDur::from_millis(3));
         assert_eq!(format!("{total}"), "3.000ms");
     }

@@ -21,6 +21,9 @@ use async_cluster::WorkerId;
 
 use crate::stat::StatSnapshot;
 
+/// A user-supplied admission predicate over the `STAT` snapshot.
+pub type BarrierPredicate = Arc<dyn Fn(&StatSnapshot, WorkerId) -> bool + Send + Sync>;
+
 /// A barrier-control strategy. See the module docs.
 #[derive(Clone)]
 pub enum BarrierFilter {
@@ -49,7 +52,7 @@ pub enum BarrierFilter {
         factor: f64,
     },
     /// Arbitrary user predicate over the snapshot and candidate worker.
-    Custom(Arc<dyn Fn(&StatSnapshot, WorkerId) -> bool + Send + Sync>),
+    Custom(BarrierPredicate),
 }
 
 impl std::fmt::Debug for BarrierFilter {
@@ -67,9 +70,7 @@ impl std::fmt::Debug for BarrierFilter {
 
 impl BarrierFilter {
     /// Convenience constructor for [`BarrierFilter::Custom`].
-    pub fn custom(
-        f: impl Fn(&StatSnapshot, WorkerId) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn custom(f: impl Fn(&StatSnapshot, WorkerId) -> bool + Send + Sync + 'static) -> Self {
         BarrierFilter::Custom(Arc::new(f))
     }
 
@@ -87,7 +88,9 @@ impl BarrierFilter {
                 }
             }
             BarrierFilter::Ssp { slack } => {
-                let Some(min_clock) = snap.min_clock() else { return Vec::new() };
+                let Some(min_clock) = snap.min_clock() else {
+                    return Vec::new();
+                };
                 available
                     .into_iter()
                     .filter(|&w| snap.workers[w].clock.saturating_sub(min_clock) <= *slack)
@@ -102,7 +105,9 @@ impl BarrierFilter {
                 }
             }
             BarrierFilter::CompletionTime { factor } => {
-                let Some(median) = snap.median_avg_completion() else { return available };
+                let Some(median) = snap.median_avg_completion() else {
+                    return available;
+                };
                 let cutoff = median.mul_f64(*factor);
                 available
                     .into_iter()
@@ -111,9 +116,7 @@ impl BarrierFilter {
                     })
                     .collect()
             }
-            BarrierFilter::Custom(f) => {
-                available.into_iter().filter(|&w| f(snap, w)).collect()
-            }
+            BarrierFilter::Custom(f) => available.into_iter().filter(|&w| f(snap, w)).collect(),
         }
     }
 }
@@ -176,7 +179,9 @@ mod tests {
         t.task_issued(1, 0, VTime::ZERO, 1);
         let snap = t.snapshot(VTime::ZERO, 0);
         // 2 of 4 available; β = 0.75 needs 3.
-        assert!(BarrierFilter::MinAvailableFraction { beta: 0.75 }.select(&snap).is_empty());
+        assert!(BarrierFilter::MinAvailableFraction { beta: 0.75 }
+            .select(&snap)
+            .is_empty());
         assert_eq!(
             BarrierFilter::MinAvailableFraction { beta: 0.5 }.select(&snap),
             vec![2, 3]
@@ -193,7 +198,10 @@ mod tests {
         }
         let snap = t.snapshot(VTime::from_micros(300), 3);
         // Median avg = 20µs; factor 2 → cutoff 40µs excludes worker 2.
-        assert_eq!(BarrierFilter::CompletionTime { factor: 2.0 }.select(&snap), vec![0, 1]);
+        assert_eq!(
+            BarrierFilter::CompletionTime { factor: 2.0 }.select(&snap),
+            vec![0, 1]
+        );
         // A worker with no history always passes.
         let mut t2 = table(2);
         t2.task_issued(0, 0, VTime::ZERO, 1);
@@ -228,7 +236,10 @@ mod tests {
             BarrierFilter::CompletionTime { factor: 1.5 },
         ] {
             for w in f.select(&snap) {
-                assert!(snap.workers[w].available, "{f:?} selected busy/dead worker {w}");
+                assert!(
+                    snap.workers[w].available,
+                    "{f:?} selected busy/dead worker {w}"
+                );
             }
         }
     }

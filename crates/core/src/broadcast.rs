@@ -44,6 +44,10 @@ struct Entry<T> {
     value: Arc<T>,
     bytes: u64,
     rc: u64,
+    /// In-flight pins: tasks computing against this version hold a pin
+    /// from submission to result consumption, so the version outlives the
+    /// gap between issue and the `record_use` that references it.
+    pins: u64,
 }
 
 struct VersionTable<T> {
@@ -74,7 +78,7 @@ impl<T> VersionTable<T> {
             return false;
         }
         match &self.versions[v as usize] {
-            Some(e) => e.rc == 0,
+            Some(e) => e.rc == 0 && e.pins == 0,
             None => false,
         }
     }
@@ -123,7 +127,12 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     pub fn new(id: u64, initial: T, n_indices: u64) -> Self {
         let bytes = initial.encoded_len();
         let table = VersionTable {
-            versions: vec![Some(Entry { value: Arc::new(initial), bytes, rc: 0 })],
+            versions: vec![Some(Entry {
+                value: Arc::new(initial),
+                bytes,
+                rc: 0,
+                pins: 0,
+            })],
             index_version: HashMap::new(),
             n_indices,
             min_live: 0,
@@ -150,7 +159,12 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
         let bytes = value.encoded_len();
         let mut t = self.table.write();
         let prev_latest = t.latest();
-        t.versions.push(Some(Entry { value: Arc::new(value), bytes, rc: 0 }));
+        t.versions.push(Some(Entry {
+            value: Arc::new(value),
+            bytes,
+            rc: 0,
+            pins: 0,
+        }));
         t.live_count += 1;
         t.live_bytes += bytes;
         // The previous latest loses its "latest" pin; prune if unreferenced.
@@ -168,7 +182,12 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// the paper's "ID of the previously broadcast variable for the
     /// specified index".
     pub fn version_for_index(&self, idx: u64) -> u64 {
-        self.table.read().index_version.get(&idx).copied().unwrap_or(0)
+        self.table
+            .read()
+            .index_version
+            .get(&idx)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Records that samples `indices` have now been processed at `version`
@@ -176,7 +195,10 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// versions that no sample references any more.
     pub fn record_use(&self, indices: &[u64], version: u64) {
         let mut t = self.table.write();
-        debug_assert!((version as usize) < t.versions.len(), "recording unknown version");
+        debug_assert!(
+            (version as usize) < t.versions.len(),
+            "recording unknown version"
+        );
         for &idx in indices {
             debug_assert!(idx < t.n_indices, "index {idx} out of declared universe");
             let old = t.index_version.insert(idx, version);
@@ -199,6 +221,34 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
                 }
             }
         }
+    }
+
+    /// Pins `version` against pruning while a task computed at it is in
+    /// flight. Call at submission; pair with [`AsyncBcast::unpin`] when the
+    /// task's result is consumed (or known lost).
+    ///
+    /// # Panics
+    /// Panics if `version` is unknown or already pruned.
+    pub fn pin(&self, version: u64) {
+        let mut t = self.table.write();
+        t.versions[version as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("pin: history version {version} already pruned"))
+            .pins += 1;
+    }
+
+    /// Releases one pin on `version`, pruning it if nothing references it
+    /// any more.
+    pub fn unpin(&self, version: u64) {
+        let mut t = self.table.write();
+        if let Some(e) = t.versions[version as usize].as_mut() {
+            debug_assert!(
+                e.pins > 0,
+                "unpin without matching pin on version {version}"
+            );
+            e.pins = e.pins.saturating_sub(1);
+        }
+        t.try_prune(version);
     }
 
     /// Bytes of version-ID metadata shipped with a task carrying `samples`
@@ -294,7 +344,11 @@ impl<T: Payload + Send + Sync + 'static> HistoryHandle<T> {
         };
         self.fetches.fetch_add(1, Ordering::Relaxed);
         self.fetched_bytes.fetch_add(bytes, Ordering::Relaxed);
-        ctx.cache_put_fetched(key, value.clone() as Arc<dyn std::any::Any + Send + Sync>, bytes);
+        ctx.cache_put_fetched(
+            key,
+            value.clone() as Arc<dyn std::any::Any + Send + Sync>,
+            bytes,
+        );
         value
     }
 }
@@ -337,7 +391,11 @@ mod tests {
         assert_eq!(v1[0], 1.0);
         assert_eq!(b.stats().fetches, 1);
         let _v2 = h.value(&mut ctx);
-        assert_eq!(b.stats().fetches, 1, "second access must hit the worker cache");
+        assert_eq!(
+            b.stats().fetches,
+            1,
+            "second access must hit the worker cache"
+        );
         let (charged, _) = ctx.take_charges();
         assert_eq!(charged, (vec![1.0f64; 4]).encoded_len());
     }
@@ -362,7 +420,7 @@ mod tests {
         b.record_use(&[0, 1], 1); // all indices explicit: v0 released
         assert_eq!(b.stats().versions_live, 1, "only v1 lives: {:?}", b.stats());
         b.push(vec![2.0; 4]); // v2
-        // v1 still referenced by both indices.
+                              // v1 still referenced by both indices.
         assert_eq!(b.stats().versions_live, 2);
         b.record_use(&[0], 2);
         // v1 still referenced by index 1.
@@ -405,10 +463,25 @@ mod tests {
         b.record_use(&[0], 0);
         let v1 = b.push(vec![1.0; 4]);
         b.record_use(&[0], v1); // v0 pruned on the server
-        // A new handle carries the advanced watermark; resolving evicts v0.
+                                // A new handle carries the advanced watermark; resolving evicts v0.
         let h = b.handle();
         h.value(&mut ctx);
         assert_eq!(ctx.cache_len(), 1, "stale v0 evicted, v1 cached");
+    }
+
+    #[test]
+    fn pins_protect_inflight_versions() {
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        let v1 = b.push(vec![1.0; 4]);
+        b.pin(v1);
+        b.record_use(&[0], v1);
+        let v2 = b.push(vec![2.0; 4]);
+        // Index 0 moves on to v2: v1's rc drops to 0, but the pin keeps it.
+        b.record_use(&[0], v2);
+        assert_eq!(b.stats().versions_live, 2, "pinned v1 must survive");
+        b.unpin(v1);
+        assert_eq!(b.stats().versions_live, 1, "unpinning releases v1");
     }
 
     #[test]

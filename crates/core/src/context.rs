@@ -1,0 +1,600 @@
+//! The `ASYNCcontext` (§4.2, §5 Table 1): the user-facing coordinator.
+//!
+//! [`AsyncContext`] owns a [`sparklet::Driver`] and layers the paper's
+//! asynchronous programming model on top of its low-level submission API:
+//!
+//! * **Submission** ([`AsyncContext::async_reduce`],
+//!   [`AsyncContext::async_aggregate`]): one task per worker admitted by a
+//!   [`BarrierFilter`] over the current `STAT` snapshot — the
+//!   `ASYNCscheduler`'s barrier control (§4.4). Each admitted worker runs
+//!   the task on one of the partitions it owns, cycling through them as its
+//!   clock advances.
+//! * **The result pump** (§4.2): every completion the driver surfaces is
+//!   tagged with [`TaskAttrs`] — worker id, staleness (model updates since
+//!   issue), and mini-batch size — and the per-worker `STAT` table
+//!   (availability, task clock, average completion time) is updated before
+//!   the result is exposed. Failures are folded into `STAT` as dead
+//!   workers, exactly like the coordinator's bookkeeping.
+//! * **Consumption** ([`AsyncContext::collect`],
+//!   [`AsyncContext::collect_all`], [`AsyncContext::has_next`]): the
+//!   paper's `ASYNCcollect` / `ASYNCcollectAll` / `AC.hasNext()`.
+//! * **History broadcast** ([`AsyncContext::async_broadcast`]): allocates
+//!   an [`AsyncBcast`] (§4.3) with a context-unique id.
+//!
+//! The server's **model version** is explicit:
+//! [`AsyncContext::advance_version`] is called by the optimizer after each
+//! model update, and staleness is measured against it. This is the paper's
+//! "number of updates to the model since the task was issued".
+//!
+//! The context assumes it is the only submitter on its driver; mixing
+//! direct `Driver::submit_raw` calls with a live context desynchronizes
+//! `STAT` from the engine.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use async_cluster::{ClusterSpec, VDur, VTime, WorkerId};
+use sparklet::rdd::Data;
+use sparklet::{BcastCharge, Completion, Driver, Payload, Rdd, WorkerCtx};
+
+use crate::barrier::BarrierFilter;
+use crate::broadcast::AsyncBcast;
+use crate::stat::{StatSnapshot, StatTable};
+
+/// The worker attributes the coordinator attaches to every result (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskAttrs {
+    /// Worker that executed the task.
+    pub worker: WorkerId,
+    /// Partition the task ran over.
+    pub partition: usize,
+    /// Model updates applied between task issue and result consumption —
+    /// the paper's staleness, what bounded-staleness step rules read.
+    pub staleness: u64,
+    /// Mini-batch size declared at submission.
+    pub minibatch: u64,
+    /// Model version the task was issued (and computed) at.
+    pub issued_version: u64,
+    /// Submission instant.
+    pub issued_at: VTime,
+    /// Result-arrival instant.
+    pub finished_at: VTime,
+    /// Modelled service time (dispatch → result arrival).
+    pub service_time: VDur,
+}
+
+/// A task result paired with its [`TaskAttrs`].
+#[derive(Debug)]
+pub struct Tagged<R> {
+    /// The task closure's output.
+    pub value: R,
+    /// Coordinator-attached worker attributes.
+    pub attrs: TaskAttrs,
+}
+
+/// Per-submission knobs for [`AsyncContext::async_reduce`] /
+/// [`AsyncContext::async_aggregate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts<'a> {
+    /// Classic broadcasts the task closure captures (first-use transfer is
+    /// billed per worker).
+    pub uses: &'a [BcastCharge],
+    /// Extra task payload bytes (e.g. history-broadcast version IDs).
+    pub extra_bytes: u64,
+    /// Multiplies the RDD cost hints; `0.0` is treated as `1.0` so
+    /// `SubmitOpts::default()` does the expected thing.
+    pub cost_scale: f64,
+    /// Mini-batch size recorded in the task's bookkeeping.
+    pub minibatch: u64,
+}
+
+impl SubmitOpts<'_> {
+    fn effective_cost_scale(&self) -> f64 {
+        if self.cost_scale == 0.0 {
+            1.0
+        } else {
+            self.cost_scale
+        }
+    }
+}
+
+/// The ASYNC coordinator. See the module docs.
+pub struct AsyncContext {
+    driver: Driver,
+    stat: StatTable,
+    version: u64,
+    ready: VecDeque<Tagged<Box<dyn Any + Send>>>,
+    next_bcast_id: u64,
+}
+
+impl AsyncContext {
+    /// Wraps a driver. The `STAT` table starts with every engine worker
+    /// alive and available.
+    pub fn new(driver: Driver) -> Self {
+        let n = driver.workers();
+        Self {
+            driver,
+            stat: StatTable::new(n),
+            version: 0,
+            ready: VecDeque::new(),
+            next_bcast_id: 0,
+        }
+    }
+
+    /// A context over the deterministic simulated engine.
+    pub fn sim(spec: ClusterSpec) -> Self {
+        Self::new(Driver::sim(spec))
+    }
+
+    /// A context over the real-thread engine.
+    pub fn threaded(spec: ClusterSpec, time_scale: f64) -> Self {
+        Self::new(Driver::threaded(spec, time_scale))
+    }
+
+    /// The underlying driver (byte/task accounting, wait recorder).
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// Mutable driver access for cluster control (scheduled failures,
+    /// recorder resets). Do not submit tasks through it directly.
+    pub fn driver_mut(&mut self) -> &mut Driver {
+        &mut self.driver
+    }
+
+    /// Total workers, dead or alive.
+    pub fn workers(&self) -> usize {
+        self.driver.workers()
+    }
+
+    /// Current engine time.
+    pub fn now(&self) -> VTime {
+        self.driver.now()
+    }
+
+    /// Current server model version (count of applied updates).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records one model update and returns the new version. Called by the
+    /// optimizer after folding a collected gradient into the model; all
+    /// staleness accounting is relative to this counter.
+    pub fn advance_version(&mut self) -> u64 {
+        self.version += 1;
+        self.version
+    }
+
+    /// The paper's `AC.STAT`: a read-only snapshot of the worker table at
+    /// the current instant and model version.
+    pub fn stat(&self) -> StatSnapshot {
+        self.stat.snapshot(self.driver.now(), self.version)
+    }
+
+    /// Creates a history broadcast (§4.3) with a context-unique id.
+    /// `n_indices` is the sample universe size (see [`AsyncBcast::new`]).
+    pub fn async_broadcast<T: Payload + Send + Sync + 'static>(
+        &mut self,
+        initial: T,
+        n_indices: u64,
+    ) -> AsyncBcast<T> {
+        let id = self.next_bcast_id;
+        self.next_bcast_id += 1;
+        AsyncBcast::new(id, initial, n_indices)
+    }
+
+    /// Creates a classic Spark-style broadcast on the driver registry.
+    pub fn broadcast<T: Payload>(&mut self, value: T) -> sparklet::Broadcast<T> {
+        self.driver.broadcast(value)
+    }
+
+    /// The paper's `ASYNCreduce(f, AC)`: submits `f` as one task per worker
+    /// admitted by `filter` over the current `STAT` snapshot. Each admitted
+    /// worker runs `f` over one partition it owns (cycling with its clock);
+    /// the per-partition result is consumed later through
+    /// [`AsyncContext::collect`] with matching type `R`.
+    ///
+    /// Returns the workers that actually received tasks (empty when the
+    /// barrier admits no one, e.g. BSP mid-round).
+    pub fn async_reduce<T, R, F>(
+        &mut self,
+        rdd: &Rdd<T>,
+        filter: &BarrierFilter,
+        opts: SubmitOpts<'_>,
+        f: F,
+    ) -> Vec<WorkerId>
+    where
+        T: Data,
+        R: Send + 'static,
+        F: Fn(&mut WorkerCtx, Vec<T>, usize) -> R + Send + Sync + Clone + 'static,
+    {
+        let nparts = rdd.num_partitions();
+        if nparts == 0 {
+            return Vec::new();
+        }
+        let snap = self.stat();
+        let admitted = filter.select(&snap);
+        let mut submitted = Vec::new();
+        for w in admitted {
+            let parts = self.driver.partitions_of(w, nparts);
+            if parts.is_empty() {
+                continue;
+            }
+            // Cycle through the worker's partitions as its clock advances,
+            // so every partition is visited at the worker's own pace.
+            let part = parts[(self.stat.get(w).clock as usize) % parts.len()];
+            let ops = rdd.ops();
+            let f = f.clone();
+            let cost = rdd.cost_hint(part) * opts.effective_cost_scale();
+            let run = Box::new(move |ctx: &mut WorkerCtx| {
+                let data = ops.compute(part);
+                Box::new(f(ctx, data, part)) as Box<dyn Any + Send>
+            });
+            let issued_at = self.driver.now();
+            if self
+                .driver
+                .submit_raw(w, part as u64, cost, opts.extra_bytes, opts.uses, run)
+                .is_ok()
+            {
+                self.stat
+                    .task_issued(w, self.version, issued_at, opts.minibatch);
+                submitted.push(w);
+            }
+        }
+        submitted
+    }
+
+    /// The paper's `ASYNCaggregate(zeroVal, seqOp, combOp, AC)`: like
+    /// [`AsyncContext::async_reduce`], but each admitted worker folds its
+    /// partition from `zero` with `seq_op`. The driver-side `combOp` is
+    /// whatever the caller does with the collected partials.
+    pub fn async_aggregate<T, U, F>(
+        &mut self,
+        rdd: &Rdd<T>,
+        filter: &BarrierFilter,
+        opts: SubmitOpts<'_>,
+        zero: U,
+        seq_op: F,
+    ) -> Vec<WorkerId>
+    where
+        T: Data,
+        U: Send + Sync + Clone + 'static,
+        F: Fn(U, &T) -> U + Send + Sync + Clone + 'static,
+    {
+        self.async_reduce(rdd, filter, opts, move |_ctx, data, _part| {
+            data.iter().fold(zero.clone(), &seq_op)
+        })
+    }
+
+    /// True while unconsumed results exist or tasks are in flight — the
+    /// paper's `AC.hasNext()`.
+    pub fn has_next(&self) -> bool {
+        !self.ready.is_empty() || self.driver.pending() > 0
+    }
+
+    /// Tasks currently in flight.
+    pub fn pending(&self) -> usize {
+        self.driver.pending()
+    }
+
+    /// The paper's `ASYNCcollect()`: the earliest unconsumed result,
+    /// blocking (and advancing virtual time) until one arrives. Returns
+    /// `None` when nothing is ready or in flight.
+    ///
+    /// # Panics
+    /// Panics if the next result's type is not `R` — one context pipeline
+    /// must collect with the type it submitted.
+    pub fn collect<R: Send + 'static>(&mut self) -> Option<Tagged<R>> {
+        while self.ready.is_empty() {
+            let c = self.driver.next_completion()?;
+            self.absorb(c);
+        }
+        self.ready.pop_front().map(downcast_tagged)
+    }
+
+    /// The paper's `ASYNCcollectAll()`: every result the server has
+    /// received *as of now*, without blocking or advancing time.
+    ///
+    /// # Panics
+    /// Panics if any drained result's type is not `R`.
+    pub fn collect_all<R: Send + 'static>(&mut self) -> Vec<Tagged<R>> {
+        while let Some(c) = self.driver.try_next_completion() {
+            self.absorb(c);
+        }
+        self.ready.drain(..).map(downcast_tagged).collect()
+    }
+
+    /// The §4.2 result pump: folds one engine completion into `STAT` and,
+    /// for successful tasks, tags the result with [`TaskAttrs`].
+    fn absorb(&mut self, c: Completion) {
+        match c {
+            Completion::Done(d) => {
+                let inflight = self
+                    .stat
+                    .task_completed(d.worker, d.finished_at, d.service_time)
+                    .expect("coordinator: completion from a worker with no in-flight task");
+                let attrs = TaskAttrs {
+                    worker: d.worker,
+                    partition: d.tag as usize,
+                    staleness: self.version.saturating_sub(inflight.issued_version),
+                    minibatch: inflight.minibatch,
+                    issued_version: inflight.issued_version,
+                    issued_at: d.issued_at,
+                    finished_at: d.finished_at,
+                    service_time: d.service_time,
+                };
+                self.ready.push_back(Tagged {
+                    value: d.output,
+                    attrs,
+                });
+            }
+            Completion::Lost { worker, .. } | Completion::WorkerDown { worker } => {
+                self.stat.worker_died(worker);
+            }
+        }
+    }
+}
+
+fn downcast_tagged<R: Send + 'static>(t: Tagged<Box<dyn Any + Send>>) -> Tagged<R> {
+    let Tagged { value, attrs } = t;
+    let value = *value.downcast::<R>().unwrap_or_else(|_| {
+        panic!(
+            "collect::<{}>: result type mismatch",
+            std::any::type_name::<R>()
+        )
+    });
+    Tagged { value, attrs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_cluster::{CommModel, DelayModel};
+
+    fn quiet_ctx(workers: usize, delay: DelayModel) -> AsyncContext {
+        AsyncContext::sim(
+            ClusterSpec::homogeneous(workers, delay)
+                .with_comm(CommModel::free())
+                .with_sched_overhead(VDur::ZERO),
+        )
+    }
+
+    fn unit_rdd(nparts: usize) -> Rdd<i64> {
+        // One element per partition, cost 2e8 = 1 virtual second each.
+        Rdd::parallelize_with_cost(
+            (0..nparts).map(|p| vec![p as i64]).collect(),
+            vec![2e8; nparts],
+        )
+    }
+
+    fn sum_task(_ctx: &mut WorkerCtx, data: Vec<i64>, _part: usize) -> i64 {
+        data.into_iter().sum()
+    }
+
+    #[test]
+    fn asp_submits_to_every_available_worker() {
+        let mut ctx = quiet_ctx(3, DelayModel::None);
+        let rdd = unit_rdd(3);
+        let subs = ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert_eq!(subs, vec![0, 1, 2]);
+        // Everyone is now busy: a second ASP wave admits no one.
+        let again = ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert!(again.is_empty());
+        assert!(ctx.has_next());
+        let mut got = Vec::new();
+        while let Some(t) = ctx.collect::<i64>() {
+            got.push((t.attrs.worker, t.value));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2)]);
+        assert!(!ctx.has_next());
+    }
+
+    #[test]
+    fn attrs_carry_staleness_and_minibatch() {
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        let rdd = unit_rdd(1);
+        let opts = SubmitOpts {
+            minibatch: 32,
+            ..SubmitOpts::default()
+        };
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, opts, sum_task);
+        // Three model updates happen while the task is in flight.
+        for _ in 0..3 {
+            ctx.advance_version();
+        }
+        let t = ctx.collect::<i64>().expect("one result");
+        assert_eq!(t.attrs.worker, 0);
+        assert_eq!(t.attrs.minibatch, 32);
+        assert_eq!(t.attrs.issued_version, 0);
+        assert_eq!(t.attrs.staleness, 3);
+        assert_eq!(t.attrs.service_time, VDur::from_micros(1_000_000));
+        // STAT mirrors the completion.
+        let snap = ctx.stat();
+        assert_eq!(snap.workers[0].clock, 1);
+        assert!(snap.workers[0].available);
+    }
+
+    #[test]
+    fn bsp_holds_until_the_straggler_finishes() {
+        // Worker 1 runs 2x slower; BSP admits new tasks only at full
+        // barriers, so clocks stay in lockstep.
+        let mut ctx = quiet_ctx(
+            2,
+            DelayModel::ControlledDelay {
+                worker: 1,
+                intensity: 1.0,
+            },
+        );
+        let rdd = unit_rdd(2);
+        let mut completed = 0;
+        ctx.async_reduce(&rdd, &BarrierFilter::Bsp, SubmitOpts::default(), sum_task);
+        while completed < 6 {
+            let t = ctx.collect::<i64>().expect("result");
+            completed += 1;
+            let subs = ctx.async_reduce(&rdd, &BarrierFilter::Bsp, SubmitOpts::default(), sum_task);
+            if t.attrs.worker == 0 {
+                // Fast worker finished first; straggler still running.
+                assert!(subs.is_empty(), "BSP must not release mid-round");
+            } else {
+                assert_eq!(subs, vec![0, 1], "barrier reached: full round released");
+            }
+        }
+        let snap = ctx.stat();
+        assert_eq!(snap.workers[0].clock, 3);
+        assert_eq!(snap.workers[1].clock, 3);
+    }
+
+    #[test]
+    fn asp_lets_the_fast_worker_run_ahead() {
+        let mut ctx = quiet_ctx(
+            2,
+            DelayModel::ControlledDelay {
+                worker: 1,
+                intensity: 3.0,
+            },
+        );
+        let rdd = unit_rdd(2);
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        for _ in 0..8 {
+            let _ = ctx.collect::<i64>().expect("result");
+            ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        }
+        let snap = ctx.stat();
+        assert!(
+            snap.workers[0].clock > snap.workers[1].clock + 1,
+            "fast worker should be several tasks ahead: {:?}",
+            (snap.workers[0].clock, snap.workers[1].clock)
+        );
+        while ctx.collect::<i64>().is_some() {}
+    }
+
+    #[test]
+    fn ssp_bounds_the_clock_gap() {
+        let slack = 2u64;
+        let mut ctx = quiet_ctx(
+            2,
+            DelayModel::ControlledDelay {
+                worker: 1,
+                intensity: 9.0,
+            },
+        );
+        let rdd = unit_rdd(2);
+        ctx.async_reduce(
+            &rdd,
+            &BarrierFilter::Ssp { slack },
+            SubmitOpts::default(),
+            sum_task,
+        );
+        for _ in 0..12 {
+            let _ = ctx.collect::<i64>();
+            ctx.async_reduce(
+                &rdd,
+                &BarrierFilter::Ssp { slack },
+                SubmitOpts::default(),
+                sum_task,
+            );
+            let snap = ctx.stat();
+            let lead = snap.workers[0].clock.abs_diff(snap.workers[1].clock);
+            // The leader may finish a task it was already granted, so the
+            // observable gap is at most slack + 1.
+            assert!(lead <= slack + 1, "clock gap {lead} exceeds slack bound");
+        }
+        while ctx.collect::<i64>().is_some() {}
+    }
+
+    #[test]
+    fn collect_all_drains_ready_results_without_blocking() {
+        let mut ctx = quiet_ctx(4, DelayModel::None);
+        let rdd = unit_rdd(4);
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        // Nothing has completed at time zero.
+        assert!(ctx.collect_all::<i64>().is_empty());
+        // Block for the first; the remaining three land at the same virtual
+        // instant and drain together.
+        let first = ctx.collect::<i64>().expect("first");
+        let rest = ctx.collect_all::<i64>();
+        assert_eq!(rest.len(), 3);
+        let mut workers: Vec<_> = std::iter::once(first.attrs.worker)
+            .chain(rest.iter().map(|t| t.attrs.worker))
+            .collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        assert!(!ctx.has_next());
+    }
+
+    #[test]
+    fn worker_failure_updates_stat_and_filters() {
+        let mut ctx = quiet_ctx(3, DelayModel::None);
+        let rdd = unit_rdd(3);
+        ctx.driver_mut().schedule_failure(2, VTime::from_micros(10));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        // Two surviving results; the lost task is not resubmitted by the
+        // async layer (the optimizer just keeps iterating).
+        let mut n = 0;
+        while let Some(t) = ctx.collect::<i64>() {
+            assert_ne!(t.attrs.worker, 2);
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        let snap = ctx.stat();
+        assert!(!snap.workers[2].alive);
+        assert_eq!(snap.alive_count(), 2);
+        // Barrier filters only admit survivors.
+        let subs = ctx.async_reduce(&rdd, &BarrierFilter::Bsp, SubmitOpts::default(), sum_task);
+        assert_eq!(subs, vec![0, 1]);
+        while ctx.collect::<i64>().is_some() {}
+    }
+
+    #[test]
+    fn async_aggregate_folds_partitions() {
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        let rdd = Rdd::parallelize(vec![vec![1i64, 2, 3], vec![4, 5]]);
+        ctx.async_aggregate(
+            &rdd,
+            &BarrierFilter::Asp,
+            SubmitOpts::default(),
+            0i64,
+            |acc, x| acc + x,
+        );
+        let mut partials = Vec::new();
+        while let Some(t) = ctx.collect::<i64>() {
+            partials.push(t.value);
+        }
+        partials.sort_unstable();
+        assert_eq!(partials, vec![6, 9]);
+    }
+
+    #[test]
+    fn workers_cycle_through_their_partitions() {
+        // 1 worker owning 3 partitions: successive tasks walk p0, p1, p2.
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        let rdd = unit_rdd(3);
+        let mut seen = Vec::new();
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        for _ in 0..6 {
+            let t = ctx.collect::<i64>().expect("result");
+            seen.push(t.attrs.partition);
+            ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+        while ctx.collect::<i64>().is_some() {}
+    }
+
+    #[test]
+    fn broadcast_ids_are_unique() {
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        let a = ctx.async_broadcast(vec![0.0f64; 4], 10);
+        let b = ctx.async_broadcast(vec![1.0f64; 4], 10);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "result type mismatch")]
+    fn collect_with_wrong_type_panics() {
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        let rdd = unit_rdd(1);
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        let _ = ctx.collect::<String>();
+    }
+}

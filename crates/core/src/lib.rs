@@ -39,5 +39,5 @@ pub mod stat;
 
 pub use barrier::BarrierFilter;
 pub use broadcast::{AsyncBcast, HistoryStats};
-pub use context::{AsyncContext, TaskAttrs};
+pub use context::{AsyncContext, SubmitOpts, Tagged, TaskAttrs};
 pub use stat::{StatSnapshot, WorkerStat};

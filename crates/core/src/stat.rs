@@ -52,7 +52,8 @@ impl WorkerStat {
     /// Staleness of this worker's in-flight task as of `version`: how many
     /// model updates have happened since the task was issued.
     pub fn inflight_staleness(&self, version: u64) -> Option<u64> {
-        self.inflight.map(|f| version.saturating_sub(f.issued_version))
+        self.inflight
+            .map(|f| version.saturating_sub(f.issued_version))
     }
 }
 
@@ -66,7 +67,10 @@ pub struct StatTable {
 impl StatTable {
     /// A table for `n` workers, all idle and alive.
     pub fn new(n: usize) -> Self {
-        Self { workers: vec![WorkerStat::new(); n], completed_total: 0 }
+        Self {
+            workers: vec![WorkerStat::new(); n],
+            completed_total: 0,
+        }
     }
 
     /// Number of workers (rows).
@@ -89,7 +93,11 @@ impl StatTable {
         let s = &mut self.workers[w];
         debug_assert!(s.alive && s.available, "issuing to unavailable worker {w}");
         s.available = false;
-        s.inflight = Some(InFlight { issued_version: version, issued_at: at, minibatch });
+        s.inflight = Some(InFlight {
+            issued_version: version,
+            issued_at: at,
+            minibatch,
+        });
     }
 
     /// Marks `w` idle after a completion, folding `service` into its
@@ -125,7 +133,11 @@ impl StatTable {
 
     /// An immutable snapshot for barrier filters (the paper's `AC.STAT`).
     pub fn snapshot(&self, now: VTime, version: u64) -> StatSnapshot {
-        StatSnapshot { now, version, workers: self.workers.clone() }
+        StatSnapshot {
+            now,
+            version,
+            workers: self.workers.clone(),
+        }
     }
 }
 
@@ -163,7 +175,11 @@ impl StatSnapshot {
 
     /// Minimum SSP clock over alive workers; `None` if none alive.
     pub fn min_clock(&self) -> Option<u64> {
-        self.workers.iter().filter(|w| w.alive).map(|w| w.clock).min()
+        self.workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.clock)
+            .min()
     }
 
     /// Median average-completion time over alive workers with history.
@@ -183,7 +199,9 @@ impl StatSnapshot {
 
     /// Worker ids that are available (alive and idle).
     pub fn available_workers(&self) -> Vec<WorkerId> {
-        (0..self.workers.len()).filter(|&w| self.workers[w].available).collect()
+        (0..self.workers.len())
+            .filter(|&w| self.workers[w].available)
+            .collect()
     }
 }
 
@@ -202,8 +220,9 @@ mod tests {
         assert_eq!(snap.max_staleness(), 2);
         assert_eq!(snap.available_count(), 1);
 
-        let inflight =
-            t.task_completed(0, VTime::from_micros(50), VDur::from_micros(40)).unwrap();
+        let inflight = t
+            .task_completed(0, VTime::from_micros(50), VDur::from_micros(40))
+            .unwrap();
         assert_eq!(inflight.issued_version, 5);
         assert_eq!(inflight.minibatch, 32);
         assert!(t.get(0).available);
@@ -254,9 +273,17 @@ mod tests {
             available: false,
             clock: 0,
             avg_completion: VDur::ZERO,
-            inflight: Some(InFlight { issued_version: 9, issued_at: VTime::ZERO, minibatch: 1 }),
+            inflight: Some(InFlight {
+                issued_version: 9,
+                issued_at: VTime::ZERO,
+                minibatch: 1,
+            }),
             last_result_at: None,
         };
-        assert_eq!(s.inflight_staleness(4), Some(0), "future-issued tasks clamp to 0");
+        assert_eq!(
+            s.inflight_staleness(4),
+            Some(0),
+            "future-issued tasks clamp to 0"
+        );
     }
 }

@@ -42,7 +42,11 @@ impl Dataset {
                 features.nrows()
             )));
         }
-        Ok(Self { name: name.into(), features: Arc::new(features), labels: Arc::new(labels) })
+        Ok(Self {
+            name: name.into(),
+            features: Arc::new(features),
+            labels: Arc::new(labels),
+        })
     }
 
     /// Dataset name (e.g. `"rcv1-like"`).
@@ -181,12 +185,19 @@ mod tests {
 
     fn tiny() -> Dataset {
         let m = CsrMatrix::from_triplets(
-            &(0..10).map(|i| (i, (i % 3) as u32, 1.0 + i as f64)).collect::<Vec<_>>(),
+            &(0..10)
+                .map(|i| (i, (i % 3) as u32, 1.0 + i as f64))
+                .collect::<Vec<_>>(),
             10,
             3,
         )
         .unwrap();
-        Dataset::new("tiny", Matrix::Sparse(m), (0..10).map(|i| i as f64).collect()).unwrap()
+        Dataset::new(
+            "tiny",
+            Matrix::Sparse(m),
+            (0..10).map(|i| i as f64).collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -212,7 +223,7 @@ mod tests {
         assert_eq!(blocks.len(), 4);
         let total: usize = blocks.iter().map(Block::rows).sum();
         assert_eq!(total, 10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for b in &blocks {
             for i in 0..b.rows() {
                 let g = b.global_row(i) as usize;
@@ -254,8 +265,7 @@ mod tests {
         let w_star = [2.0, -1.0, 0.5];
         let mut y = vec![0.0; d.rows()];
         d.features().matvec(&w_star, &mut y);
-        let exact =
-            Dataset::new("exact", (*d.features).clone(), y).unwrap();
+        let exact = Dataset::new("exact", (*d.features).clone(), y).unwrap();
         let obj = exact.least_squares_objective(ParallelismCfg::sequential(), &w_star);
         assert!(obj < 1e-18);
     }

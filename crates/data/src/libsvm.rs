@@ -5,7 +5,7 @@
 //! real `rcv1_full.binary` / `mnist8m` / `epsilon` files can be used in
 //! place of the synthetic analogues.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 use async_linalg::{CsrMatrix, Matrix, SparseVec};
@@ -84,7 +84,11 @@ pub fn parse_str(name: &str, text: &str, dim: Option<usize>) -> Result<Dataset> 
 /// Reads a LIBSVM file from disk.
 pub fn read_file(path: impl AsRef<Path>, dim: Option<usize>) -> Result<Dataset> {
     let path = path.as_ref();
-    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("libsvm").to_string();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("libsvm")
+        .to_string();
     let file = std::fs::File::open(path)?;
     let mut reader = BufReader::new(file);
     let mut text = String::new();
@@ -175,9 +179,7 @@ mod tests {
         assert_eq!(back.labels(), d.labels());
         for i in 0..d.rows() {
             let w: Vec<f64> = (0..d.cols()).map(|j| (j + 1) as f64).collect();
-            assert!(
-                (back.features().row_dot(i, &w) - d.features().row_dot(i, &w)).abs() < 1e-12
-            );
+            assert!((back.features().row_dot(i, &w) - d.features().row_dot(i, &w)).abs() < 1e-12);
         }
         std::fs::remove_file(path).ok();
     }

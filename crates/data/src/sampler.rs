@@ -83,8 +83,10 @@ pub fn sample_with_replacement(rng: &mut SmallRng, n: usize, k: usize) -> Vec<u3
 /// semantics (expected `p·n` rows, variable batch size).
 pub fn sample_bernoulli(rng: &mut SmallRng, n: usize, p: f64) -> MiniBatch {
     let p = p.clamp(0.0, 1.0);
-    let rows =
-        (0..n).filter(|_| rng.gen::<f64>() < p).map(|i| i as u32).collect();
+    let rows = (0..n)
+        .filter(|_| rng.gen::<f64>() < p)
+        .map(|i| i as u32)
+        .collect();
     MiniBatch { rows }
 }
 
@@ -99,7 +101,10 @@ mod tests {
         assert_eq!(a, b);
         let c: Vec<u32> = sample_k(&mut derive_rng(1, 2, 4), 100, 10).rows;
         let d: Vec<u32> = sample_k(&mut derive_rng(1, 3, 3), 100, 10).rows;
-        assert!(a != c || a != d, "distinct keys should give distinct streams");
+        assert!(
+            a != c || a != d,
+            "distinct keys should give distinct streams"
+        );
     }
 
     #[test]
@@ -137,7 +142,10 @@ mod tests {
         let mut rng = derive_rng(11, 0, 0);
         let mb = sample_bernoulli(&mut rng, 10_000, 0.2);
         let got = mb.len() as f64;
-        assert!((got - 2000.0).abs() < 200.0, "got {got} rows, expected ~2000");
+        assert!(
+            (got - 2000.0).abs() < 200.0,
+            "got {got} rows, expected ~2000"
+        );
     }
 
     #[test]

@@ -34,7 +34,14 @@ pub struct SynthSpec {
 impl SynthSpec {
     /// A dense spec with the given shape.
     pub fn dense(name: impl Into<String>, rows: usize, cols: usize, seed: u64) -> Self {
-        Self { name: name.into(), rows, cols, nnz_per_row: None, noise_std: 0.1, seed }
+        Self {
+            name: name.into(),
+            rows,
+            cols,
+            nnz_per_row: None,
+            noise_std: 0.1,
+            seed,
+        }
     }
 
     /// A sparse spec with the given shape and mean row sparsity.
@@ -45,7 +52,14 @@ impl SynthSpec {
         nnz_per_row: usize,
         seed: u64,
     ) -> Self {
-        Self { name: name.into(), rows, cols, nnz_per_row: Some(nnz_per_row), noise_std: 0.1, seed }
+        Self {
+            name: name.into(),
+            rows,
+            cols,
+            nnz_per_row: Some(nnz_per_row),
+            noise_std: 0.1,
+            seed,
+        }
     }
 
     /// Shaped like `rcv1_full.binary` (697,641 × 47,236, ~73 nnz/row) at
@@ -74,8 +88,9 @@ impl SynthSpec {
     /// column indices. Labels: `y = x·w* + ε`.
     pub fn generate(&self) -> Result<(Dataset, Vec<f64>)> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let w_star: Vec<f64> =
-            (0..self.cols).map(|_| normal_ish(&mut rng) / (self.cols as f64).sqrt()).collect();
+        let w_star: Vec<f64> = (0..self.cols)
+            .map(|_| normal_ish(&mut rng) / (self.cols as f64).sqrt())
+            .collect();
 
         let features = match self.nnz_per_row {
             None => {
@@ -190,10 +205,7 @@ mod tests {
         let mut spec = SynthSpec::dense("d", 40, 6, 3);
         spec.noise_std = 0.0;
         let (d, w_star) = spec.generate().unwrap();
-        let obj = d.least_squares_objective(
-            async_linalg::ParallelismCfg::sequential(),
-            &w_star,
-        );
+        let obj = d.least_squares_objective(async_linalg::ParallelismCfg::sequential(), &w_star);
         assert!(obj < 1e-16, "objective at planted model: {obj}");
     }
 

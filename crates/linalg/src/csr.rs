@@ -36,8 +36,7 @@ impl CsrMatrix {
                 nrows + 1
             )));
         }
-        if indptr.first() != Some(&0) || *indptr.last().expect("nonempty indptr") != indices.len()
-        {
+        if indptr.first() != Some(&0) || *indptr.last().expect("nonempty indptr") != indices.len() {
             return Err(Error::InvalidStructure(
                 "indptr must start at 0 and end at nnz".to_string(),
             ));
@@ -51,7 +50,9 @@ impl CsrMatrix {
         }
         for w in indptr.windows(2) {
             if w[0] > w[1] {
-                return Err(Error::InvalidStructure("indptr must be nondecreasing".to_string()));
+                return Err(Error::InvalidStructure(
+                    "indptr must be nondecreasing".to_string(),
+                ));
             }
         }
         for r in 0..nrows {
@@ -71,7 +72,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(Self { indptr, indices, data, nrows, ncols })
+        Ok(Self {
+            indptr,
+            indices,
+            data,
+            nrows,
+            ncols,
+        })
     }
 
     /// Builds from a list of sparse rows, all with dimension `ncols`.
@@ -106,7 +113,9 @@ impl CsrMatrix {
         let mut per_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nrows];
         for &(r, c, v) in triplets {
             if r >= nrows {
-                return Err(Error::InvalidStructure(format!("triplet row {r} out of range")));
+                return Err(Error::InvalidStructure(format!(
+                    "triplet row {r} out of range"
+                )));
             }
             per_row[r].push((c, v));
         }
@@ -210,7 +219,10 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the range is out of bounds or reversed.
     pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
-        assert!(start <= end && end <= self.nrows, "slice_rows: bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.nrows,
+            "slice_rows: bad range {start}..{end}"
+        );
         let lo = self.indptr[start];
         let hi = self.indptr[end];
         let indptr = self.indptr[start..=end].iter().map(|p| p - lo).collect();

@@ -37,12 +37,20 @@ impl DenseMatrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { data, nrows: rows.len(), ncols })
+        Ok(Self {
+            data,
+            nrows: rows.len(),
+            ncols,
+        })
     }
 
     /// An `nrows × ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { data: vec![0.0; nrows * ncols], nrows, ncols }
+        Self {
+            data: vec![0.0; nrows * ncols],
+            nrows,
+            ncols,
+        }
     }
 
     /// Number of rows.
@@ -102,7 +110,10 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if the range is out of bounds or reversed.
     pub fn slice_rows(&self, start: usize, end: usize) -> DenseMatrix {
-        assert!(start <= end && end <= self.nrows, "slice_rows: bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.nrows,
+            "slice_rows: bad range {start}..{end}"
+        );
         DenseMatrix {
             data: self.data[start * self.ncols..end * self.ncols].to_vec(),
             nrows: end - start,

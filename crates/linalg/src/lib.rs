@@ -57,7 +57,10 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::DimensionMismatch { op, expected, got } => {
-                write!(f, "dimension mismatch in {op}: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch in {op}: expected {expected}, got {got}"
+                )
             }
             Error::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
         }

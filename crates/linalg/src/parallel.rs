@@ -17,12 +17,16 @@ pub struct ParallelismCfg {
 impl ParallelismCfg {
     /// Use exactly `threads` threads (clamped to at least 1).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self {
+            threads: threads.max(1),
+        }
     }
 
     /// Use all available hardware parallelism.
     pub fn auto() -> Self {
-        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let t = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Self { threads: t }
     }
 
@@ -80,7 +84,10 @@ where
     }
     let partials: Vec<T> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|_| map(r))).collect();
-        handles.into_iter().map(|h| h.join().expect("parallel kernel panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel kernel panicked"))
+            .collect()
     })
     .expect("crossbeam scope failed");
     partials.into_iter().fold(init, reduce)
@@ -166,7 +173,9 @@ mod tests {
     fn mat() -> Matrix {
         Matrix::Sparse(
             CsrMatrix::from_triplets(
-                &(0..40).map(|i| (i, (i % 7) as u32, (i as f64) * 0.5 + 1.0)).collect::<Vec<_>>(),
+                &(0..40)
+                    .map(|i| (i, (i % 7) as u32, (i as f64) * 0.5 + 1.0))
+                    .collect::<Vec<_>>(),
                 40,
                 7,
             )
@@ -241,6 +250,9 @@ mod tests {
     #[test]
     fn empty_matrix_is_fine() {
         let a = Matrix::Sparse(CsrMatrix::from_rows(&[], 4).unwrap());
-        assert_eq!(par_residual_sq(ParallelismCfg::auto(), &a, &[0.0; 4], &[]), 0.0);
+        assert_eq!(
+            par_residual_sq(ParallelismCfg::auto(), &a, &[0.0; 4], &[]),
+            0.0
+        );
     }
 }

@@ -52,7 +52,12 @@ pub fn cgls(
     par_matvec_t(cfg, a, &r, &mut s);
     let s0_sq = dense::norm2_sq(&s);
     if s0_sq == 0.0 {
-        return CglsResult { w, iterations: 0, normal_residual_sq: 0.0, converged: true };
+        return CglsResult {
+            w,
+            iterations: 0,
+            normal_residual_sq: 0.0,
+            converged: true,
+        };
     }
     let mut p = s.clone();
     let mut gamma = s0_sq;
@@ -88,7 +93,12 @@ pub fn cgls(
             p[i] = s[i] + beta * p[i];
         }
     }
-    CglsResult { w, iterations, normal_residual_sq: gamma, converged }
+    CglsResult {
+        w,
+        iterations,
+        normal_residual_sq: gamma,
+        converged,
+    }
 }
 
 /// Convenience wrapper: the minimal value of `‖A·w − y‖² + λ‖w‖²` as found
@@ -117,7 +127,14 @@ mod tests {
         let a = Matrix::Sparse(
             CsrMatrix::from_triplets(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)], 3, 3).unwrap(),
         );
-        let res = cgls(ParallelismCfg::sequential(), &a, &[1.0, 2.0, 3.0], 0.0, 1e-12, 50);
+        let res = cgls(
+            ParallelismCfg::sequential(),
+            &a,
+            &[1.0, 2.0, 3.0],
+            0.0,
+            1e-12,
+            50,
+        );
         assert!(res.converged);
         for (wi, yi) in res.w.iter().zip([1.0, 2.0, 3.0]) {
             assert!((wi - yi).abs() < 1e-10);
@@ -149,7 +166,9 @@ mod tests {
 
     #[test]
     fn optimum_is_lower_bound() {
-        let rows: Vec<Vec<f64>> = (0..6).map(|x| vec![x as f64, 1.0, (x * x) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|x| vec![x as f64, 1.0, (x * x) as f64])
+            .collect();
         let a = Matrix::Dense(DenseMatrix::from_rows(&rows).unwrap());
         let y = vec![1.0, 2.0, 2.0, 3.0, 5.0, 8.0];
         let best = least_squares_optimum(ParallelismCfg::sequential(), &a, &y, 0.0);

@@ -40,7 +40,11 @@ impl SparseVec {
                 )));
             }
         }
-        Ok(Self { indices, values, dim })
+        Ok(Self {
+            indices,
+            values,
+            dim,
+        })
     }
 
     /// Builds from possibly-unsorted `(index, value)` pairs; duplicate
@@ -51,7 +55,9 @@ impl SparseVec {
         let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
         for (i, v) in pairs {
             if indices.last() == Some(&i) {
-                *values.last_mut().expect("values nonempty when indices nonempty") += v;
+                *values
+                    .last_mut()
+                    .expect("values nonempty when indices nonempty") += v;
             } else {
                 indices.push(i);
                 values.push(v);
@@ -175,7 +181,7 @@ mod tests {
     fn empty_vector_ok() {
         let v = SparseVec::new(vec![], vec![], 10).unwrap();
         assert_eq!(v.nnz(), 0);
-        assert_eq!(v.dot_dense(&vec![1.0; 10]), 0.0);
+        assert_eq!(v.dot_dense(&[1.0; 10]), 0.0);
         assert_eq!(v.norm2_sq(), 0.0);
     }
 }

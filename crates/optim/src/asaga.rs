@@ -1,0 +1,234 @@
+//! Asynchronous SAGA with history broadcast — the paper's Listing 4 /
+//! Algorithm 4, the workload that motivates the `ASYNCbroadcaster`.
+//!
+//! SAGA's update needs, for every sampled row `j`, the gradient of `fⱼ` at
+//! the model `φⱼ` as it was when `j` was *last* sampled. Shipping the table
+//! of past models with every task is the overhead the paper calls out;
+//! instead:
+//!
+//! * the server keeps the model history in an [`async_core::AsyncBcast`]
+//!   and ships only **version IDs** (8 bytes per sample) with each task;
+//! * the task resolves `w_current` and each `w_{φⱼ}` through its worker's
+//!   local cache, fetching misses once;
+//! * on consumption the server records the batch at the task's version
+//!   (`record_use` — SAGA's "update table" step), which also drives
+//!   reference-count pruning of history no sample can need again;
+//! * versions with in-flight tasks are pinned from submission to
+//!   consumption (with lost tasks' pins released at run end), so on the
+//!   deterministic simulated engine — where task closures execute at
+//!   submission, i.e. when the server attaches the version IDs — pruning
+//!   can never invalidate a running task. On the threaded engine a
+//!   worker's historical reads race later `record_use` calls; ASAGA is
+//!   specified against `SimEngine`.
+//!
+//! The running table average `ᾱ = (1/n) Σⱼ f'ⱼ(φⱼ)·xⱼ` lives server-side,
+//! seeded with one full-gradient pass at `w₀` (consistent with every row's
+//! implicit initial version 0), and updated incrementally from each task's
+//! telescoping delta.
+
+use async_cluster::ConvergenceTrace;
+use async_core::{AsyncBcast, AsyncContext, SubmitOpts};
+use async_data::sampler;
+use async_data::{Block, Dataset};
+use async_linalg::dense;
+use sparklet::{Rdd, WorkerCtx};
+
+use crate::objective::Objective;
+use crate::solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};
+
+/// One task's SAGA contribution.
+struct DeltaMsg {
+    /// `(1/b) Σⱼ (f'ⱼ(w_cur) − f'ⱼ(w_{φⱼ}))·xⱼ` over the batch.
+    delta: Vec<f64>,
+    /// Global row ids of the batch (for the server's table update).
+    indices: Vec<u64>,
+}
+
+/// Asynchronous SAGA with server-side history.
+#[derive(Debug, Clone, Copy)]
+pub struct Asaga {
+    /// The objective being minimized.
+    pub objective: Objective,
+}
+
+impl Asaga {
+    /// An ASAGA solver for `objective`.
+    pub fn new(objective: Objective) -> Self {
+        Self { objective }
+    }
+
+    fn submit_wave(
+        &self,
+        ctx: &mut AsyncContext,
+        rdd: &Rdd<Block>,
+        bcast: &AsyncBcast<Vec<f64>>,
+        cfg: &SolverCfg,
+        minibatch_hint: u64,
+    ) -> Vec<usize> {
+        let handle = bcast.handle();
+        let server_table = bcast.clone();
+        let version = ctx.version();
+        let obj = self.objective;
+        let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+        let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
+            let block = &data[0];
+            let w_cur = handle.value(wctx);
+            let mut rng = sampler::derive_rng(seed, version, part as u64);
+            let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
+            let mut delta = vec![0.0; block.cols()];
+            let mut indices = Vec::with_capacity(mb.len());
+            let scale = 1.0 / mb.len().max(1) as f64;
+            let labels = block.labels();
+            let features = block.features();
+            for &r in &mb.rows {
+                let i = r as usize;
+                let j = block.global_row(i);
+                // The ID of the model version row j last saw — attached by
+                // the server at submission (the simulated engine runs this
+                // closure at exactly that instant).
+                let vj = server_table.version_for_index(j);
+                let w_old = handle.value_at(wctx, vj);
+                let d_new = obj.dloss(features.row_dot(i, &w_cur), labels[i]);
+                let d_old = obj.dloss(features.row_dot(i, &w_old), labels[i]);
+                features.row_axpy(i, scale * (d_new - d_old), &mut delta);
+                indices.push(j);
+            }
+            DeltaMsg { delta, indices }
+        };
+        let opts = SubmitOpts {
+            // One version ID per sample plus the current model's ID.
+            extra_bytes: AsyncBcast::<Vec<f64>>::id_ship_bytes(minibatch_hint as usize),
+            // Two gradient evaluations per sampled row.
+            cost_scale: 4.0 * fraction,
+            minibatch: minibatch_hint,
+            ..SubmitOpts::default()
+        };
+        let submitted = ctx.async_reduce(rdd, &cfg.barrier, opts, task);
+        // Pin the submission version once per in-flight task: `record_use`
+        // at consumption must find it alive.
+        for _ in &submitted {
+            bcast.pin(version);
+        }
+        submitted
+    }
+}
+
+impl AsyncSolver for Asaga {
+    fn name(&self) -> &'static str {
+        "asaga"
+    }
+
+    fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport {
+        assert_eq!(ctx.pending(), 0, "asaga: context has in-flight tasks");
+        let (blocks, rdd) = block_rdd(ctx, dataset, cfg);
+        let dcols = dataset.cols();
+        let n = dataset.rows();
+        let mean_rows = n / blocks.len().max(1);
+        let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
+
+        let mut w = vec![0.0; dcols];
+        // Every row's implicit initial version is 0 = w₀.
+        let bcast = ctx.async_broadcast(w.clone(), n as u64);
+        // ᾱ = mean table gradient, seeded at w₀ so it is exactly consistent
+        // with the version table.
+        let mut alpha_bar = vec![0.0; dcols];
+        self.objective
+            .full_grad(cfg.eval_threads, dataset, &w, &mut alpha_bar);
+
+        let mut trace = ConvergenceTrace::new();
+        let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+        trace.push(ctx.now(), f0 - cfg.baseline);
+
+        // The version each worker's in-flight task pinned. Entries are
+        // cleared on consumption; whatever remains at run end (tasks lost
+        // to worker failure never come back) is unpinned explicitly so no
+        // model version leaks past the run.
+        let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
+        let record_wave = |pinned: &mut Vec<Option<u64>>, version: u64, ws: &[usize]| {
+            for &wid in ws {
+                debug_assert!(pinned[wid].is_none(), "worker {wid} double-submitted");
+                pinned[wid] = Some(version);
+            }
+        };
+
+        // Count updates relative to the context's starting version so a
+        // reused (but drained) context still runs a full budget.
+        let start_version = ctx.version();
+
+        let v0 = ctx.version();
+        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+        record_wave(&mut pinned, v0, &ws);
+
+        let mut updates = 0u64;
+        let mut tasks_completed = 0u64;
+        let mut max_staleness = 0u64;
+        let mut wall_clock = ctx.now();
+        let lambda = self.objective.lambda();
+        while updates < cfg.max_updates {
+            let Some(t) = ctx.collect::<DeltaMsg>() else {
+                break;
+            };
+            tasks_completed += 1;
+            max_staleness = max_staleness.max(t.attrs.staleness);
+            let task_version = t.attrs.issued_version;
+            // SAGA's table update: the batch is now recorded at the version
+            // the task computed against; then release the in-flight pin.
+            bcast.record_use(&t.value.indices, task_version);
+            bcast.unpin(task_version);
+            pinned[t.attrs.worker] = None;
+            let damp = if cfg.staleness_damping {
+                1.0 / (1.0 + t.attrs.staleness as f64)
+            } else {
+                1.0
+            };
+            // SAGA's estimator uses ᾱ *before* this batch's table update:
+            // E[f'ⱼ(φⱼ)] over the pre-update table equals ᾱ_old, which is
+            // what keeps g unbiased.
+            for i in 0..dcols {
+                let g = t.value.delta[i] + alpha_bar[i] + lambda * w[i];
+                w[i] -= cfg.step * damp * g;
+            }
+            // Only now does ᾱ absorb the telescoping delta: b/n of the
+            // batch mean.
+            let b = t.value.indices.len() as f64;
+            dense::axpy(b / n.max(1) as f64, &t.value.delta, &mut alpha_bar);
+            updates = ctx.advance_version() - start_version;
+            bcast.push(w.clone());
+            wall_clock = ctx.now();
+            if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
+                let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+                trace.push(wall_clock, f - cfg.baseline);
+            }
+            let v = ctx.version();
+            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+            record_wave(&mut pinned, v, &ws);
+        }
+
+        let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+        trace.push(wall_clock, final_objective - cfg.baseline);
+
+        // Drain in-flight tasks, releasing their pins without applying.
+        while let Some(t) = ctx.collect::<DeltaMsg>() {
+            bcast.unpin(t.attrs.issued_version);
+            pinned[t.attrs.worker] = None;
+        }
+        // Tasks lost to worker failures never surface: release their pins
+        // so the model versions they held can prune.
+        for v in pinned.into_iter().flatten() {
+            bcast.unpin(v);
+        }
+
+        RunReport {
+            trace,
+            updates,
+            tasks_completed,
+            max_staleness,
+            wall_clock,
+            mean_wait: ctx.driver().wait_recorder().overall_mean(),
+            bytes_shipped: ctx.driver().total_bytes_shipped(),
+            worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
+            final_w: w,
+            final_objective,
+        }
+    }
+}

@@ -1,1 +1,29 @@
-//! placeholder
+//! # async-optim
+//!
+//! Distributed optimization algorithms on the ASYNC engine (§5 of the
+//! paper): an [`AsyncSolver`] abstraction plus the two solvers the paper
+//! implements in its Listings —
+//!
+//! * [`Asgd`] — asynchronous mini-batch SGD (Listing 3): collect a
+//!   gradient, apply it, rebroadcast, refill whichever workers the barrier
+//!   admits;
+//! * [`Asaga`] — asynchronous SAGA with history (Listing 4 / Algorithm 4):
+//!   variance reduction against per-sample historical models, shipped as
+//!   version IDs through the `ASYNCbroadcaster` instead of full tables —
+//!   in the spirit of the semi-stochastic history methods of Zhang et al.
+//!
+//! Both run under ASP, BSP, SSP or custom barriers
+//! ([`async_core::BarrierFilter`]). ASGD works on either engine backend;
+//! ASAGA's history semantics (version IDs attached at submission) are
+//! specified against the deterministic `SimEngine` — see the note in
+//! [`asaga`]. `tests/barrier_e2e.rs` has end-to-end runs.
+
+pub mod asaga;
+pub mod asgd;
+pub mod objective;
+pub mod solver;
+
+pub use asaga::Asaga;
+pub use asgd::Asgd;
+pub use objective::Objective;
+pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};

@@ -1,0 +1,135 @@
+//! The [`AsyncSolver`] interface and shared run machinery.
+//!
+//! A solver drives an [`AsyncContext`] with gradient tasks under a
+//! [`BarrierFilter`] and applies collected updates server-side — the shape
+//! of the paper's Listings 3–4. Everything a run produces (convergence
+//! trace, staleness extremes, wait/byte accounting) lands in a
+//! [`RunReport`] so benches and tests read one structure.
+
+use async_cluster::{ConvergenceTrace, VDur, VTime};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::{Block, Dataset};
+use async_linalg::ParallelismCfg;
+use sparklet::Rdd;
+
+/// Configuration shared by all solvers.
+#[derive(Debug, Clone)]
+pub struct SolverCfg {
+    /// Step size γ.
+    pub step: f64,
+    /// If true, scale each applied step by `1/(1 + staleness)` — the
+    /// bounded-staleness damping rule the paper discusses for ASGD.
+    pub staleness_damping: bool,
+    /// Mini-batch fraction `b` of each partition per task (eq. 5).
+    pub batch_fraction: f64,
+    /// Barrier-control strategy admitting workers to new tasks.
+    pub barrier: BarrierFilter,
+    /// Stop after this many server model updates.
+    pub max_updates: u64,
+    /// Record a convergence sample every this many updates (0 = only the
+    /// initial and final points).
+    pub eval_every: u64,
+    /// Baseline objective subtracted in the trace (the paper's
+    /// `objective − baseline` error metric).
+    pub baseline: f64,
+    /// Number of data partitions (0 = one per worker).
+    pub partitions: usize,
+    /// Sampling seed; runs are pure functions of `(cfg, cluster spec)`.
+    pub seed: u64,
+    /// Driver-side parallelism for objective evaluations.
+    pub eval_threads: ParallelismCfg,
+}
+
+impl Default for SolverCfg {
+    fn default() -> Self {
+        Self {
+            step: 0.05,
+            staleness_damping: false,
+            batch_fraction: 0.1,
+            barrier: BarrierFilter::Asp,
+            max_updates: 200,
+            eval_every: 0,
+            baseline: 0.0,
+            partitions: 0,
+            seed: 42,
+            eval_threads: ParallelismCfg::sequential(),
+        }
+    }
+}
+
+/// Everything one solver run produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// `(virtual time, objective − baseline)` samples.
+    pub trace: ConvergenceTrace,
+    /// Server model updates applied.
+    pub updates: u64,
+    /// Gradient tasks whose results were consumed.
+    pub tasks_completed: u64,
+    /// Maximum staleness observed across consumed results.
+    pub max_staleness: u64,
+    /// Virtual instant of the last applied update (the run's wall clock).
+    pub wall_clock: VTime,
+    /// Mean worker wait time over the run (§6.3's metric).
+    pub mean_wait: VDur,
+    /// Bytes shipped to workers over the run.
+    pub bytes_shipped: u64,
+    /// Per-worker task clocks at the end of the run.
+    pub worker_clocks: Vec<u64>,
+    /// The final model.
+    pub final_w: Vec<f64>,
+    /// Final objective value (not baseline-subtracted).
+    pub final_objective: f64,
+}
+
+/// An asynchronous optimization algorithm runnable on an [`AsyncContext`].
+pub trait AsyncSolver {
+    /// Short name for reports ("asgd", "asaga", ...).
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm to `cfg.max_updates` model updates. The context
+    /// must be fresh (no in-flight tasks); the solver drains its own
+    /// outstanding tasks before returning.
+    fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport;
+}
+
+/// Partitions `dataset` into `cfg.partitions` blocks (default: one per
+/// worker) and wraps them in a one-block-per-partition RDD whose cost
+/// hints are the blocks' nonzero counts.
+pub fn block_rdd(
+    ctx: &AsyncContext,
+    dataset: &Dataset,
+    cfg: &SolverCfg,
+) -> (Vec<Block>, Rdd<Block>) {
+    let nparts = if cfg.partitions == 0 {
+        ctx.workers()
+    } else {
+        cfg.partitions
+    };
+    let blocks = dataset.partition(nparts);
+    let costs: Vec<f64> = blocks.iter().map(|b| b.nnz() as f64).collect();
+    let rdd = Rdd::parallelize_with_cost(blocks.iter().map(|b| vec![b.clone()]).collect(), costs);
+    (blocks, rdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_cluster::{ClusterSpec, CommModel, DelayModel};
+    use async_data::SynthSpec;
+
+    #[test]
+    fn block_rdd_defaults_to_one_partition_per_worker() {
+        let ctx = AsyncContext::sim(
+            ClusterSpec::homogeneous(4, DelayModel::None).with_comm(CommModel::free()),
+        );
+        let (d, _) = SynthSpec::dense("t", 40, 4, 1).generate().unwrap();
+        let (blocks, rdd) = block_rdd(&ctx, &d, &SolverCfg::default());
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(rdd.num_partitions(), 4);
+        let total: usize = blocks.iter().map(|b| b.rows()).sum();
+        assert_eq!(total, 40);
+        // Cost hints reflect block nonzeros (dense: rows × cols).
+        assert_eq!(rdd.cost_hint(0), (blocks[0].rows() * 4) as f64);
+    }
+}

@@ -1,0 +1,318 @@
+//! End-to-end barrier-control runs: ASGD and ASAGA driving
+//! `AsyncContext::async_reduce` through `SimEngine` under ASP, BSP and
+//! SSP, checking determinism, staleness bounds, and convergence.
+
+use async_cluster::{ClusterSpec, CommModel, DelayModel, VDur, VTime};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::{Dataset, SynthSpec};
+use async_linalg::ParallelismCfg;
+use async_optim::{Asaga, Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
+
+const WORKERS: usize = 4;
+const STRAGGLER_INTENSITY: f64 = 1.0;
+
+fn cds_ctx() -> AsyncContext {
+    // One controlled-delay straggler (§6.3), free comms so barrier effects
+    // dominate, zero scheduling overhead for easy arithmetic.
+    AsyncContext::sim(
+        ClusterSpec::homogeneous(
+            WORKERS,
+            DelayModel::ControlledDelay {
+                worker: WORKERS - 1,
+                intensity: STRAGGLER_INTENSITY,
+            },
+        )
+        .with_comm(CommModel::free())
+        .with_sched_overhead(VDur::ZERO),
+    )
+}
+
+fn dataset() -> Dataset {
+    SynthSpec::dense("e2e", 240, 12, 7).generate().unwrap().0
+}
+
+fn run_asgd(barrier: BarrierFilter, dataset: &Dataset) -> RunReport {
+    let mut ctx = cds_ctx();
+    let cfg = SolverCfg {
+        step: 0.05,
+        batch_fraction: 0.25,
+        barrier,
+        max_updates: 120,
+        seed: 3,
+        ..SolverCfg::default()
+    };
+    Asgd::new(Objective::LeastSquares { lambda: 0.01 }).run(&mut ctx, dataset, &cfg)
+}
+
+#[test]
+fn iterate_counts_are_deterministic_across_runs() {
+    let d = dataset();
+    for barrier in [
+        BarrierFilter::Asp,
+        BarrierFilter::Bsp,
+        BarrierFilter::Ssp { slack: 2 },
+    ] {
+        let a = run_asgd(barrier.clone(), &d);
+        let b = run_asgd(barrier.clone(), &d);
+        assert_eq!(
+            a.worker_clocks, b.worker_clocks,
+            "{barrier:?}: clocks must reproduce"
+        );
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(
+            a.wall_clock, b.wall_clock,
+            "{barrier:?}: virtual time must reproduce"
+        );
+        assert_eq!(
+            a.final_w, b.final_w,
+            "{barrier:?}: iterates must be bit-identical"
+        );
+        assert_eq!(a.trace.points(), b.trace.points());
+    }
+}
+
+#[test]
+fn bsp_locks_worker_clocks_in_rounds() {
+    let d = dataset();
+    let r = run_asgd(BarrierFilter::Bsp, &d);
+    let min = r.worker_clocks.iter().min().unwrap();
+    let max = r.worker_clocks.iter().max().unwrap();
+    assert!(
+        max - min <= 1,
+        "BSP clocks must stay within one round: {:?}",
+        r.worker_clocks
+    );
+    // With a full barrier, consumed results are never stale by more than
+    // one wave of the remaining workers.
+    assert!(
+        r.max_staleness <= WORKERS as u64,
+        "BSP staleness {}",
+        r.max_staleness
+    );
+}
+
+#[test]
+fn asp_outruns_bsp_against_the_straggler() {
+    let d = dataset();
+    let asp = run_asgd(BarrierFilter::Asp, &d);
+    let bsp = run_asgd(BarrierFilter::Bsp, &d);
+    assert_eq!(asp.updates, bsp.updates, "same update budget");
+    assert!(
+        asp.wall_clock < bsp.wall_clock,
+        "ASP ({}) should beat BSP ({}) to the same update count under a CDS straggler",
+        asp.wall_clock,
+        bsp.wall_clock
+    );
+    // Fast workers run ahead under ASP…
+    let fast = asp.worker_clocks[..WORKERS - 1].iter().min().unwrap();
+    assert!(
+        *fast > asp.worker_clocks[WORKERS - 1],
+        "ASP fast workers should outpace the straggler: {:?}",
+        asp.worker_clocks
+    );
+    // …and nobody waits at barriers (paper Fig. 4: ASP wait ≈ 0).
+    assert!(
+        asp.mean_wait < bsp.mean_wait,
+        "ASP mean wait {} should undercut BSP {}",
+        asp.mean_wait,
+        bsp.mean_wait
+    );
+}
+
+#[test]
+fn ssp_slack_bounds_observed_staleness_between_asp_and_bsp() {
+    let d = dataset();
+    let slack = 1u64;
+    let ssp = run_asgd(BarrierFilter::Ssp { slack }, &d);
+    let asp = run_asgd(BarrierFilter::Asp, &d);
+
+    // SSP bounds the clock spread by construction (a worker may already
+    // hold one granted task when the bound tightens, hence +1)…
+    let min = ssp.worker_clocks.iter().min().unwrap();
+    let max = ssp.worker_clocks.iter().max().unwrap();
+    assert!(
+        max - min <= slack + 1,
+        "SSP(slack={slack}) clock spread {:?}",
+        ssp.worker_clocks
+    );
+    // …while ASP's spread blows past it under the same straggler.
+    let amin = asp.worker_clocks.iter().min().unwrap();
+    let amax = asp.worker_clocks.iter().max().unwrap();
+    assert!(
+        amax - amin > slack + 1,
+        "ASP spread should exceed SSP's bound: {:?}",
+        asp.worker_clocks
+    );
+
+    // Observed result staleness: an SSP(slack) result can be at most
+    // (slack + 1) own-clock steps behind, each overlapping at most the
+    // other P−1 workers' updates plus its own; ASP has no such bound.
+    let ssp_bound = (slack + 2) * WORKERS as u64;
+    assert!(
+        ssp.max_staleness <= ssp_bound,
+        "SSP staleness {} exceeds bound {ssp_bound}",
+        ssp.max_staleness
+    );
+    assert!(
+        ssp.max_staleness <= asp.max_staleness,
+        "SSP ({}) should not observe more staleness than ASP ({})",
+        ssp.max_staleness,
+        asp.max_staleness
+    );
+}
+
+#[test]
+fn asgd_converges_logistic_regression_under_ssp() {
+    // The acceptance-criterion run: logistic regression driven through
+    // AsyncContext::async_reduce with BarrierFilter::Ssp on SimEngine,
+    // converging to a small loss.
+    let spec = SynthSpec::dense("logit", 300, 10, 21);
+    let (mut d, w_star) = spec.generate().unwrap();
+    // Re-label into ±1 classes from the planted linear model.
+    let margins: Vec<f64> = (0..d.rows())
+        .map(|i| d.features().row_dot(i, &w_star))
+        .collect();
+    let labels: Vec<f64> = margins
+        .iter()
+        .map(|&m| if m >= 0.0 { 1.0 } else { -1.0 })
+        .collect();
+    d = Dataset::new("logit-pm1", d.features().clone(), labels).unwrap();
+
+    let objective = Objective::Logistic { lambda: 1e-3 };
+    let mut ctx = cds_ctx();
+    let cfg = SolverCfg {
+        step: 0.8,
+        batch_fraction: 0.3,
+        barrier: BarrierFilter::Ssp { slack: 2 },
+        max_updates: 400,
+        eval_every: 50,
+        seed: 5,
+        ..SolverCfg::default()
+    };
+    let r = Asgd::new(objective).run(&mut ctx, &d, &cfg);
+    assert_eq!(r.updates, 400);
+    let f0 = objective.full_objective(ParallelismCfg::sequential(), &d, &vec![0.0; d.cols()]);
+    assert!(
+        r.final_objective < 0.35 * f0,
+        "logistic loss should drop well below ln 2: {} vs initial {f0}",
+        r.final_objective
+    );
+    // The trace is monotone enough to certify convergence end-to-end.
+    assert!(r.trace.points().len() >= 9);
+    assert!(r.trace.final_error().unwrap() < r.trace.points()[0].1);
+}
+
+#[test]
+fn asaga_history_converges_and_prunes_memory() {
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective.optimum(ParallelismCfg::sequential(), &d).unwrap();
+    let mut ctx = cds_ctx();
+    let cfg = SolverCfg {
+        step: 0.05,
+        batch_fraction: 0.2,
+        barrier: BarrierFilter::Asp,
+        max_updates: 600,
+        seed: 9,
+        baseline,
+        ..SolverCfg::default()
+    };
+    let r = Asaga::new(objective).run(&mut ctx, &d, &cfg);
+    assert_eq!(r.updates, 600);
+    let f0 = objective.full_objective(ParallelismCfg::sequential(), &d, &vec![0.0; d.cols()]);
+    let gap0 = f0 - baseline;
+    let gap = r.final_objective - baseline;
+    assert!(
+        gap < 0.05 * gap0,
+        "ASAGA should close most of the optimality gap: {gap} of initial {gap0}"
+    );
+}
+
+#[test]
+fn asaga_survives_a_mid_run_worker_failure() {
+    // A worker dies with a task in flight: its result never arrives, the
+    // solver must keep iterating on the survivors and release the dead
+    // task's history pin at run end (the unpin bookkeeping debug-asserts
+    // on imbalance, so this exercises the cleanup path).
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let mut ctx = cds_ctx();
+    // Tasks run ~3.6µs here and the full budget completes in ~155µs of
+    // virtual time, so 50µs lands the failure squarely mid-run.
+    ctx.driver_mut().schedule_failure(1, VTime::from_micros(50));
+    let cfg = SolverCfg {
+        step: 0.04,
+        batch_fraction: 0.25,
+        barrier: BarrierFilter::Asp,
+        max_updates: 150,
+        seed: 23,
+        ..SolverCfg::default()
+    };
+    let r = Asaga::new(objective).run(&mut ctx, &d, &cfg);
+    assert_eq!(
+        r.updates, 150,
+        "survivors must still reach the update budget"
+    );
+    assert!(r.final_objective.is_finite());
+    // The dead worker's clock froze early; survivors kept moving.
+    assert!(
+        r.worker_clocks[0] > r.worker_clocks[1] + 10,
+        "{:?}",
+        r.worker_clocks
+    );
+    assert_eq!(ctx.stat().alive_count(), WORKERS - 1);
+}
+
+#[test]
+fn asaga_matches_asgd_determinism_under_bsp() {
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let run = || {
+        let mut ctx = cds_ctx();
+        let cfg = SolverCfg {
+            step: 0.04,
+            batch_fraction: 0.25,
+            barrier: BarrierFilter::Bsp,
+            max_updates: 80,
+            seed: 13,
+            ..SolverCfg::default()
+        };
+        Asaga::new(objective).run(&mut ctx, &d, &cfg)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.final_w, b.final_w);
+    assert_eq!(a.worker_clocks, b.worker_clocks);
+    let min = a.worker_clocks.iter().min().unwrap();
+    let max = a.worker_clocks.iter().max().unwrap();
+    assert!(max - min <= 1, "BSP rounds: {:?}", a.worker_clocks);
+}
+
+#[test]
+fn staleness_damping_keeps_asp_stable_at_large_steps() {
+    // At an aggressive step size the undamped ASP run may oscillate; the
+    // 1/(1+staleness) rule must do no worse.
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let run = |damping: bool| {
+        let mut ctx = cds_ctx();
+        let cfg = SolverCfg {
+            step: 0.12,
+            staleness_damping: damping,
+            batch_fraction: 0.25,
+            barrier: BarrierFilter::Asp,
+            max_updates: 200,
+            seed: 17,
+            ..SolverCfg::default()
+        };
+        Asgd::new(objective).run(&mut ctx, &d, &cfg)
+    };
+    let plain = run(false);
+    let damped = run(true);
+    assert!(damped.final_objective.is_finite());
+    assert!(
+        damped.final_objective <= plain.final_objective * 1.05,
+        "damped ({}) should not trail undamped ({}) meaningfully",
+        damped.final_objective,
+        plain.final_objective
+    );
+}

@@ -20,13 +20,21 @@ pub struct Broadcast<T> {
 
 impl<T> Clone for Broadcast<T> {
     fn clone(&self) -> Self {
-        Self { id: self.id, bytes: self.bytes, value: Arc::clone(&self.value) }
+        Self {
+            id: self.id,
+            bytes: self.bytes,
+            value: Arc::clone(&self.value),
+        }
     }
 }
 
 impl<T> Broadcast<T> {
     pub(crate) fn new(id: u64, bytes: u64, value: T) -> Self {
-        Self { id, bytes, value: Arc::new(value) }
+        Self {
+            id,
+            bytes,
+            value: Arc::new(value),
+        }
     }
 
     /// The broadcast value (Spark's `Broadcast.value`).
@@ -52,7 +60,10 @@ impl<T> Broadcast<T> {
     /// The charge descriptor passed to stage execution so the driver can
     /// bill first-use transfers per worker.
     pub fn charge(&self) -> BcastCharge {
-        BcastCharge { id: self.id, bytes: self.bytes }
+        BcastCharge {
+            id: self.id,
+            bytes: self.bytes,
+        }
     }
 }
 
@@ -75,7 +86,10 @@ pub struct BroadcastRegistry {
 impl BroadcastRegistry {
     /// Registry for `workers` workers.
     pub fn new(workers: usize) -> Self {
-        Self { next_id: 0, seen: vec![std::collections::HashSet::new(); workers] }
+        Self {
+            next_id: 0,
+            seen: vec![std::collections::HashSet::new(); workers],
+        }
     }
 
     /// Creates a broadcast from a payload value.

@@ -76,7 +76,9 @@ impl Driver {
 
     /// Ids of workers that have not failed.
     pub fn alive_workers(&self) -> Vec<WorkerId> {
-        (0..self.engine.workers()).filter(|&w| self.engine.alive(w)).collect()
+        (0..self.engine.workers())
+            .filter(|&w| self.engine.alive(w))
+            .collect()
     }
 
     /// True when `w` is alive and idle.
@@ -163,7 +165,15 @@ impl Driver {
         let bytes = self.registry.charge_for(w, uses) + extra_bytes;
         self.wait.task_received(w, self.engine.now());
         self.total_tasks += 1;
-        self.engine.submit(w, Task { tag, cost, bytes_in: bytes, run })
+        self.engine.submit(
+            w,
+            Task {
+                tag,
+                cost,
+                bytes_in: bytes,
+                run,
+            },
+        )
     }
 
     /// Blocks for the next completion (advancing virtual time), recording
@@ -244,7 +254,15 @@ impl Driver {
         let mut first_submitted = vec![false; n_workers];
 
         for w in 0..n_workers {
-            self.dispatch_next(rdd, uses, cost_scale, &f, &mut queues, &mut first_submitted, w);
+            self.dispatch_next(
+                rdd,
+                uses,
+                cost_scale,
+                &f,
+                &mut queues,
+                &mut first_submitted,
+                w,
+            );
         }
 
         let mut completed = 0;
@@ -272,7 +290,12 @@ impl Driver {
                         self.wait.result_submitted(d.worker, d.finished_at);
                     } else {
                         self.dispatch_next(
-                            rdd, uses, cost_scale, &f, &mut queues, &mut first_submitted,
+                            rdd,
+                            uses,
+                            cost_scale,
+                            &f,
+                            &mut queues,
+                            &mut first_submitted,
                             d.worker,
                         );
                     }
@@ -282,20 +305,35 @@ impl Driver {
                     let mut orphans: Vec<usize> = queues[worker].drain(..).collect();
                     orphans.push(tag as usize);
                     self.redistribute(
-                        rdd, uses, cost_scale, &f, &mut queues, &mut first_submitted, orphans,
+                        rdd,
+                        uses,
+                        cost_scale,
+                        &f,
+                        &mut queues,
+                        &mut first_submitted,
+                        orphans,
                     );
                 }
                 Completion::WorkerDown { worker } => {
                     let orphans: Vec<usize> = queues[worker].drain(..).collect();
                     self.redistribute(
-                        rdd, uses, cost_scale, &f, &mut queues, &mut first_submitted, orphans,
+                        rdd,
+                        uses,
+                        cost_scale,
+                        &f,
+                        &mut queues,
+                        &mut first_submitted,
+                        orphans,
                     );
                 }
             }
         }
         stats.end = self.engine.now();
         (
-            results.into_iter().map(|r| r.expect("all partitions completed")).collect(),
+            results
+                .into_iter()
+                .map(|r| r.expect("all partitions completed"))
+                .collect(),
             stats,
         )
     }
@@ -318,7 +356,9 @@ impl Driver {
         if !self.engine.available(w) {
             return;
         }
-        let Some(part) = queues[w].pop_front() else { return };
+        let Some(part) = queues[w].pop_front() else {
+            return;
+        };
         let bytes = self.registry.charge_for(w, uses);
         self.total_tasks += 1;
         if !first_submitted[w] {
@@ -335,7 +375,15 @@ impl Driver {
             Box::new(f(ctx, data, part))
         });
         self.engine
-            .submit(w, Task { tag: part as u64, cost, bytes_in: bytes, run })
+            .submit(
+                w,
+                Task {
+                    tag: part as u64,
+                    cost,
+                    bytes_in: bytes,
+                    run,
+                },
+            )
             .expect("dispatch_next checked availability");
     }
 
@@ -477,7 +525,13 @@ mod tests {
     #[test]
     fn stage_barrier_waits_for_straggler() {
         // Worker 1 runs 2x slower: the stage end must match its finish.
-        let mut d = sim_driver(2, DelayModel::ControlledDelay { worker: 1, intensity: 1.0 });
+        let mut d = sim_driver(
+            2,
+            DelayModel::ControlledDelay {
+                worker: 1,
+                intensity: 1.0,
+            },
+        );
         let rdd = Rdd::parallelize_with_cost(vec![vec![0i64], vec![0i64]], vec![2e8, 2e8]);
         let (_, stats) = d.run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64);
         let f0 = stats.last_finish[0].unwrap();
@@ -492,7 +546,13 @@ mod tests {
         // Two stages: worker 0's wait between stages = straggler finish −
         // its own finish. With a 100% straggler the wait equals one full
         // task time.
-        let mut d = sim_driver(2, DelayModel::ControlledDelay { worker: 1, intensity: 1.0 });
+        let mut d = sim_driver(
+            2,
+            DelayModel::ControlledDelay {
+                worker: 1,
+                intensity: 1.0,
+            },
+        );
         let rdd = Rdd::parallelize_with_cost(vec![vec![0i64], vec![0i64]], vec![2e8, 2e8]);
         for _ in 0..2 {
             let _ = d.run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64);
@@ -506,7 +566,10 @@ mod tests {
     #[test]
     fn broadcast_charged_once_per_worker() {
         let spec = ClusterSpec::homogeneous(2, DelayModel::None)
-            .with_comm(CommModel { per_msg: VDur::ZERO, ns_per_byte: 0.0 })
+            .with_comm(CommModel {
+                per_msg: VDur::ZERO,
+                ns_per_byte: 0.0,
+            })
             .with_sched_overhead(VDur::ZERO);
         let mut d = Driver::sim(spec);
         let b = d.broadcast(vec![0.0f64; 100]);

@@ -37,7 +37,9 @@ pub struct Rdd<T: Data> {
 
 impl<T: Data> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Self { ops: Arc::clone(&self.ops) }
+        Self {
+            ops: Arc::clone(&self.ops),
+        }
     }
 }
 
@@ -60,20 +62,37 @@ impl<T: Data> Rdd<T> {
     /// # Panics
     /// Panics if `parts.len() != costs.len()`.
     pub fn parallelize_with_cost(parts: Vec<Vec<T>>, costs: Vec<f64>) -> Self {
-        assert_eq!(parts.len(), costs.len(), "parallelize: parts/costs mismatch");
+        assert_eq!(
+            parts.len(),
+            costs.len(),
+            "parallelize: parts/costs mismatch"
+        );
         Self {
-            ops: Arc::new(SourceRdd { parts: parts.into_iter().map(Arc::new).collect(), costs }),
+            ops: Arc::new(SourceRdd {
+                parts: parts.into_iter().map(Arc::new).collect(),
+                costs,
+            }),
         }
     }
 
     /// Element-wise transformation.
     pub fn map<U: Data>(&self, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Rdd<U> {
-        Rdd { ops: Arc::new(MapRdd { parent: Arc::clone(&self.ops), f: Arc::new(f) }) }
+        Rdd {
+            ops: Arc::new(MapRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+            }),
+        }
     }
 
     /// Keeps elements satisfying `pred`.
     pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
-        Rdd { ops: Arc::new(FilterRdd { parent: Arc::clone(&self.ops), pred: Arc::new(pred) }) }
+        Rdd {
+            ops: Arc::new(FilterRdd {
+                parent: Arc::clone(&self.ops),
+                pred: Arc::new(pred),
+            }),
+        }
     }
 
     /// Bernoulli sampling: keeps each element with probability `fraction`
@@ -117,8 +136,11 @@ impl<T: Data> Rdd<T> {
         self.ops.cost_hint(part)
     }
 
-    /// Shares the underlying ops for task closures.
-    pub(crate) fn ops(&self) -> Arc<dyn RddOps<T>> {
+    /// Shares the underlying lineage node for task closures — used by the
+    /// driver's stage machinery and by engine layers that build their own
+    /// tasks (the async layer's `ASYNCreduce` submits partition
+    /// computations directly through `Driver::submit_raw`).
+    pub fn ops(&self) -> Arc<dyn RddOps<T>> {
         Arc::clone(&self.ops)
     }
 }
@@ -150,7 +172,11 @@ impl<T: Data, U: Data> RddOps<U> for MapRdd<T, U> {
         self.parent.num_partitions()
     }
     fn compute(&self, part: usize) -> Vec<U> {
-        self.parent.compute(part).iter().map(|t| (self.f)(t)).collect()
+        self.parent
+            .compute(part)
+            .iter()
+            .map(|t| (self.f)(t))
+            .collect()
     }
     fn cost_hint(&self, part: usize) -> f64 {
         self.parent.cost_hint(part)
@@ -167,7 +193,11 @@ impl<T: Data> RddOps<T> for FilterRdd<T> {
         self.parent.num_partitions()
     }
     fn compute(&self, part: usize) -> Vec<T> {
-        self.parent.compute(part).into_iter().filter(|t| (self.pred)(t)).collect()
+        self.parent
+            .compute(part)
+            .into_iter()
+            .filter(|t| (self.pred)(t))
+            .collect()
     }
     fn cost_hint(&self, part: usize) -> f64 {
         self.parent.cost_hint(part)
@@ -185,9 +215,8 @@ impl<T: Data> RddOps<T> for SampleRdd<T> {
         self.parent.num_partitions()
     }
     fn compute(&self, part: usize) -> Vec<T> {
-        let mut rng = SmallRng::seed_from_u64(
-            self.seed ^ (part as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (part as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.parent
             .compute(part)
             .into_iter()
@@ -209,7 +238,9 @@ impl<T: Data> RddOps<T> for CachedRdd<T> {
         self.parent.num_partitions()
     }
     fn compute(&self, part: usize) -> Vec<T> {
-        self.slots[part].get_or_init(|| self.parent.compute(part)).clone()
+        self.slots[part]
+            .get_or_init(|| self.parent.compute(part))
+            .clone()
     }
     fn cost_hint(&self, part: usize) -> f64 {
         self.parent.cost_hint(part)
@@ -269,7 +300,11 @@ mod tests {
         assert_eq!(r.compute(0), vec![2, 3]);
         assert_eq!(r.compute(0), vec![2, 3]);
         assert_eq!(r.compute(1), vec![4]);
-        assert_eq!(calls.load(Ordering::SeqCst), 3, "each element mapped exactly once");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            3,
+            "each element mapped exactly once"
+        );
     }
 
     #[test]

@@ -149,7 +149,15 @@ impl Engine for SimEngine {
     fn next(&mut self) -> Option<Completion> {
         while let Some((t, ev)) = self.queue.pop() {
             match ev {
-                SimEvent::Finish { worker, epoch, tag, output, issued_at, service_time, bytes_in } => {
+                SimEvent::Finish {
+                    worker,
+                    epoch,
+                    tag,
+                    output,
+                    issued_at,
+                    service_time,
+                    bytes_in,
+                } => {
                     if epoch != self.epoch[worker] {
                         continue; // cancelled by a failure
                     }
@@ -230,7 +238,12 @@ mod tests {
     }
 
     fn task(tag: u64, cost: f64, value: i64) -> Task {
-        Task { tag, cost, bytes_in: 0, run: Box::new(move |_| Box::new(value)) }
+        Task {
+            tag,
+            cost,
+            bytes_in: 0,
+            run: Box::new(move |_| Box::new(value)),
+        }
     }
 
     fn run_to_done(engine: &mut SimEngine) -> Vec<(u64, i64, VTime)> {
@@ -258,7 +271,10 @@ mod tests {
 
     #[test]
     fn straggler_factor_stretches_exactly_target() {
-        let delay = DelayModel::ControlledDelay { worker: 1, intensity: 1.0 };
+        let delay = DelayModel::ControlledDelay {
+            worker: 1,
+            intensity: 1.0,
+        };
         let mut e = SimEngine::new(quiet_spec(2, delay));
         e.submit(0, task(0, 2e8, 1)).unwrap();
         e.submit(1, task(1, 2e8, 2)).unwrap();
@@ -273,13 +289,19 @@ mod tests {
     fn busy_and_dead_submissions_rejected() {
         let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
         e.submit(0, task(0, 1.0, 1)).unwrap();
-        assert_eq!(e.submit(0, task(1, 1.0, 1)).unwrap_err(), EngineError::WorkerBusy(0));
+        assert_eq!(
+            e.submit(0, task(1, 1.0, 1)).unwrap_err(),
+            EngineError::WorkerBusy(0)
+        );
         assert!(!e.available(0));
         let _ = e.next();
         e.kill_worker(0);
         let c = e.next();
         assert!(matches!(c, Some(Completion::WorkerDown { worker: 0 })));
-        assert_eq!(e.submit(0, task(2, 1.0, 1)).unwrap_err(), EngineError::WorkerDead(0));
+        assert_eq!(
+            e.submit(0, task(2, 1.0, 1)).unwrap_err(),
+            EngineError::WorkerDead(0)
+        );
     }
 
     #[test]
@@ -328,7 +350,8 @@ mod tests {
                 DelayModel::ProductionCluster(async_cluster::PcsConfig::paper(3)),
             ));
             for w in 0..4 {
-                e.submit(w, task(w as u64, 1e8 + w as f64, w as i64)).unwrap();
+                e.submit(w, task(w as u64, 1e8 + w as f64, w as i64))
+                    .unwrap();
             }
             run_to_done(&mut e)
         };
@@ -338,12 +361,23 @@ mod tests {
     #[test]
     fn comm_model_charges_bytes() {
         let spec = ClusterSpec::homogeneous(1, DelayModel::None)
-            .with_comm(CommModel { per_msg: VDur::ZERO, ns_per_byte: 1000.0 })
+            .with_comm(CommModel {
+                per_msg: VDur::ZERO,
+                ns_per_byte: 1000.0,
+            })
             .with_sched_overhead(VDur::ZERO);
         let mut e = SimEngine::new(spec);
         // 1e6 bytes at 1000 ns/B = 1 s transfer; zero compute cost.
-        e.submit(0, Task { tag: 0, cost: 0.0, bytes_in: 1_000_000, run: Box::new(|_| Box::new(())) })
-            .unwrap();
+        e.submit(
+            0,
+            Task {
+                tag: 0,
+                cost: 0.0,
+                bytes_in: 1_000_000,
+                run: Box::new(|_| Box::new(())),
+            },
+        )
+        .unwrap();
         match e.next() {
             Some(Completion::Done(d)) => {
                 assert_eq!(d.finished_at, VTime::from_micros(1_000_000));

@@ -27,7 +27,13 @@ use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskFn, Tas
 use crate::worker::WorkerCtx;
 
 enum Msg {
-    Run { tag: u64, cost: f64, bytes_in: u64, run: TaskFn, seq: u64 },
+    Run {
+        tag: u64,
+        cost: f64,
+        bytes_in: u64,
+        run: TaskFn,
+        seq: u64,
+    },
     Stop,
 }
 
@@ -139,7 +145,13 @@ fn worker_loop(
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Stop => break,
-            Msg::Run { tag, cost, bytes_in, run, seq } => {
+            Msg::Run {
+                tag,
+                cost,
+                bytes_in,
+                run,
+                seq,
+            } => {
                 let t0 = Instant::now();
                 let output = run(&mut ctx);
                 let measured = t0.elapsed();
@@ -156,7 +168,14 @@ fn worker_loop(
                 if sleep_us >= 1.0 {
                     std::thread::sleep(Duration::from_micros(sleep_us as u64));
                 }
-                if res_tx.send(WireDone { worker: w, tag, output, bytes_in: total_bytes }).is_err()
+                if res_tx
+                    .send(WireDone {
+                        worker: w,
+                        tag,
+                        output,
+                        bytes_in: total_bytes,
+                    })
+                    .is_err()
                 {
                     break; // engine dropped
                 }
@@ -196,7 +215,13 @@ impl Engine for ThreadedEngine {
         self.issued_at[w] = self.elapsed();
         self.pending += 1;
         self.txs[w]
-            .send(Msg::Run { tag: task.tag, cost: task.cost, bytes_in: task.bytes_in, run: task.run, seq })
+            .send(Msg::Run {
+                tag: task.tag,
+                cost: task.cost,
+                bytes_in: task.bytes_in,
+                run: task.run,
+                seq,
+            })
             .expect("worker thread is alive while not marked dead");
         Ok(())
     }
@@ -284,7 +309,12 @@ mod tests {
     }
 
     fn task(tag: u64, value: i64) -> Task {
-        Task { tag, cost: 0.0, bytes_in: 0, run: Box::new(move |_| Box::new(value)) }
+        Task {
+            tag,
+            cost: 0.0,
+            bytes_in: 0,
+            run: Box::new(move |_| Box::new(value)),
+        }
     }
 
     #[test]
@@ -330,20 +360,35 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2);
-        assert!(t0.elapsed() < Duration::from_millis(55), "took {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() < Duration::from_millis(55),
+            "took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
     fn straggler_sleep_injection_slows_target() {
         // Worker 1 at 100% delay on a modelled 20 ms task; worker 0 fast.
-        let delay = DelayModel::ControlledDelay { worker: 1, intensity: 1.0 };
+        let delay = DelayModel::ControlledDelay {
+            worker: 1,
+            intensity: 1.0,
+        };
         let mut sp = spec(2, delay);
         sp.profiles = vec![async_cluster::WorkerProfile { speed: 1e6 }; 2];
         let mut e = ThreadedEngine::new(sp, 1.0);
         // cost 20_000 units at 1e6 units/s = 20 ms modelled.
         for w in 0..2 {
-            e.submit(w, Task { tag: w as u64, cost: 20_000.0, bytes_in: 0, run: Box::new(|_| Box::new(())) })
-                .unwrap();
+            e.submit(
+                w,
+                Task {
+                    tag: w as u64,
+                    cost: 20_000.0,
+                    bytes_in: 0,
+                    run: Box::new(|_| Box::new(())),
+                },
+            )
+            .unwrap();
         }
         let first = match e.next() {
             Some(Completion::Done(d)) => d.tag,
@@ -355,7 +400,11 @@ mod tests {
             _ => panic!(),
         };
         assert_eq!(second.tag, 1);
-        assert!(second.service_time >= VDur::from_micros(35_000), "straggler too fast: {}", second.service_time);
+        assert!(
+            second.service_time >= VDur::from_micros(35_000),
+            "straggler too fast: {}",
+            second.service_time
+        );
     }
 
     #[test]
@@ -403,7 +452,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(e.submit(0, task(1, 1)).unwrap_err(), EngineError::WorkerBusy(0));
+        assert_eq!(
+            e.submit(0, task(1, 1)).unwrap_err(),
+            EngineError::WorkerBusy(0)
+        );
         while e.next().is_some() {}
     }
 }

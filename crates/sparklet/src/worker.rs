@@ -80,7 +80,8 @@ impl WorkerCtx {
     /// called when the server's reference counts show old history can no
     /// longer be requested.
     pub fn cache_evict_below(&mut self, bcast_id: u64, min_version: u64) {
-        self.cache.retain(|&(b, v), _| b != bcast_id || v >= min_version);
+        self.cache
+            .retain(|&(b, v), _| b != bcast_id || v >= min_version);
     }
 
     /// Number of cached entries (all broadcasts).

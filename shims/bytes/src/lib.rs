@@ -1,0 +1,107 @@
+//! Offline shim for the subset of `bytes` this workspace uses: a growable
+//! byte buffer ([`BytesMut`]) and the little-endian put methods of
+//! [`BufMut`]. The wire encodings written through this shim are identical
+//! to the real crate's.
+
+/// Sink for appending encoded bytes.
+pub trait BufMut {
+    /// Appends a raw byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A growable, contiguous byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the buffer into its backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_encoding() {
+        let mut b = BytesMut::new();
+        b.put_u64_le(1);
+        b.put_f64_le(1.0);
+        b.put_u32_le(2);
+        b.put_u8(3);
+        assert_eq!(b.len(), 8 + 8 + 4 + 1);
+        assert_eq!(&b[..8], &[1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(&b[8..16], &1.0f64.to_le_bytes());
+        assert_eq!(b[20], 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses.
+//!
+//! Wraps `std::sync::RwLock` behind `parking_lot`'s non-poisoning API
+//! (`read()` / `write()` return guards directly). Poisoning is converted to
+//! a panic, which matches parking_lot's behaviour of not having poisoning
+//! at all: a panicked writer is a bug either way.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock with `parking_lot`'s guard-returning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().expect("RwLock poisoned")
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("RwLock poisoned")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("RwLock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_cycle() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let l = std::sync::Arc::new(RwLock::new(7));
+        let g1 = l.read();
+        let g2 = l.read();
+        assert_eq!(*g1 + *g2, 14);
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline shim for the subset of `proptest` this workspace's property
+//! tests use: the [`Strategy`] trait over ranges/tuples/vecs, the
+//! `proptest!` macro (block form with `#[test]` functions and an optional
+//! `#![proptest_config(...)]`, plus the inline closure form), and the
+//! `prop_assert!` / `prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate, by design: no shrinking (a failing
+//! case prints its generated inputs via the assertion message and the case
+//! index, which is reproducible because generation is deterministic in the
+//! test name and case number), and no persistence files.
+
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Deterministic generator for test-case inputs: splitmix64 over a
+    /// (test-name-hash, case-index) key, so every run regenerates exactly
+    /// the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+int_strategies!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident, $idx:tt);+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (A, 0),
+    (A, 0; B, 1),
+    (A, 0; B, 1; C, 2),
+    (A, 0; B, 1; C, 2; D, 3),
+);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector length specification: a fixed size or a half-open range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                return self.start;
+            }
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for vectors of `element` values with `size` entries.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// What the test-body closures return: `Err` carries a failed
+/// `prop_assert!` message.
+pub type TestCaseResult = Result<(), String>;
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// (not the whole process) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Runs one generated case body; used by the `proptest!` expansion.
+pub fn run_case(test: &str, case: u64, result: TestCaseResult) {
+    if let Err(msg) = result {
+        panic!("proptest '{test}' failed at deterministic case {case}: {msg}");
+    }
+}
+
+/// The `proptest!` macro: block form defining `#[test]` functions whose
+/// arguments are drawn from strategies, and an inline closure form running
+/// a sub-property inside an enclosing body.
+#[macro_export]
+macro_rules! proptest {
+    // Inline closure form: proptest!(|(PAT in STRATEGY)| { ... });
+    (|($pat:pat in $strat:expr)| $body:block) => {{
+        let __strat = $strat;
+        let __cases = $crate::ProptestConfig::default().cases as u64;
+        for __case in 0..__cases {
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic("<closure>", __case);
+            let $pat = $crate::Strategy::generate(&__strat, &mut __rng);
+            #[allow(clippy::redundant_closure_call)]
+            let __r: $crate::TestCaseResult = (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            $crate::run_case("<closure>", __case, __r);
+        }
+    }};
+    // Block form with a #![proptest_config(...)] header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)+
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)+);
+    };
+    // Block form with the default configuration.
+    ( $($rest:tt)+ ) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)+);
+    };
+}
+
+/// Implementation detail of [`proptest!`]'s block form.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases as u64 {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(
+                        stringify!($name),
+                        __case,
+                    );
+                    $(
+                        let $arg =
+                            $crate::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __r: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    $crate::run_case(stringify!($name), __case, __r);
+                }
+            }
+        )+
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair(n: usize) -> impl Strategy<Value = Vec<(u32, f64)>> {
+        collection::vec((0u32..8, -1.0..1.0f64), n)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0..2.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in collection::vec(0u64..5, 0usize..7)) {
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn nested_closure_form(n in 1usize..4) {
+            let strat = pair(n);
+            proptest!(|((_i, ps) in (0u32..2, strat))| {
+                prop_assert_eq!(ps.len(), n);
+            });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_accepted(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::test_runner::TestRng;
+        let s = collection::vec(0u64..1000, 0usize..50);
+        let a = s.generate(&mut TestRng::deterministic("t", 3));
+        let b = s.generate(&mut TestRng::deterministic("t", 3));
+        assert_eq!(a, b);
+        let c = s.generate(&mut TestRng::deterministic("t", 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic case")]
+    fn failing_property_reports_case() {
+        proptest!(|(x in 0u64..10) | {
+            prop_assert!(x < 5, "x was {}", x);
+        });
+    }
+}
