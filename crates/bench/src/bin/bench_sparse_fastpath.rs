@@ -1,0 +1,21 @@
+//! Records the sparse-fast-path + AsyncMsgd datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_sparse_fastpath
+//! [output.json]` (default `BENCH_sparse_fastpath.json` in the current
+//! directory). The output is deterministic for the default configuration;
+//! host-time kernel observations go to stderr only.
+
+use async_bench::sparse_fastpath::{run_sparse_fastpath, SparseFastpathCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sparse_fastpath.json".to_string());
+    let b = run_sparse_fastpath(SparseFastpathCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "sparse_fastpath: {:.1}x less gradient work, {:.1}x smaller results, {:.2}x modeled speedup; msgd ASP {:.2}x over SSP -> {}",
+        b.entries_ratio, b.result_bytes_ratio, b.wall_clock_speedup, b.msgd_asp_speedup, out,
+    );
+}

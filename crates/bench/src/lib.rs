@@ -17,6 +17,8 @@ use async_data::{Dataset, SynthSpec};
 use async_linalg::ParallelismCfg;
 use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
+pub mod sparse_fastpath;
+
 /// Configuration of the ASP-vs-BSP straggler ablation.
 #[derive(Debug, Clone)]
 pub struct AblationCfg {
@@ -157,7 +159,7 @@ pub fn run_async_vs_bsp(cfg: AblationCfg) -> Ablation {
     }
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {

@@ -491,6 +491,30 @@ mod tests {
     }
 
     #[test]
+    fn history_broadcast_ships_sparse_deltas() {
+        // Broadcast payloads can carry sparse gradient deltas: the charged
+        // fetch is the delta's sparse wire size (Payload::encoded_len),
+        // not the embedding dimension.
+        use async_linalg::{GradDelta, SparseVec};
+        let sv = SparseVec::from_pairs(vec![(2, 1.0), (40, -2.0), (900, 0.5)], 1000).unwrap();
+        let delta = GradDelta::Sparse(sv);
+        let wire = delta.encoded_len();
+        let b: AsyncBcast<GradDelta> = AsyncBcast::new(0, delta, 1);
+        let h = b.handle();
+        let mut ctx = WorkerCtx::new(0);
+        let v = h.value(&mut ctx);
+        assert!(v.is_sparse());
+        assert_eq!(v.nnz(), 3);
+        let s = b.stats();
+        assert_eq!(s.fetched_bytes, wire);
+        assert!(
+            s.fetched_bytes < 8 * 1000 / 10,
+            "sparse payload ({} B) must undercut the dense encoding",
+            s.fetched_bytes
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "pruned")]
     fn resolving_pruned_version_panics() {
         let b = bcast(1);

@@ -167,12 +167,39 @@ impl AsyncContext {
 
     /// The paper's `AC.STAT`: a read-only snapshot of the worker table at
     /// the current instant and model version.
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::AsyncContext;
+    ///
+    /// let ctx = AsyncContext::sim(ClusterSpec::homogeneous(3, DelayModel::None));
+    /// let snap = ctx.stat();
+    /// assert_eq!(snap.alive_count(), 3);
+    /// assert_eq!(snap.available_workers(), vec![0, 1, 2]);
+    /// assert_eq!(snap.max_staleness(), 0);
+    /// ```
     pub fn stat(&self) -> StatSnapshot {
         self.stat.snapshot(self.driver.now(), self.version)
     }
 
     /// Creates a history broadcast (§4.3) with a context-unique id.
     /// `n_indices` is the sample universe size (see [`AsyncBcast::new`]).
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::AsyncContext;
+    ///
+    /// let mut ctx = AsyncContext::sim(ClusterSpec::homogeneous(2, DelayModel::None));
+    /// // A model history over a universe of 100 samples: only 8-byte
+    /// // version IDs travel with tasks, values are fetched and cached.
+    /// let w_br = ctx.async_broadcast(vec![0.0f64; 4], 100);
+    /// assert_eq!(w_br.latest_version(), 0);
+    /// assert_eq!(w_br.push(vec![1.0f64; 4]), 1);
+    /// // Sample 7 has never been recorded, so it still references w₀.
+    /// assert_eq!(w_br.version_for_index(7), 0);
+    /// ```
     pub fn async_broadcast<T: Payload + Send + Sync + 'static>(
         &mut self,
         initial: T,
@@ -196,6 +223,30 @@ impl AsyncContext {
     ///
     /// Returns the workers that actually received tasks (empty when the
     /// barrier admits no one, e.g. BSP mid-round).
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::{AsyncContext, BarrierFilter, SubmitOpts};
+    /// use sparklet::Rdd;
+    ///
+    /// let mut ctx = AsyncContext::sim(ClusterSpec::homogeneous(2, DelayModel::None));
+    /// let rdd = Rdd::parallelize(vec![vec![1i64, 2], vec![3, 4]]);
+    /// // ASP: every available worker gets a task over one of its partitions.
+    /// let submitted = ctx.async_reduce(
+    ///     &rdd,
+    ///     &BarrierFilter::Asp,
+    ///     SubmitOpts::default(),
+    ///     |_wctx, data, _part| data.into_iter().sum::<i64>(),
+    /// );
+    /// assert_eq!(submitted, vec![0, 1]);
+    /// let mut partials = Vec::new();
+    /// while let Some(t) = ctx.collect::<i64>() {
+    ///     partials.push(t.value);
+    /// }
+    /// partials.sort_unstable();
+    /// assert_eq!(partials, vec![3, 7]);
+    /// ```
     pub fn async_reduce<T, R, F>(
         &mut self,
         rdd: &Rdd<T>,
@@ -248,6 +299,29 @@ impl AsyncContext {
     /// [`AsyncContext::async_reduce`], but each admitted worker folds its
     /// partition from `zero` with `seq_op`. The driver-side `combOp` is
     /// whatever the caller does with the collected partials.
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::{AsyncContext, BarrierFilter, SubmitOpts};
+    /// use sparklet::Rdd;
+    ///
+    /// let mut ctx = AsyncContext::sim(ClusterSpec::homogeneous(2, DelayModel::None));
+    /// let rdd = Rdd::parallelize(vec![vec![1i64, 2, 3], vec![4, 5]]);
+    /// ctx.async_aggregate(
+    ///     &rdd,
+    ///     &BarrierFilter::Asp,
+    ///     SubmitOpts::default(),
+    ///     0i64,
+    ///     |acc, x| acc + x,
+    /// );
+    /// // Driver-side combOp: fold the collected partials.
+    /// let mut total = 0;
+    /// while let Some(t) = ctx.collect::<i64>() {
+    ///     total += t.value;
+    /// }
+    /// assert_eq!(total, 15);
+    /// ```
     pub fn async_aggregate<T, U, F>(
         &mut self,
         rdd: &Rdd<T>,
@@ -268,6 +342,24 @@ impl AsyncContext {
 
     /// True while unconsumed results exist or tasks are in flight — the
     /// paper's `AC.hasNext()`.
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::{AsyncContext, BarrierFilter, SubmitOpts};
+    /// use sparklet::Rdd;
+    ///
+    /// let mut ctx = AsyncContext::sim(ClusterSpec::homogeneous(1, DelayModel::None));
+    /// assert!(!ctx.has_next());
+    /// let rdd = Rdd::parallelize(vec![vec![1i64]]);
+    /// ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(),
+    ///     |_w, d, _p| d[0]);
+    /// // The canonical consumption loop: while AC.hasNext() { collect() }.
+    /// while ctx.has_next() {
+    ///     ctx.collect::<i64>();
+    /// }
+    /// assert!(!ctx.has_next());
+    /// ```
     pub fn has_next(&self) -> bool {
         !self.ready.is_empty() || self.driver.pending() > 0
     }
@@ -284,6 +376,24 @@ impl AsyncContext {
     /// # Panics
     /// Panics if the next result's type is not `R` — one context pipeline
     /// must collect with the type it submitted.
+    ///
+    /// # Example
+    /// ```
+    /// use async_cluster::{ClusterSpec, DelayModel};
+    /// use async_core::{AsyncContext, BarrierFilter, SubmitOpts};
+    /// use sparklet::Rdd;
+    ///
+    /// let mut ctx = AsyncContext::sim(ClusterSpec::homogeneous(1, DelayModel::None));
+    /// let rdd = Rdd::parallelize(vec![vec![21i64]]);
+    /// ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(),
+    ///     |_w, d, _p| 2 * d[0]);
+    /// // Results arrive tagged with the coordinator's worker attributes.
+    /// let t = ctx.collect::<i64>().expect("one result");
+    /// assert_eq!(t.value, 42);
+    /// assert_eq!(t.attrs.worker, 0);
+    /// assert_eq!(t.attrs.staleness, 0);
+    /// assert!(ctx.collect::<i64>().is_none());
+    /// ```
     pub fn collect<R: Send + 'static>(&mut self) -> Option<Tagged<R>> {
         while self.ready.is_empty() {
             let c = self.driver.next_completion()?;

@@ -32,6 +32,8 @@
 //! | `AC.STAT`              | [`context::AsyncContext::stat`]                 |
 //! | `AC.hasNext()`         | [`context::AsyncContext::has_next`]             |
 
+#![deny(missing_docs)]
+
 pub mod barrier;
 pub mod broadcast;
 pub mod context;

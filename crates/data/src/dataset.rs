@@ -113,6 +113,28 @@ impl Dataset {
             .collect()
     }
 
+    /// The same logical dataset with features rebuilt as dense row-major
+    /// storage. Labels are shared; only the feature storage is copied.
+    pub fn densified(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            features: Arc::new(self.features.densified()),
+            labels: Arc::clone(&self.labels),
+        }
+    }
+
+    /// The same logical dataset with features rebuilt as CSR storage
+    /// (exact zeros dropped). With [`Dataset::densified`] this pins one
+    /// logical workload while switching gradient paths — how the
+    /// dense-vs-sparse fast-path benchmark holds the data fixed.
+    pub fn sparsified(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            features: Arc::new(self.features.sparsified()),
+            labels: Arc::clone(&self.labels),
+        }
+    }
+
     /// The least-squares objective `‖A·w − y‖²` over the full dataset,
     /// evaluated with driver-side parallelism. This is the paper's
     /// evaluation metric before subtracting the baseline.
@@ -255,6 +277,21 @@ mod tests {
         let total: usize = blocks.iter().map(Block::rows).sum();
         assert_eq!(total, 10);
         assert!(blocks.len() <= 32);
+    }
+
+    #[test]
+    fn storage_conversions_preserve_the_dataset() {
+        let d = tiny();
+        let dense = d.densified();
+        assert!(!dense.features().is_sparse());
+        assert_eq!(dense.labels(), d.labels());
+        let back = dense.sparsified();
+        assert!(back.features().is_sparse());
+        assert_eq!(back.features().nnz(), d.features().nnz());
+        let w = vec![0.5; 3];
+        for i in 0..d.rows() {
+            assert!((back.features().row_dot(i, &w) - d.features().row_dot(i, &w)).abs() < 1e-15);
+        }
     }
 
     #[test]

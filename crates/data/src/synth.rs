@@ -86,6 +86,29 @@ impl SynthSpec {
     /// approximation, adequate for benchmarks and cheap); sparse rows draw a
     /// Poisson-ish nonzero count around `nnz_per_row` with distinct sorted
     /// column indices. Labels: `y = x·w* + ε`.
+    /// Like [`SynthSpec::generate`], but relabels into ±1 classes by the
+    /// sign of the planted model's margin `x·w*` — the shape of the
+    /// paper's logistic-regression workload. The dataset name gains a
+    /// `-pm1` suffix.
+    pub fn generate_classification(&self) -> Result<(Dataset, Vec<f64>)> {
+        let (base, w_star) = self.generate()?;
+        let labels: Vec<f64> = (0..base.rows())
+            .map(|i| {
+                if base.features().row_dot(i, &w_star) >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let d = Dataset::new(
+            format!("{}-pm1", self.name),
+            base.features().clone(),
+            labels,
+        )?;
+        Ok((d, w_star))
+    }
+
     pub fn generate(&self) -> Result<(Dataset, Vec<f64>)> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let w_star: Vec<f64> = (0..self.cols)
@@ -197,6 +220,20 @@ mod tests {
         assert_eq!(a.1, b.1);
         let c = SynthSpec::dense("d", 30, 5, 43).generate().unwrap();
         assert_ne!(a.0.labels(), c.0.labels());
+    }
+
+    #[test]
+    fn classification_labels_are_margin_signs() {
+        let (d, w_star) = SynthSpec::sparse("c", 50, 100, 8, 9)
+            .generate_classification()
+            .unwrap();
+        assert_eq!(d.name(), "c-pm1");
+        for i in 0..d.rows() {
+            let y = d.labels()[i];
+            assert!(y == 1.0 || y == -1.0);
+            let margin = d.features().row_dot(i, &w_star);
+            assert_eq!(y, if margin >= 0.0 { 1.0 } else { -1.0 });
+        }
     }
 
     #[test]

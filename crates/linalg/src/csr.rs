@@ -214,6 +214,50 @@ impl CsrMatrix {
         }
     }
 
+    /// Mini-batch margin kernel: `out[k] = x_{rows[k]}ᵀ·w` for each sampled
+    /// row, in one pass over the CSR arrays. This is the forward half of a
+    /// mini-batch gradient evaluation.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != ncols` or any row index is out of range.
+    pub fn rows_dot(&self, rows: &[u32], w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.ncols, "rows_dot: dim mismatch");
+        rows.iter().map(|&r| self.row_dot(r as usize, w)).collect()
+    }
+
+    /// Mini-batch gather kernel: `Σₖ coefs[k] · x_{rows[k]}` as a
+    /// [`SparseVec`] over the union of the sampled rows' supports — the
+    /// backward half of a mini-batch gradient, computed without ever
+    /// materializing a dense `ncols`-length buffer. Cost is
+    /// `O(B·log B)` in the total sampled nonzeros `B`, independent of
+    /// `ncols` — the fast path for rcv1-shaped data (47k dims, ~73 nnz).
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != coefs.len()` or any row is out of range.
+    pub fn gather_axpy(&self, rows: &[u32], coefs: &[f64]) -> SparseVec {
+        assert_eq!(
+            rows.len(),
+            coefs.len(),
+            "gather_axpy: rows/coefs length mismatch"
+        );
+        let total: usize = rows.iter().map(|&r| self.row_nnz(r as usize)).sum();
+        let mut pairs = Vec::with_capacity(total);
+        for (&r, &a) in rows.iter().zip(coefs.iter()) {
+            let (idx, val) = self.row(r as usize);
+            for (c, v) in idx.iter().zip(val.iter()) {
+                pairs.push((*c, a * *v));
+            }
+        }
+        SparseVec::from_pairs(pairs, self.ncols)
+            .expect("gather_axpy: CSR invariants guarantee valid pairs")
+    }
+
+    /// Total stored nonzeros across the given rows — the work-unit count of
+    /// one sparse mini-batch gradient over them.
+    pub fn rows_nnz(&self, rows: &[u32]) -> u64 {
+        rows.iter().map(|&r| self.row_nnz(r as usize) as u64).sum()
+    }
+
     /// Extracts rows `[start, end)` into a new owned CSR block.
     ///
     /// # Panics
@@ -336,6 +380,36 @@ mod tests {
         let mut acc = [0.0; 3];
         a.row_axpy(0, 2.0, &mut acc);
         assert_eq!(acc, [2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_axpy_matches_dense_reference() {
+        let a = sample();
+        let rows = [0u32, 2, 0];
+        let coefs = [2.0, -1.0, 0.5];
+        let got = a.gather_axpy(&rows, &coefs);
+        let mut want = vec![0.0; 3];
+        for (&r, &c) in rows.iter().zip(coefs.iter()) {
+            a.row_axpy(r as usize, c, &mut want);
+        }
+        assert_eq!(got.to_dense(), want);
+        assert_eq!(a.rows_nnz(&rows), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn gather_axpy_of_empty_batch_is_empty() {
+        let a = sample();
+        let g = a.gather_axpy(&[], &[]);
+        assert_eq!(g.nnz(), 0);
+        assert_eq!(g.dim(), 3);
+    }
+
+    #[test]
+    fn rows_dot_matches_per_row_dots() {
+        let a = sample();
+        let w = [1.0, -2.0, 3.0];
+        let z = a.rows_dot(&[2, 0], &w);
+        assert_eq!(z, vec![a.row_dot(2, &w), a.row_dot(0, &w)]);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Gradient deltas: the dense-or-sparse update currency of the engine.
+//!
+//! A worker's mini-batch gradient over a CSR partition has support bounded
+//! by the union of the sampled rows' nonzeros — for rcv1-shaped data a few
+//! thousand entries embedded in a 47k-dimensional space. [`GradDelta`] lets
+//! tasks return (and broadcasts carry) that gradient in whichever
+//! representation is cheapest, and lets the driver apply it to the dense
+//! model without densifying: the sparse arm scatters onto the support only.
+
+use crate::sparse::SparseVec;
+
+/// A gradient (or model-update) vector in dense or sparse representation.
+///
+/// Produced worker-side by the mini-batch kernels, shipped back as the task
+/// result, and applied driver-side with [`GradDelta::axpy_into`]. Its wire
+/// format (and the modeled cost the solvers account) is defined once, by
+/// the `Payload` impl in the `sparklet` crate: sparse deltas ship only
+/// their support.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradDelta {
+    /// Dense storage: one `f64` per model coordinate.
+    Dense(Vec<f64>),
+    /// Sparse storage: only the touched coordinates travel.
+    Sparse(SparseVec),
+}
+
+impl GradDelta {
+    /// A zero delta of dimension `dim` with an empty sparse support.
+    pub fn zero_sparse(dim: usize) -> Self {
+        GradDelta::Sparse(SparseVec::new(Vec::new(), Vec::new(), dim).expect("empty is valid"))
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            GradDelta::Dense(v) => v.len(),
+            GradDelta::Sparse(s) => s.dim(),
+        }
+    }
+
+    /// Stored entries (dense: the full dimension).
+    pub fn nnz(&self) -> usize {
+        match self {
+            GradDelta::Dense(v) => v.len(),
+            GradDelta::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// True when stored sparsely.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, GradDelta::Sparse(_))
+    }
+
+    /// `out += a * self`, touching only the stored support in the sparse
+    /// arm — the "apply without densifying" half of the fast path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    pub fn axpy_into(&self, a: f64, out: &mut [f64]) {
+        match self {
+            GradDelta::Dense(v) => crate::dense::axpy(a, v, out),
+            GradDelta::Sparse(s) => s.axpy_into_dense(a, out),
+        }
+    }
+
+    /// Scales the delta in place.
+    pub fn scale(&mut self, a: f64) {
+        match self {
+            GradDelta::Dense(v) => crate::dense::scal(a, v),
+            GradDelta::Sparse(s) => s.scale(a),
+        }
+    }
+
+    /// Densifies (copying in the dense arm).
+    pub fn to_dense(&self) -> Vec<f64> {
+        match self {
+            GradDelta::Dense(v) => v.clone(),
+            GradDelta::Sparse(s) => s.to_dense(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)], dim: usize) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec(), dim).unwrap()
+    }
+
+    #[test]
+    fn axpy_into_agrees_across_arms() {
+        let s = sv(&[(1, 2.0), (3, -1.0)], 5);
+        let dense = GradDelta::Dense(s.to_dense());
+        let sparse = GradDelta::Sparse(s);
+        let mut a = vec![1.0; 5];
+        let mut b = vec![1.0; 5];
+        dense.axpy_into(0.5, &mut a);
+        sparse.axpy_into(0.5, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(dense.to_dense(), sparse.to_dense());
+    }
+
+    #[test]
+    fn shape_and_storage_reporting() {
+        let sparse = GradDelta::Sparse(sv(&[(0, 1.0)], 10));
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.dim(), 10);
+        assert_eq!(sparse.nnz(), 1);
+        let dense = GradDelta::Dense(vec![0.0; 10]);
+        assert!(!dense.is_sparse());
+        assert_eq!(dense.nnz(), 10);
+        assert_eq!(GradDelta::zero_sparse(7).nnz(), 0);
+    }
+
+    #[test]
+    fn scale_applies_to_both_arms() {
+        let mut a = GradDelta::Dense(vec![2.0, 4.0]);
+        let mut b = GradDelta::Sparse(sv(&[(0, 2.0), (1, 4.0)], 2));
+        a.scale(0.5);
+        b.scale(0.5);
+        assert_eq!(a.to_dense(), vec![1.0, 2.0]);
+        assert_eq!(b.to_dense(), vec![1.0, 2.0]);
+    }
+}

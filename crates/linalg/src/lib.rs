@@ -11,6 +11,10 @@
 //! * a row-major [`DenseMatrix`] and a compressed-sparse-row [`CsrMatrix`]
 //!   with row access, `A·x`, and `Aᵀ·x` ([`dense_mat`], [`csr`]);
 //! * a unified [`Matrix`] enum so downstream code is storage-agnostic;
+//! * mini-batch gradient kernels over CSR ([`CsrMatrix::rows_dot`],
+//!   [`CsrMatrix::gather_axpy`]) and the [`GradDelta`] dense-or-sparse
+//!   update type they produce ([`delta`]), so gradients over sparse
+//!   partitions never materialize a dense buffer;
 //! * chunked multi-threaded variants built on crossbeam scoped threads
 //!   ([`parallel`]);
 //! * a conjugate-gradient least-squares solver ([`solve`]) used to compute
@@ -20,6 +24,7 @@
 //! where it matters), and deterministic.
 
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod dense_mat;
 pub mod matrix;
@@ -28,6 +33,7 @@ pub mod solve;
 pub mod sparse;
 
 pub use csr::CsrMatrix;
+pub use delta::GradDelta;
 pub use dense_mat::DenseMatrix;
 pub use matrix::Matrix;
 pub use parallel::ParallelismCfg;

@@ -103,6 +103,46 @@ impl Matrix {
         }
     }
 
+    /// Total stored entries across the given rows — the work-unit count of
+    /// one mini-batch gradient over them (dense rows count all `ncols`).
+    pub fn rows_nnz(&self, rows: &[u32]) -> u64 {
+        match self {
+            Matrix::Dense(m) => (rows.len() * m.ncols()) as u64,
+            Matrix::Sparse(m) => m.rows_nnz(rows),
+        }
+    }
+
+    /// Rebuilds as dense row-major storage (copies even if already dense).
+    pub fn densified(&self) -> Matrix {
+        match self {
+            Matrix::Dense(m) => Matrix::Dense(m.clone()),
+            Matrix::Sparse(m) => Matrix::Dense(m.to_dense()),
+        }
+    }
+
+    /// Rebuilds as CSR storage, dropping exact zeros (copies even if
+    /// already sparse). With [`Matrix::densified`] this lets one logical
+    /// dataset run through both gradient paths for comparison.
+    pub fn sparsified(&self) -> Matrix {
+        match self {
+            Matrix::Sparse(m) => Matrix::Sparse(m.clone()),
+            Matrix::Dense(m) => {
+                let mut triplets = Vec::new();
+                for i in 0..m.nrows() {
+                    for (j, &v) in m.row(i).iter().enumerate() {
+                        if v != 0.0 {
+                            triplets.push((i, j as u32, v));
+                        }
+                    }
+                }
+                Matrix::Sparse(
+                    CsrMatrix::from_triplets(&triplets, m.nrows(), m.ncols())
+                        .expect("dense matrix yields valid triplets"),
+                )
+            }
+        }
+    }
+
     /// Approximate in-memory footprint in bytes.
     #[inline]
     pub fn bytes(&self) -> u64 {
@@ -154,6 +194,29 @@ mod tests {
         s.matvec(&x, &mut so);
         d.matvec(&x, &mut dd);
         assert_eq!(so, dd);
+    }
+
+    #[test]
+    fn storage_conversions_round_trip() {
+        let (s, d) = both();
+        let s2 = d.sparsified();
+        assert!(s2.is_sparse());
+        assert_eq!(s2.nnz(), s.nnz());
+        let d2 = s.densified();
+        assert!(!d2.is_sparse());
+        let w = [1.0, 2.0, 3.0];
+        for i in 0..2 {
+            assert!((s2.row_dot(i, &w) - s.row_dot(i, &w)).abs() < 1e-15);
+            assert!((d2.row_dot(i, &w) - d.row_dot(i, &w)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rows_nnz_counts_batch_work() {
+        let (s, d) = both();
+        assert_eq!(s.rows_nnz(&[0, 1]), 3);
+        assert_eq!(s.rows_nnz(&[0, 0]), 4);
+        assert_eq!(d.rows_nnz(&[0, 1]), 6);
     }
 
     #[test]

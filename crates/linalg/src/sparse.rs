@@ -122,6 +122,69 @@ impl SparseVec {
         self.values.iter().map(|v| v * v).sum()
     }
 
+    /// Scales every stored value in place: `self *= a`.
+    #[inline]
+    pub fn scale(&mut self, a: f64) {
+        for v in self.values.iter_mut() {
+            *v *= a;
+        }
+    }
+
+    /// In-place sparse–sparse axpy `self += a * other`, merging the two
+    /// supports (the union of stored indices). Entries that cancel to an
+    /// exact 0.0 are kept, so the support only grows — which is what a
+    /// gradient accumulator wants (no re-sorting churn on near-cancellation).
+    ///
+    /// # Panics
+    /// Panics if `other.dim() != self.dim()`.
+    pub fn axpy(&mut self, a: f64, other: &SparseVec) {
+        assert_eq!(other.dim, self.dim, "SparseVec::axpy: dim mismatch");
+        if other.nnz() == 0 {
+            return;
+        }
+        if self.nnz() == 0 {
+            self.indices = other.indices.clone();
+            self.values = other.values.iter().map(|v| a * v).collect();
+            return;
+        }
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.indices.len() || j < other.indices.len() {
+            match (self.indices.get(i), other.indices.get(j)) {
+                (Some(&si), Some(&oj)) if si == oj => {
+                    indices.push(si);
+                    values.push(self.values[i] + a * other.values[j]);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&si), Some(&oj)) if si < oj => {
+                    indices.push(si);
+                    values.push(self.values[i]);
+                    i += 1;
+                }
+                (Some(_), Some(&oj)) => {
+                    indices.push(oj);
+                    values.push(a * other.values[j]);
+                    j += 1;
+                }
+                (Some(&si), None) => {
+                    indices.push(si);
+                    values.push(self.values[i]);
+                    i += 1;
+                }
+                (None, Some(&oj)) => {
+                    indices.push(oj);
+                    values.push(a * other.values[j]);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.indices = indices;
+        self.values = values;
+    }
+
     /// Densifies into a `Vec<f64>` of length `dim`.
     pub fn to_dense(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.dim];
@@ -175,6 +238,52 @@ mod tests {
         let mut out = [1.0, 1.0, 1.0];
         v.axpy_into_dense(2.0, &mut out);
         assert_eq!(out, [1.0, 7.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_multiplies_values_in_place() {
+        let mut v = sv(&[(0, 2.0), (3, -1.0)], 4);
+        v.scale(-0.5);
+        assert_eq!(v.values(), &[-1.0, 0.5]);
+        assert_eq!(v.indices(), &[0, 3]);
+    }
+
+    #[test]
+    fn sparse_axpy_merges_supports() {
+        let mut x = sv(&[(1, 1.0), (3, 2.0)], 6);
+        let y = sv(&[(0, 5.0), (3, 1.0), (5, -2.0)], 6);
+        x.axpy(2.0, &y);
+        assert_eq!(x.indices(), &[0, 1, 3, 5]);
+        assert_eq!(x.values(), &[10.0, 1.0, 4.0, -4.0]);
+    }
+
+    #[test]
+    fn sparse_axpy_matches_dense_reference() {
+        let mut x = sv(&[(2, 1.5), (4, -3.0)], 8);
+        let y = sv(&[(0, 1.0), (2, 2.0), (7, 4.0)], 8);
+        let mut dense_ref = x.to_dense();
+        y.axpy_into_dense(-1.5, &mut dense_ref);
+        x.axpy(-1.5, &y);
+        for (i, want) in dense_ref.iter().enumerate() {
+            let got = x
+                .indices()
+                .iter()
+                .position(|&c| c as usize == i)
+                .map_or(0.0, |p| x.values()[p]);
+            assert!((got - want).abs() < 1e-15, "coord {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sparse_axpy_with_empty_operands() {
+        let mut x = SparseVec::new(vec![], vec![], 4).unwrap();
+        let y = sv(&[(1, 3.0)], 4);
+        x.axpy(2.0, &y);
+        assert_eq!(x.indices(), &[1]);
+        assert_eq!(x.values(), &[6.0]);
+        let empty = SparseVec::new(vec![], vec![], 4).unwrap();
+        x.axpy(1.0, &empty);
+        assert_eq!(x.nnz(), 1);
     }
 
     #[test]

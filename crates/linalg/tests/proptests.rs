@@ -82,6 +82,89 @@ proptest! {
     }
 
     #[test]
+    fn gather_axpy_matches_dense_reference(
+        trips in sparse_triplets(10, 12),
+        rows in proptest::collection::vec(0u32..10, 0..16),
+        coefs_seed in -5.0..5.0f64,
+    ) {
+        // The CSR mini-batch gather kernel must equal the dense
+        // scatter-accumulate reference on every batch, including repeated
+        // rows and empty batches.
+        let csr = CsrMatrix::from_triplets(&trips, 10, 12).unwrap();
+        let coefs: Vec<f64> = (0..rows.len())
+            .map(|k| coefs_seed + k as f64 * 0.25)
+            .collect();
+        let got = csr.gather_axpy(&rows, &coefs);
+        let mut want = vec![0.0; 12];
+        for (&r, &a) in rows.iter().zip(coefs.iter()) {
+            csr.row_axpy(r as usize, a, &mut want);
+        }
+        let got_dense = got.to_dense();
+        for i in 0..12 {
+            prop_assert!((got_dense[i] - want[i]).abs() < 1e-9,
+                "coord {i}: {} vs {}", got_dense[i], want[i]);
+        }
+        // The kernel's support never exceeds the batch's stored entries.
+        prop_assert!(got.nnz() as u64 <= csr.rows_nnz(&rows));
+    }
+
+    #[test]
+    fn rows_dot_matches_dense_margins(
+        trips in sparse_triplets(8, 6),
+        rows in proptest::collection::vec(0u32..8, 0..12),
+        w in finite_vec(6),
+    ) {
+        let csr = CsrMatrix::from_triplets(&trips, 8, 6).unwrap();
+        let dense_m = csr.to_dense();
+        let got = csr.rows_dot(&rows, &w);
+        for (k, &r) in rows.iter().enumerate() {
+            let want = dense::dot(dense_m.row(r as usize), &w);
+            prop_assert!((got[k] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_axpy_matches_dense_axpy(
+        xs in proptest::collection::vec((0u32..24, -10.0..10.0f64), 0..12),
+        ys in proptest::collection::vec((0u32..24, -10.0..10.0f64), 0..12),
+        a in -4.0..4.0f64,
+    ) {
+        // In-place sparse-sparse merge vs the dense reference.
+        let mut x = SparseVec::from_pairs(xs, 24).unwrap();
+        let y = SparseVec::from_pairs(ys, 24).unwrap();
+        let mut dense_ref = x.to_dense();
+        y.axpy_into_dense(a, &mut dense_ref);
+        x.axpy(a, &y);
+        let got = x.to_dense();
+        for i in 0..24 {
+            prop_assert!((got[i] - dense_ref[i]).abs() < 1e-9);
+        }
+        // Result indices stay strictly increasing (SparseVec invariant).
+        let reconstructed = SparseVec::new(
+            x.indices().to_vec(), x.values().to_vec(), 24);
+        prop_assert!(reconstructed.is_ok());
+    }
+
+    #[test]
+    fn grad_delta_apply_agrees_across_arms(
+        pairs in proptest::collection::vec((0u32..16, -10.0..10.0f64), 0..10),
+        base in finite_vec(16),
+        a in -3.0..3.0f64,
+    ) {
+        use async_linalg::GradDelta;
+        let sv = SparseVec::from_pairs(pairs, 16).unwrap();
+        let dense_arm = GradDelta::Dense(sv.to_dense());
+        let sparse_arm = GradDelta::Sparse(sv);
+        let mut out_d = base.clone();
+        let mut out_s = base.clone();
+        dense_arm.axpy_into(a, &mut out_d);
+        sparse_arm.axpy_into(a, &mut out_s);
+        for i in 0..16 {
+            prop_assert!((out_d[i] - out_s[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn parallel_reduce_matches_serial(n in 0usize..500, threads in 1usize..9) {
         let serial: u64 = (0..n as u64).map(|i| i * i).sum();
         let par = parallel::par_map_reduce(

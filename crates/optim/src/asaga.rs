@@ -30,18 +30,22 @@ use async_cluster::ConvergenceTrace;
 use async_core::{AsyncBcast, AsyncContext, SubmitOpts};
 use async_data::sampler;
 use async_data::{Block, Dataset};
-use async_linalg::dense;
-use sparklet::{Rdd, WorkerCtx};
+use async_linalg::{GradDelta, Matrix};
+use sparklet::{Payload, Rdd, WorkerCtx};
 
 use crate::objective::Objective;
-use crate::solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};
+use crate::solver::{block_rdd, record_wave, AsyncSolver, RunReport, SolverCfg};
 
 /// One task's SAGA contribution.
 struct DeltaMsg {
-    /// `(1/b) Σⱼ (f'ⱼ(w_cur) − f'ⱼ(w_{φⱼ}))·xⱼ` over the batch.
-    delta: Vec<f64>,
+    /// `(1/b) Σⱼ (f'ⱼ(w_cur) − f'ⱼ(w_{φⱼ}))·xⱼ` over the batch, sparse
+    /// over CSR partitions (the telescoping difference has the batch's
+    /// support, so it ships and applies without densifying).
+    delta: GradDelta,
     /// Global row ids of the batch (for the server's table update).
     indices: Vec<u64>,
+    /// Stored feature entries the two gradient evaluations touched.
+    entries: u64,
 }
 
 /// Asynchronous SAGA with server-side history.
@@ -75,11 +79,14 @@ impl Asaga {
             let w_cur = handle.value(wctx);
             let mut rng = sampler::derive_rng(seed, version, part as u64);
             let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
-            let mut delta = vec![0.0; block.cols()];
             let mut indices = Vec::with_capacity(mb.len());
             let scale = 1.0 / mb.len().max(1) as f64;
             let labels = block.labels();
             let features = block.features();
+            // Per-row telescoping coefficients `scale·(f'ⱼ(w_cur) −
+            // f'ⱼ(w_{φⱼ}))`; the combination is gathered sparsely on CSR
+            // partitions and scattered densely otherwise.
+            let mut coefs = Vec::with_capacity(mb.len());
             for &r in &mb.rows {
                 let i = r as usize;
                 let j = block.global_row(i);
@@ -90,10 +97,26 @@ impl Asaga {
                 let w_old = handle.value_at(wctx, vj);
                 let d_new = obj.dloss(features.row_dot(i, &w_cur), labels[i]);
                 let d_old = obj.dloss(features.row_dot(i, &w_old), labels[i]);
-                features.row_axpy(i, scale * (d_new - d_old), &mut delta);
+                coefs.push(scale * (d_new - d_old));
                 indices.push(j);
             }
-            DeltaMsg { delta, indices }
+            let delta = match features {
+                Matrix::Sparse(csr) => GradDelta::Sparse(csr.gather_axpy(&mb.rows, &coefs)),
+                Matrix::Dense(_) => {
+                    let mut d = vec![0.0; block.cols()];
+                    for (&r, &a) in mb.rows.iter().zip(coefs.iter()) {
+                        features.row_axpy(r as usize, a, &mut d);
+                    }
+                    GradDelta::Dense(d)
+                }
+            };
+            // Two gradient evaluations per sampled row.
+            let entries = 2 * features.rows_nnz(&mb.rows);
+            DeltaMsg {
+                delta,
+                indices,
+                entries,
+            }
         };
         let opts = SubmitOpts {
             // One version ID per sample plus the current model's ID.
@@ -144,12 +167,6 @@ impl AsyncSolver for Asaga {
         // to worker failure never come back) is unpinned explicitly so no
         // model version leaks past the run.
         let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
-        let record_wave = |pinned: &mut Vec<Option<u64>>, version: u64, ws: &[usize]| {
-            for &wid in ws {
-                debug_assert!(pinned[wid].is_none(), "worker {wid} double-submitted");
-                pinned[wid] = Some(version);
-            }
-        };
 
         // Count updates relative to the context's starting version so a
         // reused (but drained) context still runs a full budget.
@@ -162,6 +179,8 @@ impl AsyncSolver for Asaga {
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
         let mut max_staleness = 0u64;
+        let mut grad_entries = 0u64;
+        let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
@@ -170,6 +189,8 @@ impl AsyncSolver for Asaga {
             };
             tasks_completed += 1;
             max_staleness = max_staleness.max(t.attrs.staleness);
+            grad_entries += t.value.entries;
+            result_bytes += t.value.delta.encoded_len();
             let task_version = t.attrs.issued_version;
             // SAGA's table update: the batch is now recorded at the version
             // the task computed against; then release the in-flight pin.
@@ -184,14 +205,27 @@ impl AsyncSolver for Asaga {
             // SAGA's estimator uses ᾱ *before* this batch's table update:
             // E[f'ⱼ(φⱼ)] over the pre-update table equals ᾱ_old, which is
             // what keeps g unbiased.
-            for i in 0..dcols {
-                let g = t.value.delta[i] + alpha_bar[i] + lambda * w[i];
-                w[i] -= cfg.step * damp * g;
+            match &t.value.delta {
+                GradDelta::Dense(delta) => {
+                    for i in 0..dcols {
+                        let g = delta[i] + alpha_bar[i] + lambda * w[i];
+                        w[i] -= cfg.step * damp * g;
+                    }
+                }
+                GradDelta::Sparse(_) => {
+                    // Dense part of the step (ᾱ + ridge) over every
+                    // coordinate, then scatter the sparse telescoping delta
+                    // onto its support only.
+                    for i in 0..dcols {
+                        w[i] -= cfg.step * damp * (alpha_bar[i] + lambda * w[i]);
+                    }
+                    t.value.delta.axpy_into(-(cfg.step * damp), &mut w);
+                }
             }
             // Only now does ᾱ absorb the telescoping delta: b/n of the
-            // batch mean.
+            // batch mean — on the delta's support only when sparse.
             let b = t.value.indices.len() as f64;
-            dense::axpy(b / n.max(1) as f64, &t.value.delta, &mut alpha_bar);
+            t.value.delta.axpy_into(b / n.max(1) as f64, &mut alpha_bar);
             updates = ctx.advance_version() - start_version;
             bcast.push(w.clone());
             wall_clock = ctx.now();
@@ -226,6 +260,8 @@ impl AsyncSolver for Asaga {
             wall_clock,
             mean_wait: ctx.driver().wait_recorder().overall_mean(),
             bytes_shipped: ctx.driver().total_bytes_shipped(),
+            grad_entries,
+            result_bytes,
             worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
             final_w: w,
             final_objective,

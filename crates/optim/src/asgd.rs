@@ -6,21 +6,25 @@
 //! the new model through the history broadcast (only the 8-byte version ID
 //! travels with later tasks; workers fetch-and-cache values on miss), and
 //! refills whichever workers the barrier filter admits.
+//!
+//! Gradients travel as [`GradDelta`]s: over CSR partitions the task runs
+//! the sparse gather kernel and ships only the batch support, which the
+//! server scatters onto the model without densifying — the sparse fast
+//! path. Dense partitions use the dense kernel, bit-identical to the
+//! original implementation. The task shape and wave/pin machinery are
+//! shared with [`crate::AsyncMsgd`] in [`crate::solver`].
 
 use async_cluster::ConvergenceTrace;
-use async_core::{AsyncContext, SubmitOpts};
-use async_data::sampler;
-use async_data::{Block, Dataset};
-use sparklet::{Rdd, WorkerCtx};
+use async_core::AsyncContext;
+use async_data::Dataset;
+use async_linalg::GradDelta;
+use sparklet::Payload;
 
 use crate::objective::Objective;
-use crate::solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};
-
-/// A mini-batch gradient computed by one task.
-struct GradMsg {
-    /// `(1/b) Σ f'(xᵢᵀw, yᵢ)·xᵢ` over the sampled rows (no ridge term).
-    g: Vec<f64>,
-}
+use crate::solver::{
+    block_rdd, drain_grad_tasks, record_wave, submit_grad_wave, AsyncSolver, GradMsg, RunReport,
+    SolverCfg,
+};
 
 /// Asynchronous stochastic gradient descent.
 #[derive(Debug, Clone, Copy)]
@@ -33,44 +37,6 @@ impl Asgd {
     /// An ASGD solver for `objective`.
     pub fn new(objective: Objective) -> Self {
         Self { objective }
-    }
-
-    fn submit_wave(
-        &self,
-        ctx: &mut AsyncContext,
-        rdd: &Rdd<Block>,
-        bcast: &async_core::AsyncBcast<Vec<f64>>,
-        cfg: &SolverCfg,
-        minibatch_hint: u64,
-    ) -> Vec<usize> {
-        let handle = bcast.handle();
-        let version = ctx.version();
-        let obj = self.objective;
-        let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
-        let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
-            let block = &data[0];
-            let w = handle.value(wctx);
-            let mut rng = sampler::derive_rng(seed, version, part as u64);
-            let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
-            let mut g = vec![0.0; block.cols()];
-            obj.minibatch_grad(block, &mb.rows, &w, &mut g);
-            GradMsg { g }
-        };
-        let opts = SubmitOpts {
-            // Only the current model's version ID ships with the task.
-            extra_bytes: async_core::AsyncBcast::<Vec<f64>>::id_ship_bytes(0),
-            // A fused gradient pass costs ~2 work units per sampled nonzero.
-            cost_scale: 2.0 * fraction,
-            minibatch: minibatch_hint,
-            ..SubmitOpts::default()
-        };
-        let submitted = ctx.async_reduce(rdd, &cfg.barrier, opts, task);
-        // Pin the submission version per in-flight task so a queued task on
-        // the threaded backend can never see its model version pruned.
-        for _ in &submitted {
-            bcast.pin(version);
-        }
-        submitted
     }
 }
 
@@ -96,27 +62,22 @@ impl AsyncSolver for Asgd {
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(ctx.now(), f0 - cfg.baseline);
 
-        // In-flight pin bookkeeping, mirroring ASAGA: entries cleared on
-        // consumption; leftovers (tasks lost to worker failure) released at
-        // run end.
+        // In-flight pin bookkeeping: entries cleared on consumption;
+        // leftovers (tasks lost to worker failure) released at run end.
         let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
-        let record_wave = |pinned: &mut Vec<Option<u64>>, version: u64, ws: &[usize]| {
-            for &wid in ws {
-                debug_assert!(pinned[wid].is_none(), "worker {wid} double-submitted");
-                pinned[wid] = Some(version);
-            }
-        };
         // Count updates relative to the context's starting version so a
         // reused (but drained) context still runs a full budget.
         let start_version = ctx.version();
 
         let v0 = ctx.version();
-        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+        let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
         record_wave(&mut pinned, v0, &ws);
 
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
         let mut max_staleness = 0u64;
+        let mut grad_entries = 0u64;
+        let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
         while updates < cfg.max_updates {
             let Some(t) = ctx.collect::<GradMsg>() else {
@@ -124,6 +85,8 @@ impl AsyncSolver for Asgd {
             };
             tasks_completed += 1;
             max_staleness = max_staleness.max(t.attrs.staleness);
+            grad_entries += t.value.entries;
+            result_bytes += t.value.g.encoded_len();
             bcast.unpin(t.attrs.issued_version);
             pinned[t.attrs.worker] = None;
             let damp = if cfg.staleness_damping {
@@ -132,8 +95,21 @@ impl AsyncSolver for Asgd {
                 1.0
             };
             let lambda = self.objective.lambda();
-            for i in 0..dcols {
-                w[i] -= cfg.step * damp * (t.value.g[i] + lambda * w[i]);
+            match &t.value.g {
+                GradDelta::Dense(g) => {
+                    for i in 0..dcols {
+                        w[i] -= cfg.step * damp * (g[i] + lambda * w[i]);
+                    }
+                }
+                GradDelta::Sparse(_) => {
+                    // Ridge shrinkage over every coordinate, then scatter
+                    // the data gradient onto its support only.
+                    let shrink = cfg.step * damp * lambda;
+                    for wi in w.iter_mut() {
+                        *wi -= shrink * *wi;
+                    }
+                    t.value.g.axpy_into(-(cfg.step * damp), &mut w);
+                }
             }
             updates = ctx.advance_version() - start_version;
             bcast.push(w.clone());
@@ -143,22 +119,14 @@ impl AsyncSolver for Asgd {
                 trace.push(wall_clock, f - cfg.baseline);
             }
             let v = ctx.version();
-            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+            let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
             record_wave(&mut pinned, v, &ws);
         }
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(wall_clock, final_objective - cfg.baseline);
 
-        // Drain in-flight tasks (their gradients are discarded) so the
-        // context is clean for the next run; release pins of lost tasks.
-        while let Some(t) = ctx.collect::<GradMsg>() {
-            bcast.unpin(t.attrs.issued_version);
-            pinned[t.attrs.worker] = None;
-        }
-        for v in pinned.into_iter().flatten() {
-            bcast.unpin(v);
-        }
+        drain_grad_tasks(ctx, &bcast, pinned);
 
         RunReport {
             trace,
@@ -168,6 +136,8 @@ impl AsyncSolver for Asgd {
             wall_clock,
             mean_wait: ctx.driver().wait_recorder().overall_mean(),
             bytes_shipped: ctx.driver().total_bytes_shipped(),
+            grad_entries,
+            result_bytes,
             worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
             final_w: w,
             final_objective,

@@ -10,20 +10,31 @@
 //! * [`Asaga`] — asynchronous SAGA with history (Listing 4 / Algorithm 4):
 //!   variance reduction against per-sample historical models, shipped as
 //!   version IDs through the `ASYNCbroadcaster` instead of full tables —
-//!   in the spirit of the semi-stochastic history methods of Zhang et al.
+//!   in the spirit of the semi-stochastic history methods of Zhang et al.;
+//! * [`AsyncMsgd`] — momentum SGD that queries the `STAT` table on every
+//!   consumed result and damps momentum (and optionally the step) by the
+//!   observed staleness, the delay-adaptive rule the asynchrony literature
+//!   recommends against stale heavy-ball divergence.
 //!
-//! Both run under ASP, BSP, SSP or custom barriers
-//! ([`async_core::BarrierFilter`]). ASGD works on either engine backend;
-//! ASAGA's history semantics (version IDs attached at submission) are
-//! specified against the deterministic `SimEngine` — see the note in
-//! [`asaga`]. `tests/barrier_e2e.rs` has end-to-end runs.
+//! All solvers run under ASP, BSP, SSP or custom barriers
+//! ([`async_core::BarrierFilter`]) and evaluate gradients through the
+//! dense-or-sparse [`async_linalg::GradDelta`] path: CSR partitions use
+//! the sparse gather kernels and ship only the batch support. ASGD and
+//! MSGD work on either engine backend; ASAGA's history semantics (version
+//! IDs attached at submission) are specified against the deterministic
+//! `SimEngine` — see the note in [`asaga`]. `tests/barrier_e2e.rs`,
+//! `tests/msgd_e2e.rs` and `tests/sparse_e2e.rs` have end-to-end runs.
+
+#![deny(missing_docs)]
 
 pub mod asaga;
 pub mod asgd;
+pub mod msgd;
 pub mod objective;
 pub mod solver;
 
 pub use asaga::Asaga;
 pub use asgd::Asgd;
+pub use msgd::AsyncMsgd;
 pub use objective::Objective;
 pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};

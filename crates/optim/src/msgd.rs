@@ -1,0 +1,179 @@
+//! Staleness-adaptive momentum SGD — the paper's second ASGD-family
+//! solver, the one that reads the `STAT` table to adapt under delay.
+//!
+//! Plain momentum is notoriously fragile under asynchrony: a gradient that
+//! arrives `s` updates late keeps compounding through the velocity for
+//! `1/(1−β)` further steps, so stale heavy-ball runs diverge exactly where
+//! asynchrony helps most (stragglers). The standard remedy — highlighted
+//! by the delay-adaptive rules in Assran et al.'s asynchrony survey and
+//! implemented here — is to *damp momentum by observed staleness*: on each
+//! consumed result the server queries [`AsyncContext::stat`] (the paper's
+//! Table-1 `AC.STAT`), takes the observed staleness `s` (the result's own
+//! tag, or the worst in-flight staleness in the table if larger), and
+//! applies
+//!
+//! ```text
+//! βₜ = β₀ / (1 + s)                 — momentum damping (always on)
+//! γₜ = γ  / (1 + s)                 — step damping (cfg.staleness_damping)
+//! uₜ = βₜ·uₜ₋₁ + ∇f(w) + λw
+//! wₜ = wₜ₋₁ − γₜ·uₜ
+//! ```
+//!
+//! Under BSP (s ≡ 0) this is exactly classical heavy-ball SGD; under ASP
+//! against a straggler the velocity forgets stale directions at the rate
+//! staleness is observed. Gradient tasks are the same [`crate::solver`]
+//! wave as [`crate::Asgd`]'s, so the solver rides the sparse fast path on
+//! CSR partitions (the velocity itself is dense — momentum mixes every
+//! coordinate).
+
+use async_cluster::ConvergenceTrace;
+use async_core::AsyncContext;
+use async_data::Dataset;
+use async_linalg::GradDelta;
+use sparklet::Payload;
+
+use crate::objective::Objective;
+use crate::solver::{
+    block_rdd, drain_grad_tasks, record_wave, submit_grad_wave, AsyncSolver, GradMsg, RunReport,
+    SolverCfg,
+};
+
+/// Asynchronous momentum SGD with staleness-adaptive damping.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncMsgd {
+    /// The objective being minimized.
+    pub objective: Objective,
+    /// Base momentum β₀, applied in full when a result arrives with zero
+    /// observed staleness and damped as `β₀/(1+s)` otherwise.
+    pub momentum: f64,
+}
+
+impl AsyncMsgd {
+    /// A staleness-adaptive momentum solver with the conventional β₀ = 0.9.
+    pub fn new(objective: Objective) -> Self {
+        Self {
+            objective,
+            momentum: 0.9,
+        }
+    }
+
+    /// Overrides the base momentum β₀.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1): {momentum}"
+        );
+        self.momentum = momentum;
+        self
+    }
+}
+
+impl AsyncSolver for AsyncMsgd {
+    fn name(&self) -> &'static str {
+        "async-msgd"
+    }
+
+    fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport {
+        assert_eq!(ctx.pending(), 0, "async-msgd: context has in-flight tasks");
+        let (blocks, rdd) = block_rdd(ctx, dataset, cfg);
+        let dcols = dataset.cols();
+        let mean_rows = dataset.rows() / blocks.len().max(1);
+        let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
+
+        let mut w = vec![0.0; dcols];
+        // The heavy-ball velocity; dense by nature (momentum mixes every
+        // coordinate), updated in O(dim) per server update.
+        let mut u = vec![0.0; dcols];
+        let bcast = ctx.async_broadcast(w.clone(), 0);
+
+        let mut trace = ConvergenceTrace::new();
+        let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+        trace.push(ctx.now(), f0 - cfg.baseline);
+
+        let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
+        let start_version = ctx.version();
+
+        let v0 = ctx.version();
+        let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+        record_wave(&mut pinned, v0, &ws);
+
+        let mut updates = 0u64;
+        let mut tasks_completed = 0u64;
+        let mut max_staleness = 0u64;
+        let mut grad_entries = 0u64;
+        let mut result_bytes = 0u64;
+        let mut wall_clock = ctx.now();
+        let lambda = self.objective.lambda();
+        while updates < cfg.max_updates {
+            let Some(t) = ctx.collect::<GradMsg>() else {
+                break;
+            };
+            tasks_completed += 1;
+            max_staleness = max_staleness.max(t.attrs.staleness);
+            grad_entries += t.value.entries;
+            result_bytes += t.value.g.encoded_len();
+            bcast.unpin(t.attrs.issued_version);
+            pinned[t.attrs.worker] = None;
+
+            // The staleness-adaptive rule: consult the STAT table for the
+            // worst delay visible right now, fold in this result's own
+            // staleness tag, and damp momentum (and optionally the step).
+            let snap = ctx.stat();
+            let observed = t.attrs.staleness.max(snap.max_staleness());
+            let damp = 1.0 / (1.0 + observed as f64);
+            let beta = self.momentum * damp;
+            let gamma = cfg.step * if cfg.staleness_damping { damp } else { 1.0 };
+
+            match &t.value.g {
+                GradDelta::Dense(g) => {
+                    for i in 0..dcols {
+                        u[i] = beta * u[i] + g[i] + lambda * w[i];
+                        w[i] -= gamma * u[i];
+                    }
+                }
+                GradDelta::Sparse(_) => {
+                    // Decay + ridge over every coordinate, scatter the data
+                    // gradient onto its support, then step along u.
+                    for i in 0..dcols {
+                        u[i] = beta * u[i] + lambda * w[i];
+                    }
+                    t.value.g.axpy_into(1.0, &mut u);
+                    for i in 0..dcols {
+                        w[i] -= gamma * u[i];
+                    }
+                }
+            }
+
+            updates = ctx.advance_version() - start_version;
+            bcast.push(w.clone());
+            wall_clock = ctx.now();
+            if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
+                let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+                trace.push(wall_clock, f - cfg.baseline);
+            }
+            let v = ctx.version();
+            let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+            record_wave(&mut pinned, v, &ws);
+        }
+
+        let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
+        trace.push(wall_clock, final_objective - cfg.baseline);
+
+        drain_grad_tasks(ctx, &bcast, pinned);
+
+        RunReport {
+            trace,
+            updates,
+            tasks_completed,
+            max_staleness,
+            wall_clock,
+            mean_wait: ctx.driver().wait_recorder().overall_mean(),
+            bytes_shipped: ctx.driver().total_bytes_shipped(),
+            grad_entries,
+            result_bytes,
+            worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
+            final_w: w,
+            final_objective,
+        }
+    }
+}

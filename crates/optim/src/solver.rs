@@ -7,10 +7,12 @@
 //! [`RunReport`] so benches and tests read one structure.
 
 use async_cluster::{ConvergenceTrace, VDur, VTime};
-use async_core::{AsyncContext, BarrierFilter};
-use async_data::{Block, Dataset};
-use async_linalg::ParallelismCfg;
-use sparklet::Rdd;
+use async_core::{AsyncBcast, AsyncContext, BarrierFilter, SubmitOpts};
+use async_data::{sampler, Block, Dataset};
+use async_linalg::{GradDelta, ParallelismCfg};
+use sparklet::{Rdd, WorkerCtx};
+
+use crate::objective::Objective;
 
 /// Configuration shared by all solvers.
 #[derive(Debug, Clone)]
@@ -74,6 +76,13 @@ pub struct RunReport {
     pub mean_wait: VDur,
     /// Bytes shipped to workers over the run.
     pub bytes_shipped: u64,
+    /// Stored feature entries touched by consumed gradient tasks — the
+    /// deterministic work measure of the gradient hot path (dense blocks
+    /// count the full row; CSR blocks only their nonzeros).
+    pub grad_entries: u64,
+    /// Modeled wire bytes of the consumed gradient-result messages
+    /// (sparse deltas ship only their support).
+    pub result_bytes: u64,
     /// Per-worker task clocks at the end of the run.
     pub worker_clocks: Vec<u64>,
     /// The final model.
@@ -91,6 +100,83 @@ pub trait AsyncSolver {
     /// must be fresh (no in-flight tasks); the solver drains its own
     /// outstanding tasks before returning.
     fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport;
+}
+
+/// A mini-batch gradient computed by one task — the message shape shared
+/// by the plain-SGD-family solvers ([`crate::Asgd`], [`crate::AsyncMsgd`]).
+pub(crate) struct GradMsg {
+    /// `(1/b) Σ f'(xᵢᵀw, yᵢ)·xᵢ` over the sampled rows (no ridge term),
+    /// sparse over CSR partitions.
+    pub g: GradDelta,
+    /// Stored feature entries the gradient kernel touched.
+    pub entries: u64,
+}
+
+/// Submits one [`GradMsg`] gradient wave: a mini-batch gradient task per
+/// barrier-admitted worker, with only the current model's 8-byte version
+/// ID as task payload and a cost of ~2 work units per sampled nonzero
+/// (one fused margins-plus-gather pass). Pins the submission version once
+/// per in-flight task; callers pair each pin with an unpin at consumption
+/// (or run end for lost tasks).
+pub(crate) fn submit_grad_wave(
+    ctx: &mut AsyncContext,
+    rdd: &Rdd<Block>,
+    bcast: &AsyncBcast<Vec<f64>>,
+    cfg: &SolverCfg,
+    minibatch_hint: u64,
+    objective: Objective,
+) -> Vec<usize> {
+    let handle = bcast.handle();
+    let version = ctx.version();
+    let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+    let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
+        let block = &data[0];
+        let w = handle.value(wctx);
+        let mut rng = sampler::derive_rng(seed, version, part as u64);
+        let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
+        let g = objective.minibatch_grad_delta(block, &mb.rows, &w);
+        let entries = block.features().rows_nnz(&mb.rows);
+        GradMsg { g, entries }
+    };
+    let opts = SubmitOpts {
+        extra_bytes: AsyncBcast::<Vec<f64>>::id_ship_bytes(0),
+        cost_scale: 2.0 * fraction,
+        minibatch: minibatch_hint,
+        ..SubmitOpts::default()
+    };
+    let submitted = ctx.async_reduce(rdd, &cfg.barrier, opts, task);
+    // Pin the submission version per in-flight task so a queued task on
+    // the threaded backend can never see its model version pruned.
+    for _ in &submitted {
+        bcast.pin(version);
+    }
+    submitted
+}
+
+/// Records a submitted wave into the per-worker pin ledger.
+pub(crate) fn record_wave(pinned: &mut [Option<u64>], version: u64, ws: &[usize]) {
+    for &wid in ws {
+        debug_assert!(pinned[wid].is_none(), "worker {wid} double-submitted");
+        pinned[wid] = Some(version);
+    }
+}
+
+/// Drains in-flight [`GradMsg`] tasks (discarding their gradients) and
+/// releases every outstanding pin — including those of tasks lost to
+/// worker failures, which never surface — so the context and the history
+/// broadcast are clean for the next run.
+pub(crate) fn drain_grad_tasks(
+    ctx: &mut AsyncContext,
+    bcast: &AsyncBcast<Vec<f64>>,
+    mut pinned: Vec<Option<u64>>,
+) {
+    while let Some(t) = ctx.collect::<GradMsg>() {
+        bcast.unpin(t.attrs.issued_version);
+        pinned[t.attrs.worker] = None;
+    }
+    for v in pinned.into_iter().flatten() {
+        bcast.unpin(v);
+    }
 }
 
 /// Partitions `dataset` into `cfg.partitions` blocks (default: one per

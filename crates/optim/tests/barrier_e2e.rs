@@ -166,17 +166,9 @@ fn asgd_converges_logistic_regression_under_ssp() {
     // The acceptance-criterion run: logistic regression driven through
     // AsyncContext::async_reduce with BarrierFilter::Ssp on SimEngine,
     // converging to a small loss.
-    let spec = SynthSpec::dense("logit", 300, 10, 21);
-    let (mut d, w_star) = spec.generate().unwrap();
-    // Re-label into ±1 classes from the planted linear model.
-    let margins: Vec<f64> = (0..d.rows())
-        .map(|i| d.features().row_dot(i, &w_star))
-        .collect();
-    let labels: Vec<f64> = margins
-        .iter()
-        .map(|&m| if m >= 0.0 { 1.0 } else { -1.0 })
-        .collect();
-    d = Dataset::new("logit-pm1", d.features().clone(), labels).unwrap();
+    let (d, _) = SynthSpec::dense("logit", 300, 10, 21)
+        .generate_classification()
+        .unwrap();
 
     let objective = Objective::Logistic { lambda: 1e-3 };
     let mut ctx = cds_ctx();

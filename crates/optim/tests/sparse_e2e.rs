@@ -1,0 +1,185 @@
+//! End-to-end checks of the sparse gradient fast path: the same logical
+//! dataset run through CSR and dense storage must converge to the same
+//! place, and the sparse run must do orders-of-magnitude less gradient
+//! work (entries touched, result bytes, virtual wall clock).
+
+use async_cluster::{ClusterSpec, CommModel, DelayModel, VDur};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::{Dataset, SynthSpec};
+use async_linalg::ParallelismCfg;
+use async_optim::{Asaga, Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
+
+const WORKERS: usize = 4;
+
+fn quiet_ctx() -> AsyncContext {
+    AsyncContext::sim(
+        ClusterSpec::homogeneous(WORKERS, DelayModel::None)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO),
+    )
+}
+
+/// A high-dimension / low-nnz logistic problem in both storages.
+fn paired_datasets() -> (Dataset, Dataset) {
+    let (sparse, _) = SynthSpec::sparse("sp-e2e", 200, 800, 16, 13)
+        .generate_classification()
+        .unwrap();
+    let dense = sparse.densified();
+    (sparse, dense)
+}
+
+fn run_asgd(dataset: &Dataset) -> RunReport {
+    let mut ctx = quiet_ctx();
+    let cfg = SolverCfg {
+        step: 0.5,
+        batch_fraction: 0.25,
+        barrier: BarrierFilter::Bsp,
+        max_updates: 120,
+        seed: 11,
+        ..SolverCfg::default()
+    };
+    Asgd::new(Objective::Logistic { lambda: 1e-3 }).run(&mut ctx, dataset, &cfg)
+}
+
+#[test]
+fn sparse_and_dense_storages_agree_under_bsp() {
+    // BSP with a homogeneous, zero-overhead cluster consumes whole waves,
+    // but within-wave arrival order follows task cost, which differs
+    // between storages. The *convergence destination* must nonetheless
+    // agree tightly: same objective landscape, same sampled batches.
+    let (sparse, dense) = paired_datasets();
+    let rs = run_asgd(&sparse);
+    let rd = run_asgd(&dense);
+    assert_eq!(rs.updates, rd.updates);
+    let rel = (rs.final_objective - rd.final_objective).abs() / rd.final_objective;
+    assert!(
+        rel < 0.05,
+        "storages must land together: sparse {} vs dense {} (rel {rel})",
+        rs.final_objective,
+        rd.final_objective
+    );
+    // Both runs converge properly.
+    let f0 = Objective::Logistic { lambda: 1e-3 }.full_objective(
+        ParallelismCfg::sequential(),
+        &sparse,
+        &vec![0.0; sparse.cols()],
+    );
+    assert!(rs.final_objective < 0.4 * f0);
+}
+
+#[test]
+fn sparse_run_is_deterministic() {
+    let (sparse, _) = paired_datasets();
+    let a = run_asgd(&sparse);
+    let b = run_asgd(&sparse);
+    assert_eq!(a.final_w, b.final_w, "sparse path must be bit-reproducible");
+    assert_eq!(a.grad_entries, b.grad_entries);
+    assert_eq!(a.result_bytes, b.result_bytes);
+}
+
+#[test]
+fn sparse_path_does_orders_of_magnitude_less_gradient_work() {
+    let (sparse, dense) = paired_datasets();
+    let rs = run_asgd(&sparse);
+    let rd = run_asgd(&dense);
+    // ~16 nnz per row vs 800 dense entries: ≥ 40x less kernel work.
+    assert!(
+        rs.grad_entries * 40 <= rd.grad_entries,
+        "entries touched: sparse {} vs dense {}",
+        rs.grad_entries,
+        rd.grad_entries
+    );
+    // Sparse result messages ship only the batch support (the union of
+    // ~13 rows × 16 nnz in 800 dims, so ~3x smaller here; the margin
+    // widens with dimension).
+    assert!(
+        rs.result_bytes * 2 <= rd.result_bytes,
+        "result bytes: sparse {} vs dense {}",
+        rs.result_bytes,
+        rd.result_bytes
+    );
+    // And the modeled cluster time reflects the cheaper tasks.
+    assert!(
+        rs.wall_clock < rd.wall_clock,
+        "virtual wall clock: sparse {} vs dense {}",
+        rs.wall_clock,
+        rd.wall_clock
+    );
+}
+
+#[test]
+fn asaga_rides_the_sparse_path_and_converges() {
+    let (sparse, _) = paired_datasets();
+    let objective = Objective::Logistic { lambda: 1e-3 };
+    let mut ctx = quiet_ctx();
+    let cfg = SolverCfg {
+        step: 0.3,
+        batch_fraction: 0.2,
+        barrier: BarrierFilter::Asp,
+        max_updates: 400,
+        seed: 19,
+        ..SolverCfg::default()
+    };
+    let r = Asaga::new(objective).run(&mut ctx, &sparse, &cfg);
+    assert_eq!(r.updates, 400);
+    let f0 = objective.full_objective(
+        ParallelismCfg::sequential(),
+        &sparse,
+        &vec![0.0; sparse.cols()],
+    );
+    assert!(
+        r.final_objective < 0.4 * f0,
+        "sparse ASAGA must converge: {} vs {f0}",
+        r.final_objective
+    );
+    // Two evaluations per sampled row, still far below dense-equivalent
+    // work (batch ≈ 10 rows of 800 dims per task).
+    let dense_equiv = r.tasks_completed * 2 * 10 * 800;
+    assert!(
+        r.grad_entries * 10 < dense_equiv,
+        "ASAGA gradients must be sparse: {} vs {dense_equiv}",
+        r.grad_entries
+    );
+}
+
+#[test]
+fn sparse_asaga_matches_dense_asaga_destination() {
+    // Variance reduction on both storages of the same least-squares
+    // problem: the optimality gaps must both be (nearly) closed.
+    let (base, _) = SynthSpec::sparse("saga-pair", 150, 400, 12, 29)
+        .generate()
+        .unwrap();
+    let sparse = base;
+    let dense = sparse.densified();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective
+        .optimum(ParallelismCfg::sequential(), &sparse)
+        .unwrap();
+    let run = |d: &Dataset| {
+        let mut ctx = quiet_ctx();
+        let cfg = SolverCfg {
+            step: 0.02,
+            batch_fraction: 0.2,
+            barrier: BarrierFilter::Asp,
+            max_updates: 800,
+            seed: 31,
+            ..SolverCfg::default()
+        };
+        Asaga::new(objective).run(&mut ctx, d, &cfg)
+    };
+    let rs = run(&sparse);
+    let rd = run(&dense);
+    let f0 = objective.full_objective(
+        ParallelismCfg::sequential(),
+        &sparse,
+        &vec![0.0; sparse.cols()],
+    );
+    let gap0 = f0 - baseline;
+    for (name, r) in [("sparse", &rs), ("dense", &rd)] {
+        let gap = r.final_objective - baseline;
+        assert!(
+            gap < 0.2 * gap0,
+            "{name} ASAGA should close the gap: {gap} of {gap0}"
+        );
+    }
+}

@@ -16,11 +16,13 @@
 //! | §5 Table 1 programming model               | [`core::context`] methods |
 //! | §5 Listing 3 (ASGD)                        | [`optim::asgd::Asgd`] |
 //! | §5 Listing 4 / Alg. 4 (ASAGA + history)    | [`optim::asaga::Asaga`] |
+//! | §5 staleness-adaptive momentum SGD         | [`optim::msgd::AsyncMsgd`] |
+//! | sparse fast path (CSR gather, `GradDelta`) | [`linalg::csr`], [`linalg::delta`] |
 //! | §6 cluster + straggler models              | [`cluster`] |
 //! | Spark substrate (RDDs, engines, driver)    | [`sparklet`] |
 //! | datasets (Table 2 analogues)               | [`data`] |
 //! | BLAS slice + CGLS baselines                | [`linalg`] |
-//! | experiment harnesses (Figures 3–4)         | [`bench` crate](async_bench) |
+//! | experiment harnesses (Figures 3–4, fast path) | `async-bench` (`crates/bench`) |
 
 /// Cluster substrate: virtual time, stragglers, cost models, metrics.
 pub use async_cluster as cluster;
@@ -42,8 +44,8 @@ pub mod prelude {
         AsyncBcast, AsyncContext, BarrierFilter, StatSnapshot, SubmitOpts, Tagged, TaskAttrs,
     };
     pub use async_data::{Block, Dataset, SynthSpec};
-    pub use async_linalg::{Matrix, ParallelismCfg};
-    pub use async_optim::{Asaga, Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
+    pub use async_linalg::{GradDelta, Matrix, ParallelismCfg, SparseVec};
+    pub use async_optim::{Asaga, Asgd, AsyncMsgd, AsyncSolver, Objective, RunReport, SolverCfg};
     pub use sparklet::{Driver, Rdd};
 }
 
