@@ -1,0 +1,24 @@
+//! Records the elastic-chaos datapoint: ASGD convergence-to-budget under
+//! kill/revive/join churn vs a static cluster, across ASP/BSP/SSP.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_elastic_chaos
+//! [output.json]` (default `BENCH_elastic_chaos.json` in the current
+//! directory). The output is deterministic for the default configuration.
+
+use async_bench::elastic_chaos::{run_elastic_chaos, ElasticChaosCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_elastic_chaos.json".to_string());
+    let b = run_elastic_chaos(ElasticChaosCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    for o in &b.outcomes {
+        eprintln!(
+            "elastic_chaos: {} churn slowdown {:.3}x, final-error ratio {:.3}",
+            o.name, o.wall_clock_slowdown, o.error_ratio,
+        );
+    }
+    eprintln!("elastic_chaos -> {out}");
+}

@@ -1,0 +1,311 @@
+//! The elastic-chaos benchmark: convergence-to-budget under membership
+//! churn vs a static cluster, across ASP / BSP / SSP.
+//!
+//! For each barrier the same ASGD workload runs twice on the simulated
+//! cluster: once with a fixed membership, and once under a
+//! [`ChaosSchedule::pcs_churn`] script sized to the static run's wall
+//! clock — ~25 % of the fleet is killed in a staggered burst, every
+//! casualty is revived after a downtime window, and one new worker joins
+//! at the midpoint. Both runs get the same update budget, so the chaos
+//! column answers the question the cloud setting actually asks: *how much
+//! wall clock and convergence does churn cost under each barrier?*
+//! Asynchronous barriers should shrug (survivors keep streaming updates),
+//! while BSP pays for every casualty at every barrier.
+//!
+//! Everything is deterministic; the JSON is byte-reproducible and diffed
+//! in CI like the other two benchmark files.
+
+use async_cluster::{ChaosAction, ChaosSchedule, ClusterSpec, CommModel, DelayModel, VDur, VTime};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::SynthSpec;
+use async_linalg::ParallelismCfg;
+use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
+
+use crate::json_f64;
+
+/// Configuration of the elastic-chaos benchmark.
+#[derive(Debug, Clone)]
+pub struct ElasticChaosCfg {
+    /// Starting cluster size (churn revives every casualty and adds one).
+    pub workers: usize,
+    /// Dataset rows (dense synthetic).
+    pub rows: usize,
+    /// Dataset feature dimension.
+    pub cols: usize,
+    /// Server update budget per run.
+    pub updates: u64,
+    /// Mini-batch fraction per task.
+    pub batch_fraction: f64,
+    /// Step size.
+    pub step: f64,
+    /// Per-message latency in µs (plus 1 ns/byte on payloads).
+    pub per_msg_us: u64,
+    /// Fraction of the *static* run's wall clock the churn script spans.
+    pub chaos_horizon_fraction: f64,
+    /// Seed for data, sampling, and the churn script.
+    pub seed: u64,
+}
+
+impl Default for ElasticChaosCfg {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            rows: 2_048,
+            cols: 64,
+            updates: 320,
+            batch_fraction: 0.2,
+            step: 0.05,
+            per_msg_us: 20,
+            chaos_horizon_fraction: 0.6,
+            seed: 2026,
+        }
+    }
+}
+
+/// One barrier's static-vs-chaos pair.
+#[derive(Debug, Clone)]
+pub struct BarrierOutcome {
+    /// "asp", "bsp" or "ssp2".
+    pub name: &'static str,
+    /// The churn script this barrier ran under.
+    pub chaos: ChaosSchedule,
+    /// Fixed-membership run.
+    pub static_run: RunReport,
+    /// Same workload under the churn script.
+    pub chaos_run: RunReport,
+    /// `chaos.wall_clock / static.wall_clock` — the churn slowdown.
+    pub wall_clock_slowdown: f64,
+    /// `chaos.final_error / static.final_error` — the convergence cost.
+    pub error_ratio: f64,
+}
+
+/// The benchmark outcome across barriers.
+#[derive(Debug, Clone)]
+pub struct ElasticChaos {
+    /// The configuration measured.
+    pub cfg: ElasticChaosCfg,
+    /// Per-barrier outcomes (asp, bsp, ssp2).
+    pub outcomes: Vec<BarrierOutcome>,
+}
+
+fn ctx(cfg: &ElasticChaosCfg) -> AsyncContext {
+    AsyncContext::sim(
+        ClusterSpec::homogeneous(cfg.workers, DelayModel::None)
+            .with_comm(CommModel {
+                per_msg: VDur::from_micros(cfg.per_msg_us),
+                ns_per_byte: 1.0,
+            })
+            .with_sched_overhead(VDur::from_micros(cfg.per_msg_us / 2)),
+    )
+}
+
+fn solver_cfg(cfg: &ElasticChaosCfg, barrier: BarrierFilter, baseline: f64) -> SolverCfg {
+    SolverCfg {
+        step: cfg.step,
+        batch_fraction: cfg.batch_fraction,
+        barrier,
+        max_updates: cfg.updates,
+        eval_every: (cfg.updates / 8).max(1),
+        baseline,
+        seed: cfg.seed,
+        ..SolverCfg::default()
+    }
+}
+
+/// Runs the benchmark: three barriers × {static, churn}.
+pub fn run_elastic_chaos(cfg: ElasticChaosCfg) -> ElasticChaos {
+    let (dataset, _) = SynthSpec::dense("elastic-chaos", cfg.rows, cfg.cols, cfg.seed)
+        .generate()
+        .expect("synthetic generation");
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective
+        .optimum(ParallelismCfg::sequential(), &dataset)
+        .expect("least-squares baseline");
+
+    let barriers: [(&'static str, BarrierFilter); 3] = [
+        ("asp", BarrierFilter::Asp),
+        ("bsp", BarrierFilter::Bsp),
+        ("ssp2", BarrierFilter::Ssp { slack: 2 }),
+    ];
+    let mut outcomes = Vec::with_capacity(barriers.len());
+    for (name, barrier) in barriers {
+        let scfg = solver_cfg(&cfg, barrier, baseline);
+        let static_run = {
+            let mut c = ctx(&cfg);
+            Asgd::new(objective).run(&mut c, &dataset, &scfg)
+        };
+        // Size the churn script to this barrier's own pace so the burst,
+        // the revivals, and the join all land inside the run.
+        let horizon = VTime::from_micros(
+            ((static_run.wall_clock.as_micros() as f64) * cfg.chaos_horizon_fraction).max(1.0)
+                as u64,
+        );
+        let chaos = ChaosSchedule::pcs_churn(cfg.seed, cfg.workers, horizon);
+        let chaos_run = {
+            let mut c = ctx(&cfg);
+            c.driver_mut().install_chaos(&chaos);
+            Asgd::new(objective).run(&mut c, &dataset, &scfg)
+        };
+        let wall_clock_slowdown = chaos_run.wall_clock.as_micros() as f64
+            / static_run.wall_clock.as_micros().max(1) as f64;
+        let error_ratio = chaos_run.trace.final_error().unwrap_or(f64::NAN)
+            / static_run.trace.final_error().unwrap_or(f64::NAN);
+        outcomes.push(BarrierOutcome {
+            name,
+            chaos,
+            static_run,
+            chaos_run,
+            wall_clock_slowdown,
+            error_ratio,
+        });
+    }
+    ElasticChaos { cfg, outcomes }
+}
+
+fn run_json(label: &str, r: &RunReport, indent: &str) -> String {
+    let clocks: Vec<String> = r.worker_clocks.iter().map(|c| c.to_string()).collect();
+    let trace: Vec<String> = r
+        .trace
+        .points()
+        .iter()
+        .map(|&(t, e)| format!("[{}, {}]", json_f64(t.as_millis_f64()), json_f64(e)))
+        .collect();
+    format!(
+        "{{\n{i}  \"run\": \"{}\",\n{i}  \"wall_clock_ms\": {},\n{i}  \"updates\": {},\n{i}  \"tasks_completed\": {},\n{i}  \"max_staleness\": {},\n{i}  \"bytes_shipped\": {},\n{i}  \"final_error\": {},\n{i}  \"worker_clocks\": [{}],\n{i}  \"trace_ms_error\": [{}]\n{i}}}",
+        label,
+        json_f64(r.wall_clock.as_millis_f64()),
+        r.updates,
+        r.tasks_completed,
+        r.max_staleness,
+        r.bytes_shipped,
+        json_f64(r.trace.final_error().unwrap_or(f64::NAN)),
+        clocks.join(", "),
+        trace.join(", "),
+        i = indent,
+    )
+}
+
+fn chaos_json(s: &ChaosSchedule) -> String {
+    let events: Vec<String> = s
+        .events()
+        .iter()
+        .map(|e| {
+            let (kind, worker) = match e.action {
+                ChaosAction::Kill(w) => ("kill", w as i64),
+                ChaosAction::Revive(w) => ("revive", w as i64),
+                ChaosAction::Join => ("join", -1),
+            };
+            format!(
+                "{{\"at_ms\": {}, \"action\": \"{kind}\", \"worker\": {worker}}}",
+                json_f64(e.at.as_millis_f64())
+            )
+        })
+        .collect();
+    format!("[{}]", events.join(", "))
+}
+
+impl ElasticChaos {
+    /// Renders the benchmark as a stable, human-diffable JSON document.
+    pub fn to_json(&self) -> String {
+        let c = &self.cfg;
+        let blocks: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let (kills, revives, joins) = o.chaos.counts();
+                format!(
+                    "  \"{}\": {{\n    \"chaos_events\": {},\n    \"kills\": {},\n    \"revives\": {},\n    \"joins\": {},\n    \"static\": {},\n    \"chaos\": {},\n    \"wall_clock_slowdown_chaos_over_static\": {},\n    \"final_error_ratio_chaos_over_static\": {}\n  }}",
+                    o.name,
+                    chaos_json(&o.chaos),
+                    kills,
+                    revives,
+                    joins,
+                    run_json("static", &o.static_run, "    "),
+                    run_json("chaos", &o.chaos_run, "    "),
+                    json_f64(o.wall_clock_slowdown),
+                    json_f64(o.error_ratio),
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"elastic_chaos\",\n  \"description\": \"ASGD convergence-to-budget under kill/revive/join churn (pcs_churn preset: ~25% of the fleet lost and replaced, one elastic join) vs a static cluster, across ASP/BSP/SSP barriers\",\n  \"config\": {{\n    \"workers\": {},\n    \"dataset\": \"dense synthetic {}x{}\",\n    \"updates\": {},\n    \"batch_fraction\": {},\n    \"step\": {},\n    \"per_msg_us\": {},\n    \"chaos_horizon_fraction\": {},\n    \"seed\": {}\n  }},\n{}\n}}\n",
+            c.workers,
+            c.rows,
+            c.cols,
+            c.updates,
+            json_f64(c.batch_fraction),
+            json_f64(c.step),
+            c.per_msg_us,
+            json_f64(c.chaos_horizon_fraction),
+            c.seed,
+            blocks.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ElasticChaosCfg {
+        ElasticChaosCfg {
+            workers: 4,
+            rows: 256,
+            cols: 24,
+            updates: 80,
+            per_msg_us: 0,
+            ..ElasticChaosCfg::default()
+        }
+    }
+
+    #[test]
+    fn chaos_runs_reach_the_budget_under_every_barrier() {
+        let b = run_elastic_chaos(small_cfg());
+        assert_eq!(b.outcomes.len(), 3);
+        for o in &b.outcomes {
+            assert_eq!(o.static_run.updates, 80, "{}", o.name);
+            assert_eq!(
+                o.chaos_run.updates, 80,
+                "{}: churn must not eat the budget",
+                o.name
+            );
+            let (kills, revives, joins) = o.chaos.counts();
+            assert!(kills >= 1 && revives == kills && joins == 1, "{}", o.name);
+            // The joined worker exists at run end.
+            assert_eq!(
+                o.chaos_run.worker_clocks.len(),
+                b.cfg.workers + 1,
+                "{}",
+                o.name
+            );
+            assert!(o.chaos_run.trace.final_error().unwrap().is_finite());
+            // Convergence under churn stays in the static run's
+            // neighborhood (budget, not time, fixes progress).
+            assert!(
+                o.error_ratio < 10.0,
+                "{}: error ratio {}",
+                o.name,
+                o.error_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_chaos_is_deterministic() {
+        let a = run_elastic_chaos(small_cfg());
+        let b = run_elastic_chaos(small_cfg());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = run_elastic_chaos(small_cfg()).to_json();
+        assert!(j.contains("\"benchmark\": \"elastic_chaos\""));
+        for k in ["\"asp\"", "\"bsp\"", "\"ssp2\"", "chaos_events"] {
+            assert!(j.contains(k), "missing {k}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+}

@@ -16,14 +16,18 @@
 //! * [`event`]: a deterministic discrete-event queue (ties broken by
 //!   insertion order) used by the simulated engine backend;
 //! * [`metrics`]: wait-time recorders and convergence traces — the
-//!   quantities plotted in Figures 3–8 and Tables 3.
+//!   quantities plotted in Figures 3–8 and Tables 3;
+//! * [`chaos`]: seeded, deterministic membership-churn schedules
+//!   (kill / revive / join over virtual time) for elasticity experiments.
 
+pub mod chaos;
 pub mod event;
 pub mod metrics;
 pub mod profile;
 pub mod straggler;
 pub mod time;
 
+pub use chaos::{ChaosAction, ChaosCfg, ChaosEvent, ChaosSchedule};
 pub use event::EventQueue;
 pub use metrics::{ConvergenceTrace, WaitTimeRecorder};
 pub use profile::{ClusterSpec, CommModel, WorkerProfile};

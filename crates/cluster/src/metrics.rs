@@ -30,6 +30,20 @@ impl WaitTimeRecorder {
         }
     }
 
+    /// Number of workers the recorder tracks.
+    pub fn workers(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Grows the recorder by one worker (a mid-run join) and returns the
+    /// new worker's id.
+    pub fn add_worker(&mut self) -> WorkerId {
+        self.sums.push(VDur::ZERO);
+        self.counts.push(0);
+        self.open_since.push(None);
+        self.sums.len() - 1
+    }
+
     /// Worker `w` submitted a task result at `t`: its wait begins.
     pub fn result_submitted(&mut self, w: WorkerId, t: VTime) {
         self.open_since[w] = Some(t);
@@ -41,6 +55,14 @@ impl WaitTimeRecorder {
             self.sums[w] += t.saturating_since(start);
             self.counts[w] += 1;
         }
+    }
+
+    /// Discards `w`'s open wait without recording it — called when the
+    /// worker dies (and defensively on revival), so downtime between a
+    /// death and the first post-revival task is never counted as barrier
+    /// wait.
+    pub fn cancel_open(&mut self, w: WorkerId) {
+        self.open_since[w] = None;
     }
 
     /// Records an explicit wait interval (used by the threaded backend,

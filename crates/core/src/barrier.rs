@@ -112,7 +112,7 @@ impl BarrierFilter {
                 available
                     .into_iter()
                     .filter(|&w| {
-                        snap.workers[w].clock == 0 || snap.workers[w].avg_completion <= cutoff
+                        snap.workers[w].completed == 0 || snap.workers[w].avg_completion <= cutoff
                     })
                     .collect()
             }
@@ -211,6 +211,123 @@ mod tests {
             BarrierFilter::CompletionTime { factor: 1.0 }.select(&snap2),
             vec![0, 1]
         );
+    }
+
+    #[test]
+    fn ssp_unblocks_when_the_slowest_worker_dies() {
+        let mut t = table(2);
+        // Worker 0 races ahead to clock 4; worker 1 stays at 0.
+        for v in 0..4 {
+            t.task_issued(0, v, VTime::ZERO, 1);
+            t.task_completed(0, VTime::from_micros(v + 1), VDur::from_micros(1));
+        }
+        let snap = t.snapshot(VTime::from_micros(10), 4);
+        assert_eq!(
+            BarrierFilter::Ssp { slack: 1 }.select(&snap),
+            vec![1],
+            "only the laggard proceeds; the leader is blocked"
+        );
+        // The laggard dies: min_clock is now over the alive set only, so
+        // the slack predicate must release the leader (no deadlock).
+        t.worker_died(1);
+        let snap = t.snapshot(VTime::from_micros(11), 4);
+        assert_eq!(BarrierFilter::Ssp { slack: 1 }.select(&snap), vec![0]);
+    }
+
+    #[test]
+    fn ssp_admits_a_rejoiner_without_stalling_incumbents() {
+        let mut t = table(2);
+        for v in 0..6 {
+            t.task_issued(0, v, VTime::ZERO, 1);
+            t.task_completed(0, VTime::from_micros(v + 1), VDur::from_micros(1));
+        }
+        t.worker_died(1);
+        t.worker_revived(1); // clock seeds at 6, the min alive
+        let snap = t.snapshot(VTime::from_micros(10), 6);
+        assert_eq!(
+            BarrierFilter::Ssp { slack: 2 }.select(&snap),
+            vec![0, 1],
+            "seeded rejoiner neither stalls the leader nor is blocked"
+        );
+    }
+
+    #[test]
+    fn bsp_barrier_follows_the_alive_set_through_churn() {
+        let mut t = table(3);
+        t.worker_died(2);
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(BarrierFilter::Bsp.select(&snap), vec![0, 1]);
+        // Revival makes the barrier require the rejoiner again…
+        t.worker_revived(2);
+        t.task_issued(2, 0, VTime::ZERO, 1);
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert!(
+            BarrierFilter::Bsp.select(&snap).is_empty(),
+            "rejoiner is busy: full barrier must hold"
+        );
+        t.task_completed(2, VTime::from_micros(1), VDur::from_micros(1));
+        // …and a joined worker counts toward the barrier too.
+        let w = t.add_worker();
+        let snap = t.snapshot(VTime::from_micros(1), 1);
+        assert_eq!(BarrierFilter::Bsp.select(&snap), vec![0, 1, 2, w]);
+    }
+
+    #[test]
+    fn beta_fraction_reevaluates_over_the_current_alive_set() {
+        let mut t = table(4);
+        t.task_issued(0, 0, VTime::ZERO, 1);
+        // 3 of 4 available; β = 0.8 needs ⌊0.8·4⌋ = 3: releases.
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(
+            BarrierFilter::MinAvailableFraction { beta: 0.8 }.select(&snap),
+            vec![1, 2, 3]
+        );
+        // A death shrinks the alive set: ⌊0.8·3⌋ = 2 ≤ 2 available.
+        t.worker_died(3);
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(
+            BarrierFilter::MinAvailableFraction { beta: 0.8 }.select(&snap),
+            vec![1, 2]
+        );
+        // A join grows it again: ⌊0.8·4⌋ = 3 > 2+1? available = {1,2,new}
+        // = 3 ≥ 3: releases, including the newcomer.
+        let w = t.add_worker();
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(
+            BarrierFilter::MinAvailableFraction { beta: 0.8 }.select(&snap),
+            vec![1, 2, w]
+        );
+    }
+
+    #[test]
+    fn completion_time_filter_admits_history_free_rejoiners() {
+        let mut t = table(3);
+        for (w, svc) in [(0usize, 10u64), (1, 20), (2, 21)] {
+            t.task_issued(w, 0, VTime::ZERO, 1);
+            t.task_completed(w, VTime::from_micros(svc), VDur::from_micros(svc));
+        }
+        // Worker 2 dies and revives: its completion history is wiped, so
+        // the completion-time filter must treat it as a fresh worker.
+        t.worker_died(2);
+        t.worker_revived(2);
+        let snap = t.snapshot(VTime::from_micros(100), 3);
+        assert_eq!(
+            BarrierFilter::CompletionTime { factor: 1.0 }.select(&snap),
+            vec![0, 1, 2],
+            "history-free rejoiner always proceeds"
+        );
+    }
+
+    #[test]
+    fn asp_tracks_membership_changes() {
+        let mut t = table(2);
+        t.worker_died(0);
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(BarrierFilter::Asp.select(&snap), vec![1]);
+        t.worker_revived(0);
+        let w = t.add_worker();
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(BarrierFilter::Asp.select(&snap), vec![0, 1, w]);
     }
 
     #[test]

@@ -441,6 +441,14 @@ impl AsyncContext {
             Completion::Lost { worker, .. } | Completion::WorkerDown { worker } => {
                 self.stat.worker_died(worker);
             }
+            Completion::WorkerUp { worker } => {
+                // A revival or a mid-run join: the worker returns as a
+                // fresh executor. Its `STAT` row is reset (revival) or
+                // appended (join), clock-seeded at the minimum alive clock
+                // so SSP/BSP predicates over the new alive set neither
+                // stall incumbents nor starve the newcomer.
+                self.stat.worker_up(worker);
+            }
         }
     }
 }
@@ -654,6 +662,70 @@ mod tests {
         let subs = ctx.async_reduce(&rdd, &BarrierFilter::Bsp, SubmitOpts::default(), sum_task);
         assert_eq!(subs, vec![0, 1]);
         while ctx.collect::<i64>().is_some() {}
+    }
+
+    #[test]
+    fn revival_and_join_flow_into_stat_and_submission() {
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        let rdd = unit_rdd(4);
+        // Kill worker 1, drain, and check the alive set shrank.
+        ctx.driver_mut().kill_worker(1);
+        while ctx.collect::<i64>().is_some() {}
+        assert_eq!(ctx.stat().alive_count(), 1);
+        // Revive it and add a third worker: both surface through the
+        // result pump and re-enter the STAT table as fresh rows.
+        ctx.driver_mut().revive_worker(1).unwrap();
+        ctx.driver_mut().add_worker();
+        while ctx.collect::<i64>().is_some() {}
+        let snap = ctx.stat();
+        assert_eq!(snap.alive_count(), 3);
+        assert_eq!(snap.available_workers(), vec![0, 1, 2]);
+        // The next ASP wave admits all three, and partitions rebalance
+        // over the grown alive set.
+        let subs = ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert_eq!(subs, vec![0, 1, 2]);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(t) = ctx.collect::<i64>() {
+            seen.insert(t.attrs.worker);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn revived_worker_resyncs_history_broadcast() {
+        use crate::broadcast::AsyncBcast;
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        let rdd = unit_rdd(2);
+        let bcast: AsyncBcast<Vec<f64>> = ctx.async_broadcast(vec![1.0, 2.0], 0);
+        let handle = bcast.handle();
+        let read_model = move |wctx: &mut WorkerCtx, _data: Vec<i64>, _part: usize| -> f64 {
+            handle.value(wctx)[0]
+        };
+        ctx.async_reduce(
+            &rdd,
+            &BarrierFilter::Asp,
+            SubmitOpts::default(),
+            read_model.clone(),
+        );
+        while ctx.collect::<f64>().is_some() {}
+        assert_eq!(bcast.stats().fetches, 2, "one cold fetch per worker");
+        // Kill + revive worker 1: its cache is gone, so its first task
+        // must pull the model again — the broadcast re-sync.
+        ctx.driver_mut().kill_worker(1);
+        while ctx.collect::<f64>().is_some() {}
+        ctx.driver_mut().revive_worker(1).unwrap();
+        while ctx.collect::<f64>().is_some() {}
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), read_model);
+        let mut vals = Vec::new();
+        while let Some(t) = ctx.collect::<f64>() {
+            vals.push(t.value);
+        }
+        assert_eq!(vals, vec![1.0, 1.0], "both workers read the model");
+        assert_eq!(
+            bcast.stats().fetches,
+            3,
+            "the revived worker re-fetched; the survivor hit its cache"
+        );
     }
 
     #[test]

@@ -27,9 +27,16 @@ pub struct WorkerStat {
     /// True when the worker is not executing a task (§4.1: "a worker is
     /// available if it is not executing a task").
     pub available: bool,
-    /// Tasks completed so far — the worker's SSP clock.
+    /// The worker's SSP clock: advances by one per completed task, and is
+    /// *seeded* at the cluster's minimum alive clock on revival/join so
+    /// slack predicates stay meaningful under churn.
     pub clock: u64,
-    /// Running average of task service times (submission → result arrival).
+    /// Tasks completed in this worker's current life. Unlike
+    /// [`WorkerStat::clock`] this is never seeded, so it is the honest
+    /// "does this worker have completion history" signal.
+    pub completed: u64,
+    /// Running average of task service times (submission → result arrival)
+    /// over this life's completions.
     pub avg_completion: VDur,
     /// The in-flight task, if any.
     pub inflight: Option<InFlight>,
@@ -43,6 +50,7 @@ impl WorkerStat {
             alive: true,
             available: true,
             clock: 0,
+            completed: 0,
             avg_completion: VDur::ZERO,
             inflight: None,
             last_result_at: None,
@@ -108,9 +116,11 @@ impl StatTable {
         let inflight = s.inflight.take();
         s.available = true;
         s.last_result_at = Some(at);
-        // Running mean: avg += (x − avg) / n.
+        // Running mean: avg += (x − avg) / n, over this life's completions
+        // (the clock may be seeded after a revival and would skew n).
         s.clock += 1;
-        let n = s.clock;
+        s.completed += 1;
+        let n = s.completed;
         let delta = service.as_micros() as i64 - s.avg_completion.as_micros() as i64;
         let new_avg = s.avg_completion.as_micros() as i64 + delta / n as i64;
         s.avg_completion = VDur::from_micros(new_avg.max(0) as u64);
@@ -124,6 +134,59 @@ impl StatTable {
         s.alive = false;
         s.available = false;
         s.inflight = None;
+    }
+
+    /// The minimum SSP clock over alive rows, excluding `except` — the
+    /// clock a (re)joining worker is seeded with so SSP-style predicates
+    /// neither stall the cluster behind a zeroed rejoiner nor block the
+    /// rejoiner itself.
+    fn join_clock(&self, except: Option<WorkerId>) -> u64 {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| s.alive && Some(i) != except)
+            .map(|(_, s)| s.clock)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Resets `w`'s row for a revival: the worker returns as a fresh
+    /// executor (no in-flight task, no completion history), alive and
+    /// available, with its clock seeded at the current minimum alive clock
+    /// (see [`StatTable::add_worker`] for why).
+    pub fn worker_revived(&mut self, w: WorkerId) {
+        let clock = self.join_clock(Some(w));
+        self.workers[w] = WorkerStat {
+            clock,
+            ..WorkerStat::new()
+        };
+    }
+
+    /// Appends a row for a brand-new worker (a mid-run join), seeded at
+    /// the minimum alive clock: seeding at 0 would make SSP's slack bound
+    /// stall every incumbent behind the newcomer, while seeding at the
+    /// minimum admits it immediately without letting it run ahead.
+    /// Returns the new worker's id.
+    pub fn add_worker(&mut self) -> WorkerId {
+        let clock = self.join_clock(None);
+        self.workers.push(WorkerStat {
+            clock,
+            ..WorkerStat::new()
+        });
+        self.workers.len() - 1
+    }
+
+    /// Folds a [`sparklet::Completion::WorkerUp`]-style notification into
+    /// the table: ids beyond the table are joins (rows are appended up to
+    /// and including `w`), known ids are revivals.
+    pub fn worker_up(&mut self, w: WorkerId) {
+        if w < self.workers.len() {
+            self.worker_revived(w);
+        } else {
+            while self.workers.len() <= w {
+                self.add_worker();
+            }
+        }
     }
 
     /// Total tasks completed across all workers.
@@ -182,12 +245,13 @@ impl StatSnapshot {
             .min()
     }
 
-    /// Median average-completion time over alive workers with history.
+    /// Median average-completion time over alive workers with completion
+    /// history in their current life (revived workers start history-free).
     pub fn median_avg_completion(&self) -> Option<VDur> {
         let mut v: Vec<VDur> = self
             .workers
             .iter()
-            .filter(|w| w.alive && w.clock > 0)
+            .filter(|w| w.alive && w.completed > 0)
             .map(|w| w.avg_completion)
             .collect();
         if v.is_empty() {
@@ -267,11 +331,93 @@ mod tests {
     }
 
     #[test]
+    fn revival_resets_the_row_cleanly() {
+        let mut t = StatTable::new(2);
+        // Worker 1 builds history, then dies mid-task.
+        for v in 0..4 {
+            t.task_issued(1, v, VTime::ZERO, 8);
+            t.task_completed(1, VTime::from_micros(v + 1), VDur::from_micros(100));
+        }
+        t.task_issued(1, 4, VTime::from_micros(10), 8);
+        t.worker_died(1);
+        t.worker_revived(1);
+        let s = t.get(1);
+        assert!(s.alive && s.available);
+        assert_eq!(s.inflight, None, "no ghost in-flight task");
+        assert_eq!(s.avg_completion, VDur::ZERO, "completion history reset");
+        assert_eq!(s.last_result_at, None);
+        // Clock seeds at the minimum over the *other* alive workers —
+        // worker 0 has clock 0, so the rejoiner restarts at 0 here.
+        assert_eq!(s.clock, 0);
+    }
+
+    #[test]
+    fn rejoiner_clock_seeds_at_min_alive() {
+        let mut t = StatTable::new(3);
+        for w in 0..2 {
+            for v in 0..5 {
+                t.task_issued(w, v, VTime::ZERO, 1);
+                t.task_completed(w, VTime::from_micros(v + 1), VDur::from_micros(1));
+            }
+        }
+        // Worker 2 (clock 0) dies; survivors are at clock 5.
+        t.worker_died(2);
+        t.worker_revived(2);
+        assert_eq!(
+            t.get(2).clock,
+            5,
+            "rejoiner seeds at min alive clock so SSP neither stalls nor races"
+        );
+        // A join does the same.
+        let w = t.add_worker();
+        assert_eq!(w, 3);
+        assert_eq!(t.get(3).clock, 5);
+        assert!(t.get(3).alive && t.get(3).available);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn worker_up_dispatches_revive_vs_join() {
+        let mut t = StatTable::new(2);
+        t.worker_died(0);
+        t.worker_up(0); // revival
+        assert!(t.get(0).alive);
+        assert_eq!(t.len(), 2);
+        t.worker_up(3); // join (grows through 2 and 3)
+        assert_eq!(t.len(), 4);
+        assert!(t.get(2).alive && t.get(3).alive);
+        let snap = t.snapshot(VTime::ZERO, 0);
+        assert_eq!(snap.alive_count(), 4);
+        assert_eq!(snap.available_workers(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alive_set_transitions_update_aggregates() {
+        let mut t = StatTable::new(3);
+        for v in 0..3 {
+            t.task_issued(0, v, VTime::ZERO, 1);
+            t.task_completed(0, VTime::from_micros(v + 1), VDur::from_micros(10));
+        }
+        // The only zero-clock workers die: min_clock must follow the
+        // alive set (this is what un-wedges SSP when the slowest dies).
+        t.worker_died(1);
+        t.worker_died(2);
+        let s = t.snapshot(VTime::from_micros(10), 3);
+        assert_eq!(s.alive_count(), 1);
+        assert_eq!(s.min_clock(), Some(3));
+        t.worker_revived(1);
+        let s = t.snapshot(VTime::from_micros(10), 3);
+        assert_eq!(s.alive_count(), 2);
+        assert_eq!(s.min_clock(), Some(3), "rejoiner seeded at min alive");
+    }
+
+    #[test]
     fn staleness_saturates() {
         let s = WorkerStat {
             alive: true,
             available: false,
             clock: 0,
+            completed: 0,
             avg_completion: VDur::ZERO,
             inflight: Some(InFlight {
                 issued_version: 9,

@@ -33,8 +33,9 @@ use async_data::{Block, Dataset};
 use async_linalg::{GradDelta, Matrix};
 use sparklet::{Payload, Rdd, WorkerCtx};
 
+use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
-use crate::solver::{block_rdd, record_wave, AsyncSolver, RunReport, SolverCfg};
+use crate::solver::{block_rdd, AsyncSolver, PinLedger, RunReport, SolverCfg};
 
 /// One task's SAGA contribution.
 struct DeltaMsg {
@@ -49,16 +50,34 @@ struct DeltaMsg {
 }
 
 /// Asynchronous SAGA with server-side history.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Asaga {
     /// The objective being minimized.
     pub objective: Objective,
+    resume: Option<Checkpoint>,
 }
 
 impl Asaga {
     /// An ASAGA solver for `objective`.
     pub fn new(objective: Objective) -> Self {
-        Self { objective }
+        Self {
+            objective,
+            resume: None,
+        }
+    }
+
+    /// Seeds the next [`AsyncSolver::run`] from a checkpoint. The server
+    /// model restores bit-identically; the SAGA table is *re-based* at the
+    /// restored model — every sample's `φⱼ` becomes `w`, and ᾱ is
+    /// recomputed as the full gradient at `w`, which is exactly consistent
+    /// with that table (see the crate's checkpoint docs for why the
+    /// pre-crash running ᾱ cannot be reused).
+    ///
+    /// Validated against the dataset at `run` time, which panics on a
+    /// solver/dimension/history mismatch.
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
     }
 
     fn submit_wave(
@@ -149,7 +168,23 @@ impl AsyncSolver for Asaga {
         let mean_rows = n / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
-        let mut w = vec![0.0; dcols];
+        // Resume from a checkpoint when one is installed: the model
+        // restores bit-identically and the SAGA table re-bases at it —
+        // the fresh broadcast below starts at version 0 = restored w, so
+        // every sample's implicit φⱼ is the restored model, and the
+        // full-gradient seeding of ᾱ right after is exactly consistent.
+        let (mut w, base_updates) = match self.resume.take() {
+            Some(ckpt) => {
+                ckpt.validate_for("asaga", dcols)
+                    .expect("asaga: incompatible resume checkpoint");
+                assert!(
+                    matches!(ckpt.history, SolverHistory::Saga { .. }),
+                    "asaga: checkpoint lacks a SAGA history"
+                );
+                (ckpt.w, ckpt.updates)
+            }
+            None => (vec![0.0; dcols], 0),
+        };
         // Every row's implicit initial version is 0 = w₀.
         let bcast = ctx.async_broadcast(w.clone(), n as u64);
         // ᾱ = mean table gradient, seeded at w₀ so it is exactly consistent
@@ -162,11 +197,12 @@ impl AsyncSolver for Asaga {
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(ctx.now(), f0 - cfg.baseline);
 
-        // The version each worker's in-flight task pinned. Entries are
+        // The versions each worker's in-flight tasks pinned. Entries are
         // cleared on consumption; whatever remains at run end (tasks lost
         // to worker failure never come back) is unpinned explicitly so no
         // model version leaks past the run.
-        let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
+        let mut pinned = PinLedger::new(ctx.workers());
+        let mut checkpoints = Vec::new();
 
         // Count updates relative to the context's starting version so a
         // reused (but drained) context still runs a full budget.
@@ -174,7 +210,7 @@ impl AsyncSolver for Asaga {
 
         let v0 = ctx.version();
         let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
-        record_wave(&mut pinned, v0, &ws);
+        pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
@@ -185,7 +221,15 @@ impl AsyncSolver for Asaga {
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
             let Some(t) = ctx.collect::<DeltaMsg>() else {
-                break;
+                // Total stall (all in-flight tasks lost): restart with a
+                // fresh wave if revived/joined workers are available.
+                let v = ctx.version();
+                let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+                if ws.is_empty() {
+                    break;
+                }
+                pinned.record_wave(v, &ws);
+                continue;
             };
             tasks_completed += 1;
             max_staleness = max_staleness.max(t.attrs.staleness);
@@ -196,7 +240,7 @@ impl AsyncSolver for Asaga {
             // the task computed against; then release the in-flight pin.
             bcast.record_use(&t.value.indices, task_version);
             bcast.unpin(task_version);
-            pinned[t.attrs.worker] = None;
+            pinned.consume(t.attrs.worker, task_version);
             let damp = if cfg.staleness_damping {
                 1.0 / (1.0 + t.attrs.staleness as f64)
             } else {
@@ -233,9 +277,19 @@ impl AsyncSolver for Asaga {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
+            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+                checkpoints.push(Checkpoint {
+                    solver: "asaga".to_string(),
+                    updates: base_updates + updates,
+                    w: w.clone(),
+                    history: SolverHistory::Saga {
+                        alpha_bar: alpha_bar.clone(),
+                    },
+                });
+            }
             let v = ctx.version();
             let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
-            record_wave(&mut pinned, v, &ws);
+            pinned.record_wave(v, &ws);
         }
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -244,13 +298,11 @@ impl AsyncSolver for Asaga {
         // Drain in-flight tasks, releasing their pins without applying.
         while let Some(t) = ctx.collect::<DeltaMsg>() {
             bcast.unpin(t.attrs.issued_version);
-            pinned[t.attrs.worker] = None;
+            pinned.consume(t.attrs.worker, t.attrs.issued_version);
         }
         // Tasks lost to worker failures never surface: release their pins
         // so the model versions they held can prune.
-        for v in pinned.into_iter().flatten() {
-            bcast.unpin(v);
-        }
+        pinned.release_leftovers(&bcast);
 
         RunReport {
             trace,
@@ -265,6 +317,7 @@ impl AsyncSolver for Asaga {
             worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
             final_w: w,
             final_objective,
+            checkpoints,
         }
     }
 }

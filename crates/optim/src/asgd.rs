@@ -20,23 +20,39 @@ use async_data::Dataset;
 use async_linalg::GradDelta;
 use sparklet::Payload;
 
+use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
 use crate::solver::{
-    block_rdd, drain_grad_tasks, record_wave, submit_grad_wave, AsyncSolver, GradMsg, RunReport,
+    block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
     SolverCfg,
 };
 
 /// Asynchronous stochastic gradient descent.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Asgd {
     /// The objective being minimized.
     pub objective: Objective,
+    resume: Option<Checkpoint>,
 }
 
 impl Asgd {
     /// An ASGD solver for `objective`.
     pub fn new(objective: Objective) -> Self {
-        Self { objective }
+        Self {
+            objective,
+            resume: None,
+        }
+    }
+
+    /// Seeds the next [`AsyncSolver::run`] from a checkpoint: the server
+    /// model restores bit-identically and newly captured checkpoints keep
+    /// counting updates from the checkpoint's total.
+    ///
+    /// Validated against the dataset at `run` time, which panics on a
+    /// solver/dimension/history mismatch.
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
     }
 }
 
@@ -52,7 +68,20 @@ impl AsyncSolver for Asgd {
         let mean_rows = dataset.rows() / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
-        let mut w = vec![0.0; dcols];
+        // Resume from a checkpoint when one is installed: the server model
+        // restores bit-identically; plain ASGD has no auxiliary history.
+        let (mut w, base_updates) = match self.resume.take() {
+            Some(ckpt) => {
+                ckpt.validate_for("asgd", dcols)
+                    .expect("asgd: incompatible resume checkpoint");
+                assert!(
+                    matches!(ckpt.history, SolverHistory::None),
+                    "asgd: checkpoint carries foreign solver history"
+                );
+                (ckpt.w, ckpt.updates)
+            }
+            None => (vec![0.0; dcols], 0),
+        };
         // No per-sample history in plain ASGD: the sample universe is
         // empty, so superseded model versions prune as soon as no task
         // needs them.
@@ -64,14 +93,15 @@ impl AsyncSolver for Asgd {
 
         // In-flight pin bookkeeping: entries cleared on consumption;
         // leftovers (tasks lost to worker failure) released at run end.
-        let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
+        let mut pinned = PinLedger::new(ctx.workers());
+        let mut checkpoints = Vec::new();
         // Count updates relative to the context's starting version so a
         // reused (but drained) context still runs a full budget.
         let start_version = ctx.version();
 
         let v0 = ctx.version();
         let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
-        record_wave(&mut pinned, v0, &ws);
+        pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
@@ -81,14 +111,23 @@ impl AsyncSolver for Asgd {
         let mut wall_clock = ctx.now();
         while updates < cfg.max_updates {
             let Some(t) = ctx.collect::<GradMsg>() else {
-                break;
+                // Total stall: every in-flight task was lost to failures.
+                // If chaos has since revived or joined workers, a fresh
+                // wave restarts the run; otherwise the cluster is dead.
+                let v = ctx.version();
+                let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+                if ws.is_empty() {
+                    break;
+                }
+                pinned.record_wave(v, &ws);
+                continue;
             };
             tasks_completed += 1;
             max_staleness = max_staleness.max(t.attrs.staleness);
             grad_entries += t.value.entries;
             result_bytes += t.value.g.encoded_len();
             bcast.unpin(t.attrs.issued_version);
-            pinned[t.attrs.worker] = None;
+            pinned.consume(t.attrs.worker, t.attrs.issued_version);
             let damp = if cfg.staleness_damping {
                 1.0 / (1.0 + t.attrs.staleness as f64)
             } else {
@@ -118,9 +157,17 @@ impl AsyncSolver for Asgd {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
+            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+                checkpoints.push(Checkpoint {
+                    solver: "asgd".to_string(),
+                    updates: base_updates + updates,
+                    w: w.clone(),
+                    history: SolverHistory::None,
+                });
+            }
             let v = ctx.version();
             let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
-            record_wave(&mut pinned, v, &ws);
+            pinned.record_wave(v, &ws);
         }
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -141,6 +188,7 @@ impl AsyncSolver for Asgd {
             worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
             final_w: w,
             final_objective,
+            checkpoints,
         }
     }
 }

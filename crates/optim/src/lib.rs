@@ -24,17 +24,26 @@
 //! IDs attached at submission) are specified against the deterministic
 //! `SimEngine` — see the note in [`asaga`]. `tests/barrier_e2e.rs`,
 //! `tests/msgd_e2e.rs` and `tests/sparse_e2e.rs` have end-to-end runs.
+//!
+//! The solvers are *elastic*: they keep running through worker kills,
+//! revivals, and mid-run joins (see `async_cluster::chaos` for churn
+//! scripts), and [`checkpoint`] snapshots the server state —
+//! bit-identical serialize/restore plus per-solver `resume_from` — so a
+//! crashed driver resumes instead of restarting. `tests/chaos_e2e.rs`
+//! and `tests/chaos_proptests.rs` exercise all of it end to end.
 
 #![deny(missing_docs)]
 
 pub mod asaga;
 pub mod asgd;
+pub mod checkpoint;
 pub mod msgd;
 pub mod objective;
 pub mod solver;
 
 pub use asaga::Asaga;
 pub use asgd::Asgd;
+pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};
 pub use msgd::AsyncMsgd;
 pub use objective::Objective;
 pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};

@@ -32,20 +32,22 @@ use async_data::Dataset;
 use async_linalg::GradDelta;
 use sparklet::Payload;
 
+use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
 use crate::solver::{
-    block_rdd, drain_grad_tasks, record_wave, submit_grad_wave, AsyncSolver, GradMsg, RunReport,
+    block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
     SolverCfg,
 };
 
 /// Asynchronous momentum SGD with staleness-adaptive damping.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AsyncMsgd {
     /// The objective being minimized.
     pub objective: Objective,
     /// Base momentum β₀, applied in full when a result arrives with zero
     /// observed staleness and damped as `β₀/(1+s)` otherwise.
     pub momentum: f64,
+    resume: Option<Checkpoint>,
 }
 
 impl AsyncMsgd {
@@ -54,6 +56,7 @@ impl AsyncMsgd {
         Self {
             objective,
             momentum: 0.9,
+            resume: None,
         }
     }
 
@@ -64,6 +67,16 @@ impl AsyncMsgd {
             "momentum must be in [0, 1): {momentum}"
         );
         self.momentum = momentum;
+        self
+    }
+
+    /// Seeds the next [`AsyncSolver::run`] from a checkpoint: the server
+    /// model *and* the heavy-ball velocity restore bit-identically.
+    ///
+    /// Validated against the dataset at `run` time, which panics on a
+    /// solver/dimension/history mismatch.
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
         self
     }
 }
@@ -80,22 +93,37 @@ impl AsyncSolver for AsyncMsgd {
         let mean_rows = dataset.rows() / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
-        let mut w = vec![0.0; dcols];
-        // The heavy-ball velocity; dense by nature (momentum mixes every
-        // coordinate), updated in O(dim) per server update.
-        let mut u = vec![0.0; dcols];
+        // Resume from a checkpoint when one is installed: both the server
+        // model and the heavy-ball velocity restore bit-identically.
+        let (mut w, mut u, base_updates) = match self.resume.take() {
+            Some(ckpt) => {
+                ckpt.validate_for("async-msgd", dcols)
+                    .expect("async-msgd: incompatible resume checkpoint");
+                match ckpt.history {
+                    SolverHistory::Momentum(u) => {
+                        assert_eq!(u.len(), dcols, "async-msgd: velocity dimension mismatch");
+                        (ckpt.w, u, ckpt.updates)
+                    }
+                    _ => panic!("async-msgd: checkpoint lacks a momentum history"),
+                }
+            }
+            // The heavy-ball velocity; dense by nature (momentum mixes
+            // every coordinate), updated in O(dim) per server update.
+            None => (vec![0.0; dcols], vec![0.0; dcols], 0),
+        };
         let bcast = ctx.async_broadcast(w.clone(), 0);
 
         let mut trace = ConvergenceTrace::new();
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(ctx.now(), f0 - cfg.baseline);
 
-        let mut pinned: Vec<Option<u64>> = vec![None; ctx.workers()];
+        let mut pinned = PinLedger::new(ctx.workers());
+        let mut checkpoints = Vec::new();
         let start_version = ctx.version();
 
         let v0 = ctx.version();
         let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
-        record_wave(&mut pinned, v0, &ws);
+        pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
@@ -106,14 +134,22 @@ impl AsyncSolver for AsyncMsgd {
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
             let Some(t) = ctx.collect::<GradMsg>() else {
-                break;
+                // Total stall (all in-flight tasks lost): restart with a
+                // fresh wave if revived/joined workers are available.
+                let v = ctx.version();
+                let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+                if ws.is_empty() {
+                    break;
+                }
+                pinned.record_wave(v, &ws);
+                continue;
             };
             tasks_completed += 1;
             max_staleness = max_staleness.max(t.attrs.staleness);
             grad_entries += t.value.entries;
             result_bytes += t.value.g.encoded_len();
             bcast.unpin(t.attrs.issued_version);
-            pinned[t.attrs.worker] = None;
+            pinned.consume(t.attrs.worker, t.attrs.issued_version);
 
             // The staleness-adaptive rule: consult the STAT table for the
             // worst delay visible right now, fold in this result's own
@@ -151,9 +187,17 @@ impl AsyncSolver for AsyncMsgd {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
+            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+                checkpoints.push(Checkpoint {
+                    solver: "async-msgd".to_string(),
+                    updates: base_updates + updates,
+                    w: w.clone(),
+                    history: SolverHistory::Momentum(u.clone()),
+                });
+            }
             let v = ctx.version();
             let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
-            record_wave(&mut pinned, v, &ws);
+            pinned.record_wave(v, &ws);
         }
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -174,6 +218,7 @@ impl AsyncSolver for AsyncMsgd {
             worker_clocks: ctx.stat().workers.iter().map(|s| s.clock).collect(),
             final_w: w,
             final_objective,
+            checkpoints,
         }
     }
 }

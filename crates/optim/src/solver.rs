@@ -12,6 +12,7 @@ use async_data::{sampler, Block, Dataset};
 use async_linalg::{GradDelta, ParallelismCfg};
 use sparklet::{Rdd, WorkerCtx};
 
+use crate::checkpoint::Checkpoint;
 use crate::objective::Objective;
 
 /// Configuration shared by all solvers.
@@ -40,6 +41,11 @@ pub struct SolverCfg {
     pub seed: u64,
     /// Driver-side parallelism for objective evaluations.
     pub eval_threads: ParallelismCfg,
+    /// Capture a [`Checkpoint`] of the server state every this many
+    /// updates (0 = never); captured checkpoints land in
+    /// [`RunReport::checkpoints`], ready for `to_bytes` and a later
+    /// `resume_from`.
+    pub checkpoint_every: u64,
 }
 
 impl Default for SolverCfg {
@@ -55,6 +61,7 @@ impl Default for SolverCfg {
             partitions: 0,
             seed: 42,
             eval_threads: ParallelismCfg::sequential(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -83,12 +90,16 @@ pub struct RunReport {
     /// Modeled wire bytes of the consumed gradient-result messages
     /// (sparse deltas ship only their support).
     pub result_bytes: u64,
-    /// Per-worker task clocks at the end of the run.
+    /// Per-worker task clocks at the end of the run (one entry per worker
+    /// the cluster ended with — mid-run joins appear at the tail).
     pub worker_clocks: Vec<u64>,
     /// The final model.
     pub final_w: Vec<f64>,
     /// Final objective value (not baseline-subtracted).
     pub final_objective: f64,
+    /// Server-state checkpoints captured every
+    /// [`SolverCfg::checkpoint_every`] updates (empty when disabled).
+    pub checkpoints: Vec<Checkpoint>,
 }
 
 /// An asynchronous optimization algorithm runnable on an [`AsyncContext`].
@@ -153,11 +164,56 @@ pub(crate) fn submit_grad_wave(
     submitted
 }
 
-/// Records a submitted wave into the per-worker pin ledger.
-pub(crate) fn record_wave(pinned: &mut [Option<u64>], version: u64, ws: &[usize]) {
-    for &wid in ws {
-        debug_assert!(pinned[wid].is_none(), "worker {wid} double-submitted");
-        pinned[wid] = Some(version);
+/// The per-worker ledger of history-broadcast pins held by in-flight (or
+/// lost) tasks. Under static membership a worker holds at most one pin,
+/// but under churn a worker can accumulate pins from *lost* incarnations
+/// (a task dies with its worker and never surfaces) while its revived self
+/// holds a live one — so the ledger keeps a list per worker and releases
+/// every leftover at run end. It also grows on demand: mid-run joins push
+/// worker ids past the cluster's starting size.
+pub(crate) struct PinLedger {
+    by_worker: Vec<Vec<u64>>,
+}
+
+impl PinLedger {
+    /// A ledger for a cluster starting with `n` workers.
+    pub fn new(n: usize) -> Self {
+        Self {
+            by_worker: vec![Vec::new(); n],
+        }
+    }
+
+    /// Records that `worker`'s newly submitted task pinned `version`.
+    pub fn record(&mut self, worker: usize, version: u64) {
+        if self.by_worker.len() <= worker {
+            self.by_worker.resize_with(worker + 1, Vec::new);
+        }
+        self.by_worker[worker].push(version);
+    }
+
+    /// Records a whole submitted wave at `version`.
+    pub fn record_wave(&mut self, version: u64, ws: &[usize]) {
+        for &w in ws {
+            self.record(w, version);
+        }
+    }
+
+    /// Consumes one pin of `version` held by `worker` (its task's result
+    /// arrived and the caller unpinned the broadcast).
+    pub fn consume(&mut self, worker: usize, version: u64) {
+        if let Some(pins) = self.by_worker.get_mut(worker) {
+            if let Some(i) = pins.iter().position(|&v| v == version) {
+                pins.swap_remove(i);
+            }
+        }
+    }
+
+    /// Releases every leftover pin — tasks lost to worker failures never
+    /// surface, so their versions are unpinned here at run end.
+    pub fn release_leftovers(self, bcast: &AsyncBcast<Vec<f64>>) {
+        for v in self.by_worker.into_iter().flatten() {
+            bcast.unpin(v);
+        }
     }
 }
 
@@ -168,15 +224,13 @@ pub(crate) fn record_wave(pinned: &mut [Option<u64>], version: u64, ws: &[usize]
 pub(crate) fn drain_grad_tasks(
     ctx: &mut AsyncContext,
     bcast: &AsyncBcast<Vec<f64>>,
-    mut pinned: Vec<Option<u64>>,
+    mut pinned: PinLedger,
 ) {
     while let Some(t) = ctx.collect::<GradMsg>() {
         bcast.unpin(t.attrs.issued_version);
-        pinned[t.attrs.worker] = None;
+        pinned.consume(t.attrs.worker, t.attrs.issued_version);
     }
-    for v in pinned.into_iter().flatten() {
-        bcast.unpin(v);
-    }
+    pinned.release_leftovers(bcast);
 }
 
 /// Partitions `dataset` into `cfg.partitions` blocks (default: one per

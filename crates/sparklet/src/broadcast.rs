@@ -117,6 +117,18 @@ impl BroadcastRegistry {
     pub fn reset_worker(&mut self, worker: usize) {
         self.seen[worker].clear();
     }
+
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Grows the registry by one worker (a mid-run join); the new worker
+    /// has seen nothing and pays every broadcast on first use.
+    pub fn add_worker(&mut self) -> usize {
+        self.seen.push(std::collections::HashSet::new());
+        self.seen.len() - 1
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use async_cluster::{ClusterSpec, VTime, WaitTimeRecorder, WorkerId};
+use async_cluster::{ChaosAction, ChaosSchedule, ClusterSpec, VTime, WaitTimeRecorder, WorkerId};
 
 use crate::broadcast::{BcastCharge, Broadcast, BroadcastRegistry};
 use crate::engine::{Completion, Engine, EngineError, Task, TaskFn};
@@ -97,17 +97,24 @@ impl Driver {
     }
 
     /// The stable owner of partition `part` given the current set of alive
-    /// workers (round-robin; reassigns automatically after failures).
-    pub fn owner_of(&self, part: usize) -> WorkerId {
+    /// workers (round-robin; reassigns automatically after failures,
+    /// revivals, and joins).
+    ///
+    /// Returns [`EngineError::NoAliveWorkers`] when every worker has failed
+    /// — ownership is undefined until a revival or join restores capacity.
+    pub fn owner_of(&self, part: usize) -> Result<WorkerId, EngineError> {
         let alive = self.alive_workers();
-        assert!(!alive.is_empty(), "owner_of: no alive workers");
-        alive[part % alive.len()]
+        if alive.is_empty() {
+            return Err(EngineError::NoAliveWorkers);
+        }
+        Ok(alive[part % alive.len()])
     }
 
     /// Partitions (out of `nparts`) owned by `w` under the current
-    /// alive-worker assignment.
+    /// alive-worker assignment. Empty when no worker is alive (no owner
+    /// exists) or `w` owns nothing.
     pub fn partitions_of(&self, w: WorkerId, nparts: usize) -> Vec<usize> {
-        (0..nparts).filter(|&p| self.owner_of(p) == w).collect()
+        (0..nparts).filter(|&p| self.owner_of(p) == Ok(w)).collect()
     }
 
     /// Creates a classic broadcast variable.
@@ -141,9 +148,93 @@ impl Driver {
         self.engine.kill_worker(w);
     }
 
-    /// Schedules a failure at a virtual instant (simulated engine only).
+    /// Brings a dead worker back as a fresh executor. The revival surfaces
+    /// as a [`Completion::WorkerUp`] through the completion stream, at
+    /// which point the driver resets the worker's broadcast bookkeeping (a
+    /// fresh executor re-receives every broadcast on first use).
+    pub fn revive_worker(&mut self, w: WorkerId) -> Result<(), EngineError> {
+        self.engine.revive_worker(w)
+    }
+
+    /// Adds a brand-new worker mid-run and returns its id. Driver-side
+    /// bookkeeping (broadcast registry, wait recorder) grows immediately;
+    /// [`Completion::WorkerUp`] surfaces through the completion stream for
+    /// higher layers (e.g. the async coordinator's `STAT` table).
+    pub fn add_worker(&mut self) -> WorkerId {
+        let w = self.engine.add_worker();
+        self.grow_bookkeeping();
+        w
+    }
+
+    /// Schedules a failure at a virtual instant (real elapsed time on the
+    /// threaded backend).
     pub fn schedule_failure(&mut self, w: WorkerId, at: VTime) {
         self.engine.schedule_failure(w, at);
+    }
+
+    /// Schedules a revival at a virtual instant (no-op at fire time if the
+    /// worker is alive).
+    pub fn schedule_revival(&mut self, w: WorkerId, at: VTime) {
+        self.engine.schedule_revival(w, at);
+    }
+
+    /// Schedules a brand-new worker to join at a virtual instant.
+    ///
+    /// Id-allocation timing differs by backend: the simulator assigns the
+    /// joiner's id at *scheduling* time (so `workers()` grows immediately,
+    /// though the worker stays dead until its instant), while the threaded
+    /// backend assigns it when the event *fires*. Either way the worker
+    /// only becomes schedulable once its [`Completion::WorkerUp`] pops.
+    pub fn schedule_join(&mut self, at: VTime) {
+        self.engine.schedule_join(at);
+        self.grow_bookkeeping();
+    }
+
+    /// Installs a whole membership-churn script: every event is mapped to
+    /// the engine's scheduling primitives (the simulator fires them at
+    /// exact virtual instants inside its deterministic event queue; the
+    /// threaded backend applies them when real elapsed time passes them).
+    pub fn install_chaos(&mut self, schedule: &ChaosSchedule) {
+        for ev in schedule.events() {
+            match ev.action {
+                ChaosAction::Kill(w) => self.schedule_failure(w, ev.at),
+                ChaosAction::Revive(w) => self.schedule_revival(w, ev.at),
+                ChaosAction::Join => self.schedule_join(ev.at),
+            }
+        }
+    }
+
+    /// Grows driver bookkeeping to the engine's worker count (joins may
+    /// have been requested engine-side; growth is idempotent).
+    fn grow_bookkeeping(&mut self) {
+        while self.wait.workers() < self.engine.workers() {
+            self.wait.add_worker();
+            self.registry.add_worker();
+        }
+    }
+
+    /// Folds a membership notification into driver bookkeeping: joined
+    /// workers get fresh rows, revived workers get their broadcast state
+    /// reset (a fresh executor re-receives every broadcast on first use).
+    fn note_membership(&mut self, c: &Completion) {
+        match *c {
+            Completion::WorkerUp { worker } => {
+                if worker < self.registry.workers() {
+                    self.registry.reset_worker(worker);
+                    // Defensive: a wait left open by a pre-failure life
+                    // must not span the downtime.
+                    self.wait.cancel_open(worker);
+                } else {
+                    self.grow_bookkeeping();
+                }
+            }
+            Completion::Lost { worker, .. } | Completion::WorkerDown { worker } => {
+                // A dead worker is not waiting at a barrier: discard its
+                // open wait so downtime never inflates mean wait times.
+                self.wait.cancel_open(worker);
+            }
+            Completion::Done(_) => {}
+        }
     }
 
     // ------------------------------------------------------------------
@@ -177,12 +268,16 @@ impl Driver {
     }
 
     /// Blocks for the next completion (advancing virtual time), recording
-    /// wait starts for finished workers.
+    /// wait starts for finished workers and folding membership changes
+    /// (revivals, joins) into driver bookkeeping.
     pub fn next_completion(&mut self) -> Option<Completion> {
         let c = self.engine.next();
-        if let Some(Completion::Done(ref d)) = c {
-            self.wait.result_submitted(d.worker, d.finished_at);
-            self.total_bytes += d.bytes_in;
+        if let Some(ref c) = c {
+            self.note_membership(c);
+            if let Completion::Done(d) = c {
+                self.wait.result_submitted(d.worker, d.finished_at);
+                self.total_bytes += d.bytes_in;
+            }
         }
         c
     }
@@ -191,9 +286,12 @@ impl Driver {
     /// now" — the simulator does not advance its clock).
     pub fn try_next_completion(&mut self) -> Option<Completion> {
         let c = self.engine.try_next();
-        if let Some(Completion::Done(ref d)) = c {
-            self.wait.result_submitted(d.worker, d.finished_at);
-            self.total_bytes += d.bytes_in;
+        if let Some(ref c) = c {
+            self.note_membership(c);
+            if let Completion::Done(d) = c {
+                self.wait.result_submitted(d.worker, d.finished_at);
+                self.total_bytes += d.bytes_in;
+            }
         }
         c
     }
@@ -213,17 +311,19 @@ impl Driver {
     /// nonzero).
     ///
     /// Tasks lost to worker failures are resubmitted to surviving workers
-    /// (lineage makes this safe).
+    /// (lineage makes this safe); workers revived mid-stage steal queued
+    /// work, and workers joined mid-stage are picked up by the next stage.
     ///
-    /// # Panics
-    /// Panics if every worker dies before the stage completes.
+    /// # Errors
+    /// Returns [`EngineError::NoAliveWorkers`] if every worker dies (with
+    /// no revival in sight) before the stage completes.
     pub fn run_stage<T, R, F>(
         &mut self,
         rdd: &Rdd<T>,
         uses: &[BcastCharge],
         cost_scale: f64,
         f: F,
-    ) -> (Vec<R>, StageStats)
+    ) -> Result<(Vec<R>, StageStats), EngineError>
     where
         T: Data,
         R: Send + 'static,
@@ -241,12 +341,14 @@ impl Driver {
         };
         let mut results: Vec<Option<R>> = (0..nparts).map(|_| None).collect();
         if nparts == 0 {
-            return (Vec::new(), stats);
+            return Ok((Vec::new(), stats));
         }
 
         let f = Arc::new(f);
         let alive = self.alive_workers();
-        assert!(!alive.is_empty(), "run_stage: no alive workers");
+        if alive.is_empty() {
+            return Err(EngineError::NoAliveWorkers);
+        }
         let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_workers];
         for p in 0..nparts {
             queues[alive[p % alive.len()]].push_back(p);
@@ -267,10 +369,8 @@ impl Driver {
 
         let mut completed = 0;
         while completed < nparts {
-            let c = self
-                .engine
-                .next()
-                .expect("run_stage: engine starved before stage completion (all workers dead?)");
+            let c = self.engine.next().ok_or(EngineError::NoAliveWorkers)?;
+            self.note_membership(&c);
             match c {
                 Completion::Done(d) => {
                     let part = d.tag as usize;
@@ -326,16 +426,52 @@ impl Driver {
                         orphans,
                     );
                 }
+                Completion::WorkerUp { worker } => {
+                    // A worker whose id sits inside this stage's layout —
+                    // a revival, or (on the simulator, which allocates
+                    // scheduled-join ids up front) a pre-scheduled join —
+                    // takes over work parked on dead workers and steals
+                    // from the longest live backlog. Workers beyond the
+                    // layout (joins allocated after the stage started,
+                    // which is always the case on the threaded backend)
+                    // wait for the next stage.
+                    if worker < queues.len() {
+                        let mut orphans: Vec<usize> = Vec::new();
+                        for w in 0..queues.len() {
+                            if !self.engine.alive(w) {
+                                orphans.extend(queues[w].drain(..));
+                            }
+                        }
+                        if orphans.is_empty() && queues[worker].is_empty() {
+                            if let Some(donor) = (0..queues.len())
+                                .filter(|&w| w != worker && !queues[w].is_empty())
+                                .max_by_key(|&w| queues[w].len())
+                            {
+                                let stolen = queues[donor].pop_back().expect("donor has backlog");
+                                queues[worker].push_back(stolen);
+                            }
+                        }
+                        self.redistribute(
+                            rdd,
+                            uses,
+                            cost_scale,
+                            &f,
+                            &mut queues,
+                            &mut first_submitted,
+                            orphans,
+                        );
+                    }
+                }
             }
         }
         stats.end = self.engine.now();
-        (
+        Ok((
             results
                 .into_iter()
                 .map(|r| r.expect("all partitions completed"))
                 .collect(),
             stats,
-        )
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -402,8 +538,21 @@ impl Driver {
         R: Send + 'static,
         F: Fn(&mut WorkerCtx, Vec<T>, usize) -> R + Send + Sync + 'static,
     {
-        let alive = self.alive_workers();
-        assert!(!alive.is_empty(), "run_stage: all workers failed");
+        // Joined workers (ids beyond this stage's queue layout) only take
+        // part from the next stage; orphans go to surviving layout workers.
+        let alive: Vec<WorkerId> = self
+            .alive_workers()
+            .into_iter()
+            .filter(|&w| w < queues.len())
+            .collect();
+        if alive.is_empty() {
+            // Everyone in the stage layout is down: park the orphans on
+            // worker 0's queue. They are re-redistributed when a revival's
+            // WorkerUp steals work, or the stage errors out when the
+            // engine starves.
+            queues[0].extend(orphans);
+            return;
+        }
         for part in orphans {
             // Shortest queue among survivors.
             let w = *alive
@@ -420,26 +569,33 @@ impl Driver {
     /// Action: per-partition fold with `rf`, then a driver-side combine of
     /// the partial results (Spark's `reduce`). Returns `None` for an RDD
     /// with no elements.
+    ///
+    /// # Errors
+    /// Propagates [`EngineError::NoAliveWorkers`] from the stage.
     pub fn reduce<T: Data>(
         &mut self,
         rdd: &Rdd<T>,
         uses: &[BcastCharge],
         cost_scale: f64,
         rf: impl Fn(T, T) -> T + Send + Sync + 'static,
-    ) -> (Option<T>, StageStats) {
+    ) -> Result<(Option<T>, StageStats), EngineError> {
         let rf = Arc::new(rf);
         let rf2 = Arc::clone(&rf);
-        let (partials, stats) = self.run_stage(rdd, uses, cost_scale, move |_ctx, data, _part| {
-            let mut it = data.into_iter();
-            let first = it.next();
-            first.map(|f0| it.fold(f0, |a, b| rf2(a, b)))
-        });
+        let (partials, stats) =
+            self.run_stage(rdd, uses, cost_scale, move |_ctx, data, _part| {
+                let mut it = data.into_iter();
+                let first = it.next();
+                first.map(|f0| it.fold(f0, |a, b| rf2(a, b)))
+            })?;
         let combined = partials.into_iter().flatten().reduce(|a, b| rf(a, b));
-        (combined, stats)
+        Ok((combined, stats))
     }
 
     /// Action: Spark's `aggregate` — per-partition fold from `zero` with
     /// `seq_op`, then driver-side `comb_op`.
+    ///
+    /// # Errors
+    /// Propagates [`EngineError::NoAliveWorkers`] from the stage.
     pub fn aggregate<T: Data, U: Data>(
         &mut self,
         rdd: &Rdd<T>,
@@ -448,24 +604,31 @@ impl Driver {
         zero: U,
         seq_op: impl Fn(U, &T) -> U + Send + Sync + 'static,
         comb_op: impl Fn(U, U) -> U,
-    ) -> (U, StageStats) {
+    ) -> Result<(U, StageStats), EngineError> {
         let z = zero.clone();
-        let (partials, stats) = self.run_stage(rdd, uses, cost_scale, move |_ctx, data, _part| {
-            data.iter().fold(z.clone(), &seq_op)
-        });
-        (partials.into_iter().fold(zero, comb_op), stats)
+        let (partials, stats) =
+            self.run_stage(rdd, uses, cost_scale, move |_ctx, data, _part| {
+                data.iter().fold(z.clone(), &seq_op)
+            })?;
+        Ok((partials.into_iter().fold(zero, comb_op), stats))
     }
 
     /// Action: materializes the whole RDD on the driver in partition order.
-    pub fn collect<T: Data>(&mut self, rdd: &Rdd<T>) -> (Vec<T>, StageStats) {
-        let (parts, stats) = self.run_stage(rdd, &[], 1.0, |_ctx, data, _part| data);
-        (parts.into_iter().flatten().collect(), stats)
+    ///
+    /// # Errors
+    /// Propagates [`EngineError::NoAliveWorkers`] from the stage.
+    pub fn collect<T: Data>(&mut self, rdd: &Rdd<T>) -> Result<(Vec<T>, StageStats), EngineError> {
+        let (parts, stats) = self.run_stage(rdd, &[], 1.0, |_ctx, data, _part| data)?;
+        Ok((parts.into_iter().flatten().collect(), stats))
     }
 
     /// Action: element count.
-    pub fn count<T: Data>(&mut self, rdd: &Rdd<T>) -> (usize, StageStats) {
-        let (parts, stats) = self.run_stage(rdd, &[], 1.0, |_ctx, data, _part| data.len());
-        (parts.into_iter().sum(), stats)
+    ///
+    /// # Errors
+    /// Propagates [`EngineError::NoAliveWorkers`] from the stage.
+    pub fn count<T: Data>(&mut self, rdd: &Rdd<T>) -> Result<(usize, StageStats), EngineError> {
+        let (parts, stats) = self.run_stage(rdd, &[], 1.0, |_ctx, data, _part| data.len())?;
+        Ok((parts.into_iter().sum(), stats))
     }
 }
 
@@ -486,7 +649,9 @@ mod tests {
     fn map_reduce_computes_sum() {
         let mut d = sim_driver(4, DelayModel::None);
         let rdd = Rdd::parallelize(vec![vec![1i64, 2], vec![3, 4], vec![5], vec![]]);
-        let (sum, stats) = d.reduce(&rdd.map(|x| x * 2), &[], 1.0, |a, b| a + b);
+        let (sum, stats) = d
+            .reduce(&rdd.map(|x| x * 2), &[], 1.0, |a, b| a + b)
+            .unwrap();
         assert_eq!(sum, Some(30));
         assert!(stats.end >= stats.start);
         assert_eq!(stats.resubmissions, 0);
@@ -496,7 +661,9 @@ mod tests {
     fn aggregate_counts_elements() {
         let mut d = sim_driver(2, DelayModel::None);
         let rdd = Rdd::parallelize(vec![vec![1i64, 2, 3], vec![4, 5]]);
-        let (n, _) = d.aggregate(&rdd, &[], 1.0, 0usize, |acc, _| acc + 1, |a, b| a + b);
+        let (n, _) = d
+            .aggregate(&rdd, &[], 1.0, 0usize, |acc, _| acc + 1, |a, b| a + b)
+            .unwrap();
         assert_eq!(n, 5);
     }
 
@@ -504,9 +671,9 @@ mod tests {
     fn collect_preserves_partition_order() {
         let mut d = sim_driver(3, DelayModel::None);
         let rdd = Rdd::parallelize(vec![vec![1i64], vec![2, 3], vec![4]]);
-        let (all, _) = d.collect(&rdd);
+        let (all, _) = d.collect(&rdd).unwrap();
         assert_eq!(all, vec![1, 2, 3, 4]);
-        let (n, _) = d.count(&rdd);
+        let (n, _) = d.count(&rdd).unwrap();
         assert_eq!(n, 4);
     }
 
@@ -515,10 +682,12 @@ mod tests {
         let mut d = sim_driver(2, DelayModel::None);
         let parts: Vec<Vec<i64>> = (0..8).map(|p| vec![p as i64]).collect();
         let rdd = Rdd::parallelize(parts);
-        let (vals, _) = d.run_stage(&rdd, &[], 1.0, |_ctx, data, part| {
-            assert_eq!(data[0], part as i64);
-            data[0] * 10
-        });
+        let (vals, _) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, part| {
+                assert_eq!(data[0], part as i64);
+                data[0] * 10
+            })
+            .unwrap();
         assert_eq!(vals, (0..8).map(|p| p * 10).collect::<Vec<i64>>());
     }
 
@@ -533,7 +702,9 @@ mod tests {
             },
         );
         let rdd = Rdd::parallelize_with_cost(vec![vec![0i64], vec![0i64]], vec![2e8, 2e8]);
-        let (_, stats) = d.run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64);
+        let (_, stats) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64)
+            .unwrap();
         let f0 = stats.last_finish[0].unwrap();
         let f1 = stats.last_finish[1].unwrap();
         assert_eq!(f0.as_micros(), 1_000_000);
@@ -555,7 +726,9 @@ mod tests {
         );
         let rdd = Rdd::parallelize_with_cost(vec![vec![0i64], vec![0i64]], vec![2e8, 2e8]);
         for _ in 0..2 {
-            let _ = d.run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64);
+            let _ = d
+                .run_stage(&rdd, &[], 1.0, |_ctx, _data, _part| 0i64)
+                .unwrap();
         }
         let w0 = d.wait_recorder().mean_for(0);
         let w1 = d.wait_recorder().mean_for(1);
@@ -575,9 +748,13 @@ mod tests {
         let b = d.broadcast(vec![0.0f64; 100]);
         let rdd = Rdd::parallelize(vec![vec![1i64], vec![2]]);
         let uses = [b.charge()];
-        let (_, s1) = d.run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0]);
+        let (_, s1) = d
+            .run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0])
+            .unwrap();
         assert_eq!(s1.bytes_shipped, 2 * b.bytes());
-        let (_, s2) = d.run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0]);
+        let (_, s2) = d
+            .run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0])
+            .unwrap();
         assert_eq!(s2.bytes_shipped, 0, "already shipped to both workers");
         assert_eq!(d.total_bytes_shipped(), 2 * b.bytes());
     }
@@ -588,7 +765,9 @@ mod tests {
         // Two long tasks; worker 0 dies halfway through its task.
         let rdd = Rdd::parallelize_with_cost(vec![vec![10i64], vec![20i64]], vec![2e8, 2e8]);
         d.schedule_failure(0, VTime::from_micros(500_000));
-        let (vals, stats) = d.run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0]);
+        let (vals, stats) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap();
         assert_eq!(vals, vec![10, 20], "lost partition recomputed via lineage");
         assert_eq!(stats.resubmissions, 1);
         assert_eq!(d.alive_workers(), vec![1]);
@@ -602,7 +781,9 @@ mod tests {
         // Dies after its first task completes (at 1s the worker is between
         // tasks only momentarily; schedule just before second finishes).
         d.schedule_failure(0, VTime::from_micros(1_500_000));
-        let (vals, stats) = d.run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0]);
+        let (vals, stats) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap();
         assert_eq!(vals, (0..6).collect::<Vec<i64>>());
         assert!(stats.resubmissions >= 1);
     }
@@ -610,8 +791,8 @@ mod tests {
     #[test]
     fn owner_assignment_is_stable_and_rebalances() {
         let d = sim_driver(4, DelayModel::None);
-        assert_eq!(d.owner_of(0), 0);
-        assert_eq!(d.owner_of(5), 1);
+        assert_eq!(d.owner_of(0), Ok(0));
+        assert_eq!(d.owner_of(5), Ok(1));
         assert_eq!(d.partitions_of(1, 8), vec![1, 5]);
         let mut d = d;
         d.kill_worker(1);
@@ -619,7 +800,122 @@ mod tests {
         while d.next_completion().is_some() {}
         let alive = d.alive_workers();
         assert_eq!(alive, vec![0, 2, 3]);
-        assert_eq!(d.owner_of(1), 2);
+        assert_eq!(d.owner_of(1), Ok(2));
+    }
+
+    #[test]
+    fn owner_of_with_no_alive_workers_is_a_typed_error() {
+        let mut d = sim_driver(2, DelayModel::None);
+        d.kill_worker(0);
+        d.kill_worker(1);
+        while d.next_completion().is_some() {}
+        assert_eq!(d.owner_of(0), Err(EngineError::NoAliveWorkers));
+        assert!(d.partitions_of(0, 4).is_empty());
+        let rdd = Rdd::parallelize(vec![vec![1i64], vec![2]]);
+        let err = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data.len())
+            .unwrap_err();
+        assert_eq!(err, EngineError::NoAliveWorkers);
+        let err = d.reduce(&rdd, &[], 1.0, |a, b| a + b).unwrap_err();
+        assert_eq!(err, EngineError::NoAliveWorkers);
+    }
+
+    #[test]
+    fn stage_error_when_all_workers_die_mid_stage() {
+        let mut d = sim_driver(2, DelayModel::None);
+        let rdd = Rdd::parallelize_with_cost(vec![vec![1i64], vec![2]], vec![2e8, 2e8]);
+        d.schedule_failure(0, VTime::from_micros(100));
+        d.schedule_failure(1, VTime::from_micros(200));
+        let err = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap_err();
+        assert_eq!(err, EngineError::NoAliveWorkers);
+    }
+
+    #[test]
+    fn revival_mid_stage_rescues_the_stage() {
+        // Both workers die, then one revives: the stage must complete via
+        // the revived worker's work-stealing instead of erroring out.
+        let mut d = sim_driver(2, DelayModel::None);
+        let parts: Vec<Vec<i64>> = (0..4).map(|p| vec![p as i64]).collect();
+        let rdd = Rdd::parallelize_with_cost(parts, vec![2e8; 4]);
+        d.schedule_failure(0, VTime::from_micros(100));
+        d.schedule_failure(1, VTime::from_micros(200));
+        d.schedule_revival(0, VTime::from_micros(300));
+        let (vals, stats) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        assert!(stats.resubmissions >= 1);
+        assert_eq!(d.alive_workers(), vec![0]);
+    }
+
+    #[test]
+    fn chaos_schedule_drives_a_stage_end_to_end() {
+        use async_cluster::ChaosSchedule;
+        let mut d = sim_driver(3, DelayModel::None);
+        let chaos = ChaosSchedule::new()
+            .kill(VTime::from_micros(500), 2)
+            .revive(VTime::from_micros(1_200_000), 2)
+            .join(VTime::from_micros(1_500_000));
+        d.install_chaos(&chaos);
+        let parts: Vec<Vec<i64>> = (0..9).map(|p| vec![p as i64]).collect();
+        let rdd = Rdd::parallelize_with_cost(parts, vec![2e8; 9]);
+        let (vals, _) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(vals, (0..9).collect::<Vec<i64>>());
+        // After the schedule: 3 originals alive (2 revived) + 1 joined.
+        while d.next_completion().is_some() {}
+        assert_eq!(d.workers(), 4);
+        assert_eq!(d.alive_workers(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn revived_worker_pays_broadcasts_again() {
+        let spec = ClusterSpec::homogeneous(2, DelayModel::None)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO);
+        let mut d = Driver::sim(spec);
+        let b = d.broadcast(vec![0.0f64; 50]);
+        let rdd = Rdd::parallelize(vec![vec![1i64], vec![2]]);
+        let uses = [b.charge()];
+        let (_, s1) = d
+            .run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(s1.bytes_shipped, 2 * b.bytes());
+        // Kill + revive worker 0 (draining between the two — the sim
+        // applies membership changes at event pop): its fresh executor
+        // must re-receive the broadcast; worker 1 keeps its copy.
+        d.kill_worker(0);
+        while d.next_completion().is_some() {}
+        d.revive_worker(0).unwrap();
+        while d.next_completion().is_some() {}
+        let (_, s2) = d
+            .run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(s2.bytes_shipped, b.bytes(), "only the revived worker pays");
+    }
+
+    #[test]
+    fn joined_worker_owns_partitions_and_pays_broadcasts() {
+        let spec = ClusterSpec::homogeneous(2, DelayModel::None)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO);
+        let mut d = Driver::sim(spec);
+        let b = d.broadcast(vec![0.0f64; 10]);
+        let w = d.add_worker();
+        assert_eq!(w, 2);
+        while d.next_completion().is_some() {}
+        assert_eq!(d.alive_workers(), vec![0, 1, 2]);
+        assert_eq!(d.owner_of(2), Ok(2), "join rebalances ownership");
+        let rdd = Rdd::parallelize(vec![vec![1i64], vec![2], vec![3]]);
+        let uses = [b.charge()];
+        let (vals, s) = d
+            .run_stage(&rdd, &uses, 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(vals, vec![1, 2, 3]);
+        assert_eq!(s.bytes_shipped, 3 * b.bytes());
     }
 
     #[test]
@@ -630,8 +926,12 @@ mod tests {
         let rdd = Rdd::parallelize(vec![vec![1i64, 2], vec![3], vec![4, 5, 6]]);
         let mut sim = Driver::sim(spec.clone());
         let mut thr = Driver::threaded(spec, 0.0);
-        let (a, _) = sim.reduce(&rdd.map(|x| x * x), &[], 1.0, |x, y| x + y);
-        let (b, _) = thr.reduce(&rdd.map(|x| x * x), &[], 1.0, |x, y| x + y);
+        let (a, _) = sim
+            .reduce(&rdd.map(|x| x * x), &[], 1.0, |x, y| x + y)
+            .unwrap();
+        let (b, _) = thr
+            .reduce(&rdd.map(|x| x * x), &[], 1.0, |x, y| x + y)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(a, Some(1 + 4 + 9 + 16 + 25 + 36));
     }
@@ -640,10 +940,12 @@ mod tests {
     fn empty_rdd_stage_is_noop() {
         let mut d = sim_driver(2, DelayModel::None);
         let rdd: Rdd<i64> = Rdd::parallelize(vec![]);
-        let (vals, stats) = d.run_stage(&rdd, &[], 1.0, |_ctx, data, _| data.len());
+        let (vals, stats) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data.len())
+            .unwrap();
         assert!(vals.is_empty());
         assert_eq!(stats.bytes_shipped, 0);
-        let (sum, _) = d.reduce(&rdd, &[], 1.0, |a, b| a + b);
+        let (sum, _) = d.reduce(&rdd, &[], 1.0, |a, b| a + b).unwrap();
         assert_eq!(sum, None);
     }
 }

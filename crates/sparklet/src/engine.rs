@@ -76,6 +76,14 @@ pub enum Completion {
         /// The failed worker.
         worker: WorkerId,
     },
+    /// A worker came (back) up: a dead worker was revived, or a brand-new
+    /// worker joined (its id is then one past the previous worker count).
+    /// Either way the worker is a *fresh* executor: empty caches, no
+    /// broadcast state — the driver rebuilds its bookkeeping on receipt.
+    WorkerUp {
+        /// The revived or newly joined worker.
+        worker: WorkerId,
+    },
 }
 
 /// Submission errors.
@@ -85,6 +93,11 @@ pub enum EngineError {
     WorkerBusy(WorkerId),
     /// The target worker has failed.
     WorkerDead(WorkerId),
+    /// The target worker is already alive (bad revival request).
+    WorkerAlive(WorkerId),
+    /// Every worker in the cluster has failed; no task can be placed and
+    /// no partition has an owner until a revival or join.
+    NoAliveWorkers,
 }
 
 impl std::fmt::Display for EngineError {
@@ -92,6 +105,8 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::WorkerBusy(w) => write!(f, "worker {w} is busy"),
             EngineError::WorkerDead(w) => write!(f, "worker {w} is dead"),
+            EngineError::WorkerAlive(w) => write!(f, "worker {w} is already alive"),
+            EngineError::NoAliveWorkers => write!(f, "no alive workers in the cluster"),
         }
     }
 }
@@ -133,7 +148,36 @@ pub trait Engine: Send {
     /// will surface as [`Completion::Lost`]).
     fn kill_worker(&mut self, w: WorkerId);
 
-    /// Schedules a failure at a future instant (simulation only; the
-    /// default is a no-op so threaded tests call [`Engine::kill_worker`]).
+    /// Brings a dead worker back as a *fresh* executor (empty caches; any
+    /// still-undelivered result of its pre-failure life is epoch-guarded
+    /// and dropped). The change surfaces as [`Completion::WorkerUp`]
+    /// through the normal completion stream so driver-side bookkeeping
+    /// stays ordered with task results.
+    ///
+    /// Returns [`EngineError::WorkerAlive`] if `w` has not failed.
+    fn revive_worker(&mut self, w: WorkerId) -> Result<(), EngineError>;
+
+    /// Adds a brand-new worker with the next dense id and returns that id.
+    /// Also surfaces as [`Completion::WorkerUp`]. The join is effective for
+    /// submissions immediately; completion-stream consumers learn about it
+    /// when the notification pops.
+    fn add_worker(&mut self) -> WorkerId;
+
+    /// Schedules a failure at a future instant (deterministic engines only;
+    /// the default is a no-op so threaded tests call
+    /// [`Engine::kill_worker`] — the threaded backend overrides it with
+    /// elapsed-time checks).
     fn schedule_failure(&mut self, _w: WorkerId, _at: VTime) {}
+
+    /// Schedules a revival of `w` at a future instant (see
+    /// [`Engine::schedule_failure`] for backend semantics). Reviving an
+    /// alive worker is a no-op at fire time.
+    fn schedule_revival(&mut self, _w: WorkerId, _at: VTime) {}
+
+    /// Schedules a brand-new worker to join at a future instant; the new
+    /// id surfaces via [`Completion::WorkerUp`]. Backends may allocate the
+    /// id eagerly (the simulator grows `workers()` at scheduling time,
+    /// keeping the worker dead until its instant) or lazily at fire time
+    /// (the threaded backend).
+    fn schedule_join(&mut self, _at: VTime) {}
 }

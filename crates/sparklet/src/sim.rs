@@ -32,6 +32,11 @@ enum SimEvent {
     Fail {
         worker: WorkerId,
     },
+    /// Activates a dead (or not-yet-activated joined) worker as a fresh
+    /// executor. Dropped if the worker is already alive at fire time.
+    Up {
+        worker: WorkerId,
+    },
 }
 
 /// The simulated engine. See the module docs for the execution model.
@@ -182,6 +187,14 @@ impl Engine for SimEngine {
                     self.clock = self.clock.max(t);
                     return Some(self.fail_now(worker));
                 }
+                SimEvent::Up { worker } => {
+                    if worker >= self.dead.len() || !self.dead[worker] {
+                        continue; // stale revival (already alive)
+                    }
+                    self.clock = self.clock.max(t);
+                    self.up_now(worker);
+                    return Some(Completion::WorkerUp { worker });
+                }
             }
         }
         None
@@ -206,12 +219,67 @@ impl Engine for SimEngine {
         }
     }
 
+    fn revive_worker(&mut self, w: WorkerId) -> Result<(), EngineError> {
+        if !self.dead[w] {
+            return Err(EngineError::WorkerAlive(w));
+        }
+        // The revival flows through the event queue like failures do, so
+        // its WorkerUp notification stays deterministically ordered with
+        // task completions; the worker becomes available when it pops.
+        self.queue.push(self.clock, SimEvent::Up { worker: w });
+        Ok(())
+    }
+
+    fn add_worker(&mut self) -> WorkerId {
+        let w = self.grow_one_dead();
+        self.queue.push(self.clock, SimEvent::Up { worker: w });
+        w
+    }
+
     fn schedule_failure(&mut self, w: WorkerId, at: VTime) {
         self.queue.push(at, SimEvent::Fail { worker: w });
+    }
+
+    fn schedule_revival(&mut self, w: WorkerId, at: VTime) {
+        self.queue.push(at, SimEvent::Up { worker: w });
+    }
+
+    fn schedule_join(&mut self, at: VTime) {
+        // The id is assigned at scheduling time (dense, in schedule order);
+        // the worker stays dead until its Up event fires.
+        let w = self.grow_one_dead();
+        self.queue.push(at, SimEvent::Up { worker: w });
     }
 }
 
 impl SimEngine {
+    /// Appends a structurally present but not-yet-activated worker row.
+    fn grow_one_dead(&mut self) -> WorkerId {
+        let w = self.spec.workers;
+        self.spec.workers += 1;
+        self.spec
+            .profiles
+            .push(async_cluster::WorkerProfile::default_speed());
+        self.ctxs.push(WorkerCtx::new(w));
+        self.busy.push(false);
+        self.dead.push(true);
+        self.epoch.push(0);
+        self.inflight_tag.push(None);
+        self.task_seq.push(0);
+        w
+    }
+
+    /// Activates `w` as a fresh executor: empty cache, bumped epoch (any
+    /// still-queued result from a previous life is cancelled — the same
+    /// guard that cancels in-flight tasks on failure).
+    fn up_now(&mut self, w: WorkerId) {
+        self.dead[w] = false;
+        self.busy[w] = false;
+        self.inflight_tag[w] = None;
+        self.epoch[w] += 1;
+        self.ctxs[w] = WorkerCtx::new(w);
+    }
+
     fn fail_now(&mut self, w: WorkerId) -> Completion {
         self.dead[w] = true;
         if self.busy[w] {
@@ -384,6 +452,115 @@ mod tests {
                 assert_eq!(d.bytes_in, 1_000_000);
             }
             _ => panic!("expected Done"),
+        }
+    }
+
+    #[test]
+    fn revive_brings_back_a_fresh_worker() {
+        let mut e = SimEngine::new(quiet_spec(2, DelayModel::None));
+        e.kill_worker(0);
+        assert!(matches!(
+            e.next(),
+            Some(Completion::WorkerDown { worker: 0 })
+        ));
+        assert!(!e.alive(0));
+        assert_eq!(e.revive_worker(1).unwrap_err(), EngineError::WorkerAlive(1));
+        e.revive_worker(0).unwrap();
+        // State changes when the Up event pops, like failures.
+        assert!(!e.alive(0));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        assert!(e.alive(0));
+        assert!(e.available(0));
+        e.submit(0, task(5, 2e8, 77)).unwrap();
+        let done = run_to_done(&mut e);
+        assert_eq!(done, vec![(5, 77, VTime::from_micros(1_000_000))]);
+    }
+
+    #[test]
+    fn stale_result_never_surfaces_after_revival() {
+        // Kill mid-task, revive immediately: the pre-failure Finish event
+        // is epoch-cancelled and must not reappear in the revived life.
+        let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
+        e.submit(0, task(9, 2e8, 111)).unwrap();
+        e.schedule_failure(0, VTime::from_micros(1000));
+        e.schedule_revival(0, VTime::from_micros(2000));
+        assert!(matches!(
+            e.next(),
+            Some(Completion::Lost { worker: 0, tag: 9 })
+        ));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        // The only remaining event is the cancelled Finish: it must drop.
+        assert!(e.next().is_none());
+        // The revived worker runs fresh tasks normally.
+        e.submit(0, task(10, 2e8, 5)).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(d.tag, 10),
+            _ => panic!("expected the post-revival task"),
+        }
+    }
+
+    #[test]
+    fn revival_resets_worker_cache() {
+        let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
+        e.submit(
+            0,
+            Task {
+                tag: 0,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|ctx| {
+                    ctx.cache_put_local((1, 0), std::sync::Arc::new(42u32));
+                    Box::new(())
+                }),
+            },
+        )
+        .unwrap();
+        let _ = e.next();
+        assert_eq!(e.worker_ctx(0).cache_len(), 1);
+        e.kill_worker(0);
+        let _ = e.next();
+        e.revive_worker(0).unwrap();
+        let _ = e.next();
+        assert_eq!(
+            e.worker_ctx(0).cache_len(),
+            0,
+            "a revived executor starts with an empty cache"
+        );
+    }
+
+    #[test]
+    fn add_worker_joins_and_runs_tasks() {
+        let mut e = SimEngine::new(quiet_spec(1, DelayModel::None));
+        let w = e.add_worker();
+        assert_eq!(w, 1);
+        assert_eq!(e.workers(), 2);
+        assert!(!e.alive(1), "joined worker activates when its event pops");
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        assert!(e.available(1));
+        e.submit(1, task(3, 2e8, 30)).unwrap();
+        let done = run_to_done(&mut e);
+        assert_eq!(done, vec![(3, 30, VTime::from_micros(1_000_000))]);
+    }
+
+    #[test]
+    fn scheduled_membership_fires_at_exact_instants() {
+        let mut e = SimEngine::new(quiet_spec(2, DelayModel::None));
+        e.schedule_failure(1, VTime::from_micros(500));
+        e.schedule_revival(1, VTime::from_micros(1500));
+        e.schedule_join(VTime::from_micros(2500));
+        assert_eq!(e.workers(), 3, "join ids are assigned at scheduling");
+        assert!(matches!(
+            e.next(),
+            Some(Completion::WorkerDown { worker: 1 })
+        ));
+        assert_eq!(e.now(), VTime::from_micros(500));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        assert_eq!(e.now(), VTime::from_micros(1500));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 2 })));
+        assert_eq!(e.now(), VTime::from_micros(2500));
+        assert!(e.next().is_none());
+        for w in 0..3 {
+            assert!(e.alive(w));
         }
     }
 

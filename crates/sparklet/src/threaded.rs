@@ -16,6 +16,7 @@
 //! too.
 
 use std::collections::VecDeque;
+use std::sync::mpsc::RecvTimeoutError;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -39,26 +40,46 @@ enum Msg {
 
 struct WireDone {
     worker: WorkerId,
+    /// The worker incarnation that produced this result; results from a
+    /// pre-failure life are dropped (the epoch guard that makes revival
+    /// safe — a revived executor can never surface a stale-epoch result).
+    epoch: u64,
     tag: u64,
     output: TaskOutput,
     bytes_in: u64,
 }
 
+/// A membership change scheduled against elapsed engine time.
+enum PendingChaos {
+    Fail(WorkerId),
+    Revive(WorkerId),
+    Join,
+}
+
 /// The threaded engine. See the module docs.
 pub struct ThreadedEngine {
     spec: ClusterSpec,
+    assignment: DelayAssignment,
+    time_scale: f64,
     start: Instant,
     txs: Vec<Sender<Msg>>,
     handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    results_tx: Sender<WireDone>,
     results_rx: Receiver<WireDone>,
     busy: Vec<bool>,
     dead: Vec<bool>,
+    /// Worker incarnation counters; bumped on kill so orphaned results and
+    /// a revived executor can never be confused.
+    epoch: Vec<u64>,
     inflight_tag: Vec<Option<u64>>,
     issued_at: Vec<VTime>,
     task_seq: Vec<u64>,
     pending: usize,
-    /// Failure notifications waiting to be handed out by `next`.
+    /// Failure/revival notifications waiting to be handed out by `next`.
     queued: VecDeque<Completion>,
+    /// Scheduled membership events, sorted by time; applied when elapsed
+    /// real time passes them (checked at submit/next/try_next boundaries).
+    chaos: VecDeque<(VTime, PendingChaos)>,
 }
 
 impl ThreadedEngine {
@@ -74,34 +95,84 @@ impl ThreadedEngine {
         let n = spec.workers;
         let assignment = spec.delay.assign(n);
         let (res_tx, res_rx) = unbounded::<WireDone>();
-        let mut txs = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for w in 0..n {
-            let (tx, rx) = unbounded::<Msg>();
-            txs.push(tx);
-            let res_tx = res_tx.clone();
-            let profile = spec.profiles[w].clone();
-            let comm = spec.comm.clone();
-            let assignment = assignment.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("sparklet-worker-{w}"))
-                .spawn(move || worker_loop(w, rx, res_tx, profile, comm, assignment, time_scale))
-                .expect("failed to spawn worker thread");
-            handles.push(Some(handle));
-        }
-        Self {
+        let mut engine = Self {
             spec,
+            assignment,
+            time_scale,
             start: Instant::now(),
-            txs,
-            handles,
+            txs: Vec::with_capacity(n),
+            handles: Vec::with_capacity(n),
+            results_tx: res_tx,
             results_rx: res_rx,
             busy: vec![false; n],
             dead: vec![false; n],
+            epoch: vec![0; n],
             inflight_tag: vec![None; n],
             issued_at: vec![VTime::ZERO; n],
             task_seq: vec![0; n],
             pending: 0,
             queued: VecDeque::new(),
+            chaos: VecDeque::new(),
+        };
+        for w in 0..n {
+            let tx = engine.spawn_worker(w);
+            engine.txs.push(tx);
+        }
+        engine
+    }
+
+    /// Spawns (or respawns) the thread for worker `w` at its current epoch
+    /// and returns its task channel. Callers store the sender in `txs`.
+    fn spawn_worker(&mut self, w: WorkerId) -> Sender<Msg> {
+        let (tx, rx) = unbounded::<Msg>();
+        let res_tx = self.results_tx.clone();
+        let profile = self.spec.profiles[w].clone();
+        let comm = self.spec.comm.clone();
+        let assignment = self.assignment.clone();
+        let time_scale = self.time_scale;
+        let epoch = self.epoch[w];
+        let handle = std::thread::Builder::new()
+            .name(format!("sparklet-worker-{w}-e{epoch}"))
+            .spawn(move || worker_loop(w, epoch, rx, res_tx, profile, comm, assignment, time_scale))
+            .expect("failed to spawn worker thread");
+        if w < self.handles.len() {
+            // Replacing a stopped incarnation: join the old thread first so
+            // handles never leak.
+            if let Some(old) = self.handles[w].replace(handle) {
+                let _ = old.join();
+            }
+        } else {
+            self.handles.push(Some(handle));
+        }
+        tx
+    }
+
+    /// Applies scheduled membership events whose instant has passed,
+    /// pushing their notifications onto the queued completions.
+    fn apply_due_chaos(&mut self) {
+        while let Some(&(at, _)) = self.chaos.front() {
+            if at > self.elapsed() {
+                break;
+            }
+            let (_, ev) = self.chaos.pop_front().expect("checked front");
+            match ev {
+                PendingChaos::Fail(w) => self.kill_worker(w),
+                PendingChaos::Revive(w) => {
+                    let _ = self.revive_worker(w); // no-op if already alive
+                }
+                PendingChaos::Join => {
+                    self.add_worker();
+                }
+            }
+        }
+    }
+
+    /// Inserts a scheduled event keeping the list time-sorted (stable).
+    fn push_chaos(&mut self, at: VTime, ev: PendingChaos) {
+        let pos = self.chaos.iter().position(|&(t, _)| t > at);
+        match pos {
+            Some(i) => self.chaos.insert(i, (at, ev)),
+            None => self.chaos.push_back((at, ev)),
         }
     }
 
@@ -110,8 +181,9 @@ impl ThreadedEngine {
     }
 
     fn accept(&mut self, d: WireDone) -> Option<Completion> {
-        if self.dead[d.worker] {
-            // Orphaned result from a killed worker: already reported Lost.
+        if self.dead[d.worker] || d.epoch != self.epoch[d.worker] {
+            // Orphaned result from a killed (possibly since-revived)
+            // incarnation: its loss was already reported.
             return None;
         }
         let finished_at = self.elapsed();
@@ -134,6 +206,7 @@ impl ThreadedEngine {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     w: WorkerId,
+    epoch: u64,
     rx: Receiver<Msg>,
     res_tx: Sender<WireDone>,
     profile: async_cluster::WorkerProfile,
@@ -171,6 +244,7 @@ fn worker_loop(
                 if res_tx
                     .send(WireDone {
                         worker: w,
+                        epoch,
                         tag,
                         output,
                         bytes_in: total_bytes,
@@ -228,25 +302,38 @@ impl Engine for ThreadedEngine {
 
     fn next(&mut self) -> Option<Completion> {
         loop {
+            self.apply_due_chaos();
             if let Some(c) = self.queued.pop_front() {
                 return Some(c);
             }
             if self.pending == 0 {
+                // Nothing in flight: return rather than block real time
+                // until a *future* scheduled membership event (a drain at
+                // run end must not stall through the chaos horizon). Due
+                // events were already applied above; remaining ones apply
+                // at later submit/next/try_next calls once their instant
+                // passes. This is the one place the threaded backend
+                // diverges from the simulator, which jumps its virtual
+                // clock to such events for free.
                 return None;
             }
-            match self.results_rx.recv() {
+            // Bounded wait so due membership events apply even while a
+            // straggler's result is pending.
+            match self.results_rx.recv_timeout(Duration::from_micros(500)) {
                 Ok(d) => {
                     if let Some(c) = self.accept(d) {
                         return Some(c);
                     }
                 }
-                Err(_) => return None,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
             }
         }
     }
 
     fn try_next(&mut self) -> Option<Completion> {
         loop {
+            self.apply_due_chaos();
             if let Some(c) = self.queued.pop_front() {
                 return Some(c);
             }
@@ -270,6 +357,9 @@ impl Engine for ThreadedEngine {
             return;
         }
         self.dead[w] = true;
+        // Bump the incarnation: any result the dying thread still delivers
+        // fails the epoch check in `accept`, even after a later revival.
+        self.epoch[w] += 1;
         let _ = self.txs[w].send(Msg::Stop);
         if self.busy[w] {
             self.busy[w] = false;
@@ -279,6 +369,50 @@ impl Engine for ThreadedEngine {
         } else {
             self.queued.push_back(Completion::WorkerDown { worker: w });
         }
+    }
+
+    fn revive_worker(&mut self, w: WorkerId) -> Result<(), EngineError> {
+        if !self.dead[w] {
+            return Err(EngineError::WorkerAlive(w));
+        }
+        self.dead[w] = false;
+        self.busy[w] = false;
+        self.inflight_tag[w] = None;
+        // A fresh incarnation: new thread, empty worker cache.
+        let tx = self.spawn_worker(w);
+        self.txs[w] = tx;
+        self.queued.push_back(Completion::WorkerUp { worker: w });
+        Ok(())
+    }
+
+    fn add_worker(&mut self) -> WorkerId {
+        let w = self.spec.workers;
+        self.spec.workers += 1;
+        self.spec
+            .profiles
+            .push(async_cluster::WorkerProfile::default_speed());
+        self.busy.push(false);
+        self.dead.push(false);
+        self.epoch.push(0);
+        self.inflight_tag.push(None);
+        self.issued_at.push(VTime::ZERO);
+        self.task_seq.push(0);
+        let tx = self.spawn_worker(w);
+        self.txs.push(tx);
+        self.queued.push_back(Completion::WorkerUp { worker: w });
+        w
+    }
+
+    fn schedule_failure(&mut self, w: WorkerId, at: VTime) {
+        self.push_chaos(at, PendingChaos::Fail(w));
+    }
+
+    fn schedule_revival(&mut self, w: WorkerId, at: VTime) {
+        self.push_chaos(at, PendingChaos::Revive(w));
+    }
+
+    fn schedule_join(&mut self, at: VTime) {
+        self.push_chaos(at, PendingChaos::Join);
     }
 }
 
@@ -434,6 +568,95 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         assert!(e.try_next().is_none());
         assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn revival_runs_fresh_tasks_and_drops_orphans() {
+        let mut e = ThreadedEngine::new(spec(2, DelayModel::None), 0.0);
+        // A slow task whose real result arrives after the kill+revival.
+        e.submit(
+            0,
+            Task {
+                tag: 1,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|_| {
+                    std::thread::sleep(Duration::from_millis(25));
+                    Box::new(0i64)
+                }),
+            },
+        )
+        .unwrap();
+        e.kill_worker(0);
+        assert!(matches!(
+            e.next(),
+            Some(Completion::Lost { worker: 0, tag: 1 })
+        ));
+        assert_eq!(e.revive_worker(1).unwrap_err(), EngineError::WorkerAlive(1));
+        e.revive_worker(0).unwrap();
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        assert!(e.alive(0) && e.available(0));
+        // Give the orphaned pre-kill result time to land, then submit a
+        // fresh task: only the fresh (current-epoch) result may surface.
+        std::thread::sleep(Duration::from_millis(40));
+        e.submit(0, task(2, 42)).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => {
+                assert_eq!(d.tag, 2, "stale-epoch result surfaced after revival");
+                assert_eq!(*d.output.downcast::<i64>().unwrap(), 42);
+            }
+            _ => panic!("expected the post-revival task"),
+        }
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn add_worker_joins_and_runs_tasks() {
+        let mut e = ThreadedEngine::new(spec(1, DelayModel::None), 0.0);
+        let w = e.add_worker();
+        assert_eq!(w, 1);
+        assert_eq!(e.workers(), 2);
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        e.submit(1, task(7, 70)).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!((d.worker, d.tag), (1, 7)),
+            _ => panic!("expected a result from the joined worker"),
+        }
+    }
+
+    #[test]
+    fn scheduled_chaos_applies_on_elapsed_time() {
+        let mut e = ThreadedEngine::new(spec(2, DelayModel::None), 0.0);
+        e.schedule_failure(1, VTime::from_micros(1_000));
+        e.schedule_revival(1, VTime::from_micros(5_000));
+        e.schedule_join(VTime::from_micros(8_000));
+        // next() never blocks on *future* chaos with nothing in flight;
+        // once the instants pass, due events apply in order at the next
+        // poll.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(matches!(
+            e.next(),
+            Some(Completion::WorkerDown { worker: 1 })
+        ));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 2 })));
+        assert!(e.next().is_none());
+        assert_eq!(e.workers(), 3);
+        assert!((0..3).all(|w| e.alive(w)));
+    }
+
+    #[test]
+    fn drain_does_not_block_on_future_chaos() {
+        let mut e = ThreadedEngine::new(spec(1, DelayModel::None), 0.0);
+        // An event far in the future must not stall an idle drain.
+        e.schedule_join(VTime::from_micros(60_000_000));
+        let t0 = Instant::now();
+        assert!(e.next().is_none());
+        assert!(
+            t0.elapsed() < Duration::from_millis(100),
+            "next() blocked toward the chaos horizon: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

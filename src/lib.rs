@@ -39,13 +39,19 @@ pub use sparklet;
 
 /// The commonly-used surface in one import.
 pub mod prelude {
-    pub use async_cluster::{ClusterSpec, CommModel, DelayModel, PcsConfig, VDur, VTime};
+    pub use async_cluster::{
+        ChaosAction, ChaosCfg, ChaosEvent, ChaosSchedule, ClusterSpec, CommModel, DelayModel,
+        PcsConfig, VDur, VTime,
+    };
     pub use async_core::{
         AsyncBcast, AsyncContext, BarrierFilter, StatSnapshot, SubmitOpts, Tagged, TaskAttrs,
     };
     pub use async_data::{Block, Dataset, SynthSpec};
     pub use async_linalg::{GradDelta, Matrix, ParallelismCfg, SparseVec};
-    pub use async_optim::{Asaga, Asgd, AsyncMsgd, AsyncSolver, Objective, RunReport, SolverCfg};
+    pub use async_optim::{
+        Asaga, Asgd, AsyncMsgd, AsyncSolver, Checkpoint, CheckpointError, Objective, RunReport,
+        SolverCfg, SolverHistory,
+    };
     pub use sparklet::{Driver, Rdd};
 }
 
