@@ -1,0 +1,26 @@
+//! Records the hot-path (incremental-broadcast) datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_hotpath
+//! [output.json]` (default `BENCH_hotpath.json` in the current directory).
+//! Keys prefixed `wc_` are host wall-clock observations and vary run to
+//! run; everything else is deterministic for the default configuration —
+//! CI gates the file with `grep -v wc_` on both sides of the diff.
+
+use async_bench::hotpath::{run_hotpath, HotpathCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let h = run_hotpath(HotpathCfg::default());
+    let json = h.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "hotpath: {:.1}x fewer broadcast bytes (modeled); {:.0} vs {:.0} steps/s real ({:.2}x) -> {}",
+        h.bytes_ratio,
+        h.wc_incremental.steps_per_sec,
+        h.wc_dense.steps_per_sec,
+        h.wc_speedup,
+        out,
+    );
+}

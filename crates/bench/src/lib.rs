@@ -18,6 +18,7 @@ use async_linalg::ParallelismCfg;
 use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
 pub mod elastic_chaos;
+pub mod hotpath;
 pub mod sparse_fastpath;
 
 /// Configuration of the ASP-vs-BSP straggler ablation.

@@ -17,11 +17,31 @@
 //! [`AsyncBcast::push`] is the paper's `AC.ASYNCbroadcast(w)`;
 //! [`HistoryHandle::value`] is `w_br.value` and
 //! [`HistoryHandle::value_at`] is `w_br.value(index)` from Algorithm 4.
+//!
+//! # Incremental (version-diffed) broadcast
+//!
+//! With [`AsyncBcast::enable_incremental`] the server additionally keeps a
+//! **bounded ring of per-version change supports**: for every pushed
+//! version, the set of coordinates that version's update modified
+//! (declared by the optimizer through
+//! [`AsyncBcast::push_snapshot_diff`]). When a worker whose newest cached
+//! model is version `v` resolves version `cur`, the server folds the
+//! supports of `v+1..=cur` into one union and ships a **sparse patch** —
+//! the changed coordinates with their *final* values at `cur` — instead of
+//! the dense vector. The worker scatter-assigns the patch onto its cached
+//! base, which reconstructs the server model **bit-exactly**: changed
+//! coordinates receive the server's exact values, untouched coordinates
+//! were by definition never modified. Resolution falls back to the full
+//! dense snapshot when the gap outruns the ring, any spanned version
+//! declared a dense (unknown-support) change, the worker has no cached
+//! base (fresh executors, churn revivals), or the patch would not undercut
+//! the dense wire size.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use async_linalg::{sparse, GradDelta};
 use parking_lot::RwLock;
 use sparklet::{Payload, WorkerCtx};
 
@@ -38,6 +58,14 @@ pub struct HistoryStats {
     pub fetches: u64,
     /// Bytes shipped to workers for those misses.
     pub fetched_bytes: u64,
+    /// Fetches served as version-diff patches instead of full snapshots.
+    pub incremental_fetches: u64,
+    /// Bytes shipped for those patches (included in `fetched_bytes`).
+    pub incremental_bytes: u64,
+    /// Snapshot buffers recycled from pruned versions by
+    /// [`AsyncBcast::push_snapshot`] (a steady-state push performs a copy,
+    /// not an allocation).
+    pub recycled_buffers: u64,
 }
 
 struct Entry<T> {
@@ -50,6 +78,15 @@ struct Entry<T> {
     pins: u64,
 }
 
+/// The coordinates one pushed version changed relative to its predecessor.
+enum ChangeSupport {
+    /// Exactly these coordinates changed (strictly increasing).
+    Sparse(Vec<u32>),
+    /// Unknown or full-dimension change: any gap spanning this version
+    /// must take the full-snapshot fallback.
+    Dense,
+}
+
 struct VersionTable<T> {
     versions: Vec<Option<Entry<T>>>,
     index_version: HashMap<u64, u64>,
@@ -59,6 +96,15 @@ struct VersionTable<T> {
     min_live: u64,
     live_count: u64,
     live_bytes: u64,
+    /// Bounded ring of `(version, change support)` for recent pushes; empty
+    /// ring / zero capacity means incremental resolution is disabled.
+    ring: VecDeque<(u64, ChangeSupport)>,
+    ring_capacity: usize,
+    /// Recycled storage: snapshot buffers reclaimed from pruned versions
+    /// and support buffers reclaimed from evicted ring slots.
+    free_snapshots: Vec<T>,
+    free_supports: Vec<Vec<u32>>,
+    recycled: u64,
 }
 
 impl<T> VersionTable<T> {
@@ -88,6 +134,13 @@ impl<T> VersionTable<T> {
             if let Some(e) = self.versions[v as usize].take() {
                 self.live_count -= 1;
                 self.live_bytes -= e.bytes;
+                // Reclaim the snapshot buffer for a later `push_snapshot`
+                // when nothing else still shares it.
+                if self.free_snapshots.len() < 4 {
+                    if let Ok(value) = Arc::try_unwrap(e.value) {
+                        self.free_snapshots.push(value);
+                    }
+                }
             }
         }
         // Advance the live watermark past pruned slots.
@@ -97,15 +150,88 @@ impl<T> VersionTable<T> {
             self.min_live += 1;
         }
     }
+
+    /// Records `support` for a freshly pushed `version` in the ring,
+    /// evicting (and recycling) the oldest entry beyond capacity.
+    fn ring_record(&mut self, version: u64, support: ChangeSupport) {
+        if self.ring_capacity == 0 {
+            return;
+        }
+        self.ring.push_back((version, support));
+        while self.ring.len() > self.ring_capacity {
+            if let Some((_, ChangeSupport::Sparse(buf))) = self.ring.pop_front() {
+                if self.free_supports.len() < self.ring_capacity {
+                    self.free_supports.push(buf);
+                }
+            }
+        }
+    }
+
+    /// The sparse supports of versions `from..=to`, if every one of them is
+    /// in the ring with a known sparse support.
+    fn ring_supports(&self, from: u64, to: u64) -> Option<Vec<&[u32]>> {
+        let &(lo, _) = self.ring.front()?;
+        if from < lo || to < from {
+            return None;
+        }
+        let mut out = Vec::with_capacity((to - from + 1) as usize);
+        for v in from..=to {
+            let idx = (v - lo) as usize;
+            match self.ring.get(idx) {
+                Some((rv, ChangeSupport::Sparse(s))) => {
+                    debug_assert_eq!(*rv, v, "ring versions are contiguous");
+                    out.push(s.as_slice());
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Shared traffic counters of one history broadcast.
+struct Counters {
+    fetches: AtomicU64,
+    fetched_bytes: AtomicU64,
+    pushed: AtomicU64,
+    incremental_fetches: AtomicU64,
+    incremental_bytes: AtomicU64,
+}
+
+/// Reusable scratch for assembling version-diff patches. Scratches live in
+/// a checkout/return pool (see [`ScratchStore`]) so concurrent incremental
+/// fetches on the threaded engine never serialize on one buffer, while
+/// steady-state patch assembly still performs no allocations.
+#[derive(Default)]
+struct PatchScratch {
+    union: Vec<u32>,
+    tmp: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Pool of patch scratches: the lock is held only for the pop/push, never
+/// across patch assembly.
+#[derive(Default)]
+struct ScratchStore {
+    free: RwLock<Vec<PatchScratch>>,
+}
+
+impl ScratchStore {
+    fn checkout(&self) -> PatchScratch {
+        self.free.write().pop().unwrap_or_default()
+    }
+
+    fn give_back(&self, s: PatchScratch) {
+        self.free.write().push(s);
+    }
 }
 
 /// A versioned history broadcast. Cheap to clone; clones share the store.
 pub struct AsyncBcast<T: Payload + Send + Sync + 'static> {
     id: u64,
     table: Arc<RwLock<VersionTable<T>>>,
-    fetches: Arc<AtomicU64>,
-    fetched_bytes: Arc<AtomicU64>,
-    pushed: Arc<AtomicU64>,
+    counters: Arc<Counters>,
+    patch_scratch: Arc<ScratchStore>,
 }
 
 impl<T: Payload + Send + Sync + 'static> Clone for AsyncBcast<T> {
@@ -113,9 +239,8 @@ impl<T: Payload + Send + Sync + 'static> Clone for AsyncBcast<T> {
         Self {
             id: self.id,
             table: Arc::clone(&self.table),
-            fetches: Arc::clone(&self.fetches),
-            fetched_bytes: Arc::clone(&self.fetched_bytes),
-            pushed: Arc::clone(&self.pushed),
+            counters: Arc::clone(&self.counters),
+            patch_scratch: Arc::clone(&self.patch_scratch),
         }
     }
 }
@@ -138,14 +263,31 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             min_live: 0,
             live_count: 1,
             live_bytes: bytes,
+            ring: VecDeque::new(),
+            ring_capacity: 0,
+            free_snapshots: Vec::new(),
+            free_supports: Vec::new(),
+            recycled: 0,
         };
         Self {
             id,
             table: Arc::new(RwLock::new(table)),
-            fetches: Arc::new(AtomicU64::new(0)),
-            fetched_bytes: Arc::new(AtomicU64::new(0)),
-            pushed: Arc::new(AtomicU64::new(1)),
+            counters: Arc::new(Counters {
+                fetches: AtomicU64::new(0),
+                fetched_bytes: AtomicU64::new(0),
+                pushed: AtomicU64::new(1),
+                incremental_fetches: AtomicU64::new(0),
+                incremental_bytes: AtomicU64::new(0),
+            }),
+            patch_scratch: Arc::new(ScratchStore::default()),
         }
+    }
+
+    /// Turns on incremental (version-diffed) resolution with a ring of
+    /// `ring_capacity` recent per-version change supports. See the module
+    /// docs; with capacity 0 the broadcast behaves exactly as before.
+    pub fn enable_incremental(&self, ring_capacity: usize) {
+        self.table.write().ring_capacity = ring_capacity;
     }
 
     /// This broadcast's id (unique within one context).
@@ -154,7 +296,11 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     }
 
     /// Publishes a new version of the value; returns its version number.
-    /// Only the 8-byte version ID travels with subsequent tasks.
+    /// Only the 8-byte version ID travels with subsequent tasks. With
+    /// incremental resolution enabled, a version pushed this way records a
+    /// dense (unknown) change support: gaps spanning it fall back to full
+    /// snapshots. Use [`AsyncBcast::push_snapshot_diff`] to declare the
+    /// changed coordinates.
     pub fn push(&self, value: T) -> u64 {
         let bytes = value.encoded_len();
         let mut t = self.table.write();
@@ -167,10 +313,12 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
         }));
         t.live_count += 1;
         t.live_bytes += bytes;
+        let v = t.latest();
+        t.ring_record(v, ChangeSupport::Dense);
         // The previous latest loses its "latest" pin; prune if unreferenced.
         t.try_prune(prev_latest);
-        self.pushed.fetch_add(1, Ordering::Relaxed);
-        t.latest()
+        self.counters.pushed.fetch_add(1, Ordering::Relaxed);
+        v
     }
 
     /// Latest version number.
@@ -266,8 +414,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             version: t.latest(),
             min_live: t.min_live,
             table: Arc::clone(&self.table),
-            fetches: Arc::clone(&self.fetches),
-            fetched_bytes: Arc::clone(&self.fetched_bytes),
+            counters: Arc::clone(&self.counters),
+            patch_scratch: Arc::clone(&self.patch_scratch),
         }
     }
 
@@ -275,12 +423,85 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     pub fn stats(&self) -> HistoryStats {
         let t = self.table.read();
         HistoryStats {
-            versions_pushed: self.pushed.load(Ordering::Relaxed),
+            versions_pushed: self.counters.pushed.load(Ordering::Relaxed),
             versions_live: t.live_count,
             live_bytes: t.live_bytes,
-            fetches: self.fetches.load(Ordering::Relaxed),
-            fetched_bytes: self.fetched_bytes.load(Ordering::Relaxed),
+            fetches: self.counters.fetches.load(Ordering::Relaxed),
+            fetched_bytes: self.counters.fetched_bytes.load(Ordering::Relaxed),
+            incremental_fetches: self.counters.incremental_fetches.load(Ordering::Relaxed),
+            incremental_bytes: self.counters.incremental_bytes.load(Ordering::Relaxed),
+            recycled_buffers: t.recycled,
         }
+    }
+}
+
+impl AsyncBcast<Vec<f64>> {
+    /// Publishes a new version by *copying* `w` into a snapshot buffer —
+    /// recycling the buffer of a pruned version when one is free, so a
+    /// steady-state push is a `memcpy`, not an allocation. Identical
+    /// version/pruning semantics (and identical values) to
+    /// `push(w.to_vec())`.
+    pub fn push_snapshot(&self, w: &[f64]) -> u64 {
+        self.push_snapshot_inner(w, None)
+    }
+
+    /// Like [`AsyncBcast::push_snapshot`], additionally declaring which
+    /// coordinates this version's update changed: the support of `changed`
+    /// enters the incremental ring, making the version spannable by
+    /// version-diff patches.
+    ///
+    /// **Contract:** every coordinate where the new model differs from the
+    /// previous version must be in `changed`'s support (a dense `changed`
+    /// records an unknown support, forcing the snapshot fallback). The
+    /// optimizer upholds this by passing exactly the update it applied.
+    pub fn push_snapshot_diff(&self, w: &[f64], changed: &GradDelta) -> u64 {
+        let sparse_support = match changed {
+            GradDelta::Sparse(s) => Some(s.indices()),
+            GradDelta::Dense(_) => None,
+        };
+        self.push_snapshot_inner(w, sparse_support)
+    }
+
+    fn push_snapshot_inner(&self, w: &[f64], sparse_support: Option<&[u32]>) -> u64 {
+        let bytes = w.encoded_len();
+        let mut t = self.table.write();
+        let prev_latest = t.latest();
+        let value = match t.free_snapshots.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.extend_from_slice(w);
+                t.recycled += 1;
+                buf
+            }
+            None => w.to_vec(),
+        };
+        t.versions.push(Some(Entry {
+            value: Arc::new(value),
+            bytes,
+            rc: 0,
+            pins: 0,
+        }));
+        t.live_count += 1;
+        t.live_bytes += bytes;
+        let v = t.latest();
+        // The support is only copied when the ring will actually keep it:
+        // with incremental resolution disabled a diff push costs exactly
+        // what a plain snapshot push costs.
+        if t.ring_capacity > 0 {
+            let support = match sparse_support {
+                Some(s) => {
+                    let mut buf = t.free_supports.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.extend_from_slice(s);
+                    ChangeSupport::Sparse(buf)
+                }
+                None => ChangeSupport::Dense,
+            };
+            t.ring_record(v, support);
+        }
+        t.try_prune(prev_latest);
+        self.counters.pushed.fetch_add(1, Ordering::Relaxed);
+        v
     }
 }
 
@@ -292,8 +513,8 @@ pub struct HistoryHandle<T: Payload + Send + Sync + 'static> {
     version: u64,
     min_live: u64,
     table: Arc<RwLock<VersionTable<T>>>,
-    fetches: Arc<AtomicU64>,
-    fetched_bytes: Arc<AtomicU64>,
+    counters: Arc<Counters>,
+    patch_scratch: Arc<ScratchStore>,
 }
 
 impl<T: Payload + Send + Sync + 'static> Clone for HistoryHandle<T> {
@@ -303,8 +524,8 @@ impl<T: Payload + Send + Sync + 'static> Clone for HistoryHandle<T> {
             version: self.version,
             min_live: self.min_live,
             table: Arc::clone(&self.table),
-            fetches: Arc::clone(&self.fetches),
-            fetched_bytes: Arc::clone(&self.fetched_bytes),
+            counters: Arc::clone(&self.counters),
+            patch_scratch: Arc::clone(&self.patch_scratch),
         }
     }
 }
@@ -342,12 +563,131 @@ impl<T: Payload + Send + Sync + 'static> HistoryHandle<T> {
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
             (Arc::clone(&entry.value), entry.bytes)
         };
-        self.fetches.fetch_add(1, Ordering::Relaxed);
-        self.fetched_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fetched_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
         ctx.cache_put_fetched(
             key,
             value.clone() as Arc<dyn std::any::Any + Send + Sync>,
             bytes,
+        );
+        value
+    }
+}
+
+/// Wire size of a sparse patch with `nnz` entries: the `SparseVec` wire
+/// shape, `(len, dim)` header plus a 4-byte index and 8-byte value each.
+fn patch_wire_bytes(nnz: usize) -> u64 {
+    16 + 12 * nnz as u64
+}
+
+impl HistoryHandle<Vec<f64>> {
+    /// Resolves the handle's version like [`HistoryHandle::value`], but —
+    /// when the broadcast has incremental resolution enabled and the
+    /// worker's cache holds an older model — ships a **version-diff patch**
+    /// (the union of the gap's change supports with their final values)
+    /// instead of the dense snapshot, scatter-assigning it onto the cached
+    /// base. The reconstruction is bit-exact (see the module docs); only
+    /// the charged wire bytes differ. Falls back to the full snapshot when
+    /// the gap outruns the ring, a spanned version has an unknown support,
+    /// no cached base exists, or the patch would not be smaller.
+    pub fn value_incremental(&self, ctx: &mut WorkerCtx) -> Arc<Vec<f64>> {
+        if self.table.read().ring_capacity == 0 {
+            // Ring disabled: behave exactly like `value`, watermark
+            // eviction included.
+            return self.value(ctx);
+        }
+        let version = self.version;
+        // Unlike the watermark eviction of `value_at`, the worker keeps its
+        // *newest* cached model even when the server pruned that version —
+        // patching reads only the gap's supports (in the ring) and the
+        // target's values, never the server-side base. Everything older is
+        // evicted, bounding the cache at one model per broadcast.
+        if let Some(newest) = ctx.cache_newest_version(self.bcast_id) {
+            ctx.cache_evict_below(self.bcast_id, newest);
+        }
+        let key = (self.bcast_id, version);
+        if let Some(any) = ctx.cache_get(key) {
+            return any
+                .downcast::<Vec<f64>>()
+                .expect("history cache type mismatch");
+        }
+        // A usable base is the worker's newest cached version *below* the
+        // requested one (per-worker versions are nondecreasing, so this is
+        // the common steady-state shape).
+        let base_version = match ctx.cache_newest_version(self.bcast_id) {
+            Some(v) if v < version => v,
+            _ => return self.value_at(ctx, version),
+        };
+        // Assemble the patch under the table read lock: union the change
+        // supports of the gap, bail to the snapshot fallback if any is
+        // missing/dense or the patch would not undercut the dense wire.
+        // The scratch is checked out of a pool (not locked for the whole
+        // assembly), so concurrent fetches on other workers proceed.
+        let mut scratch = self.patch_scratch.checkout();
+        let PatchScratch { union, tmp, values } = &mut scratch;
+        let patch_bytes = {
+            let t = self.table.read();
+            let Some(supports) = t.ring_supports(base_version + 1, version) else {
+                drop(t);
+                self.patch_scratch.give_back(scratch);
+                return self.value_at(ctx, version);
+            };
+            union.clear();
+            for s in supports {
+                if union.is_empty() {
+                    union.extend_from_slice(s);
+                } else {
+                    sparse::merge_union_u32(union, s, tmp);
+                    std::mem::swap(union, tmp);
+                }
+            }
+            let entry = t.versions[version as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
+            let bytes = patch_wire_bytes(union.len());
+            if bytes >= entry.bytes {
+                drop(t);
+                self.patch_scratch.give_back(scratch);
+                return self.value_at(ctx, version);
+            }
+            // The patch carries the coordinates' *final* values at the
+            // target version — scatter-assign reconstructs it exactly.
+            let target = &entry.value;
+            values.clear();
+            values.extend(union.iter().map(|&i| target[i as usize]));
+            bytes
+        };
+        // Take the base out of the worker cache and patch it forward —
+        // in place when the worker is the only owner, else via one copy.
+        let base_any = ctx
+            .cache_remove((self.bcast_id, base_version))
+            .expect("newest cached version is present");
+        let base = base_any
+            .downcast::<Vec<f64>>()
+            .expect("history cache type mismatch");
+        let mut w = match Arc::try_unwrap(base) {
+            Ok(owned) => owned,
+            Err(shared) => shared.as_ref().clone(),
+        };
+        sparse::scatter_assign(union, values, &mut w);
+        self.patch_scratch.give_back(scratch);
+        let value = Arc::new(w);
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fetched_bytes
+            .fetch_add(patch_bytes, Ordering::Relaxed);
+        self.counters
+            .incremental_fetches
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .incremental_bytes
+            .fetch_add(patch_bytes, Ordering::Relaxed);
+        ctx.cache_put_fetched(
+            key,
+            value.clone() as Arc<dyn std::any::Any + Send + Sync>,
+            patch_bytes,
         );
         value
     }
@@ -512,6 +852,161 @@ mod tests {
             "sparse payload ({} B) must undercut the dense encoding",
             s.fetched_bytes
         );
+    }
+
+    fn sparse_delta(pairs: &[(u32, f64)], dim: usize) -> GradDelta {
+        GradDelta::Sparse(
+            async_linalg::SparseVec::from_pairs(pairs.to_vec(), dim).expect("valid pairs"),
+        )
+    }
+
+    /// An incremental model broadcast over `dim` dense coordinates with a
+    /// ring of `cap` supports, pre-warmed into `ctx`'s cache at version 0.
+    fn incr_bcast(dim: usize, cap: usize, ctx: &mut WorkerCtx) -> AsyncBcast<Vec<f64>> {
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new(7, vec![0.0; dim], 0);
+        b.enable_incremental(cap);
+        b.handle().value_incremental(ctx); // cold full fetch of v0
+        b
+    }
+
+    #[test]
+    fn incremental_fetch_ships_patch_and_reconstructs_exactly() {
+        let dim = 100;
+        let mut ctx = WorkerCtx::new(0);
+        let b = incr_bcast(dim, 8, &mut ctx);
+        let dense_bytes = (vec![0.0f64; dim]).encoded_len();
+        assert_eq!(b.stats().fetched_bytes, dense_bytes);
+        // Three sparse updates; the worker skips two versions.
+        let mut w = vec![0.0; dim];
+        let updates = [
+            sparse_delta(&[(3, 1.5), (40, -2.0)], dim),
+            sparse_delta(&[(3, 0.25), (77, 9.0)], dim),
+            sparse_delta(&[(12, -1.0)], dim),
+        ];
+        for u in &updates {
+            u.axpy_into(1.0, &mut w);
+            b.push_snapshot_diff(&w, u);
+        }
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice(), "bit-exact reconstruction");
+        let s = b.stats();
+        assert_eq!(s.incremental_fetches, 1);
+        // Union support {3, 12, 40, 77} -> 4 entries.
+        assert_eq!(s.incremental_bytes, 16 + 12 * 4);
+        assert_eq!(s.fetched_bytes, dense_bytes + 16 + 12 * 4);
+        // The patched value is cached: resolving again is free.
+        b.handle().value_incremental(&mut ctx);
+        assert_eq!(b.stats().fetches, 2);
+    }
+
+    #[test]
+    fn fresh_worker_takes_the_full_snapshot_fallback() {
+        let dim = 50;
+        let mut warm = WorkerCtx::new(0);
+        let b = incr_bcast(dim, 8, &mut warm);
+        b.push_snapshot_diff(&vec![1.0; dim], &sparse_delta(&[(0, 1.0)], dim));
+        // A worker with an empty cache (a churn revival) has no base.
+        let mut fresh = WorkerCtx::new(1);
+        let v = b.handle().value_incremental(&mut fresh);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(b.stats().incremental_fetches, 0);
+    }
+
+    #[test]
+    fn gap_beyond_ring_falls_back_to_snapshot() {
+        let dim = 50;
+        let mut ctx = WorkerCtx::new(0);
+        let b = incr_bcast(dim, 2, &mut ctx);
+        let mut w = vec![0.0; dim];
+        for k in 0..5u32 {
+            let u = sparse_delta(&[(k, 1.0)], dim);
+            u.axpy_into(1.0, &mut w);
+            b.push_snapshot_diff(&w, &u);
+        }
+        // Gap 0 -> 5 spans versions 1..=5 but the ring only holds {4, 5}.
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice());
+        assert_eq!(b.stats().incremental_fetches, 0);
+        // From the now-cached v5, a one-step gap patches incrementally.
+        let u = sparse_delta(&[(9, 2.0)], dim);
+        u.axpy_into(1.0, &mut w);
+        b.push_snapshot_diff(&w, &u);
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice());
+        assert_eq!(b.stats().incremental_fetches, 1);
+    }
+
+    #[test]
+    fn dense_support_version_blocks_the_span() {
+        let dim = 50;
+        let mut ctx = WorkerCtx::new(0);
+        let b = incr_bcast(dim, 8, &mut ctx);
+        let mut w = vec![0.0; dim];
+        w[0] = 1.0;
+        b.push_snapshot_diff(&w, &sparse_delta(&[(0, 1.0)], dim));
+        // A full-support update (e.g. a ridge shrink) declares dense.
+        for wi in w.iter_mut() {
+            *wi += 0.5;
+        }
+        b.push_snapshot_diff(&w, &GradDelta::Dense(vec![0.5; dim]));
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice());
+        assert_eq!(
+            b.stats().incremental_fetches,
+            0,
+            "a dense-change version must force the snapshot fallback"
+        );
+    }
+
+    #[test]
+    fn oversized_patch_falls_back_to_snapshot() {
+        // Patch wire (16 + 12·nnz) must undercut the dense wire (8 + 8·dim);
+        // with dim 10 and a 7-coordinate change it cannot.
+        let dim = 10;
+        let mut ctx = WorkerCtx::new(0);
+        let b = incr_bcast(dim, 8, &mut ctx);
+        let pairs: Vec<(u32, f64)> = (0..7).map(|i| (i as u32, 1.0)).collect();
+        let u = sparse_delta(&pairs, dim);
+        let mut w = vec![0.0; dim];
+        u.axpy_into(1.0, &mut w);
+        b.push_snapshot_diff(&w, &u);
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice());
+        assert_eq!(b.stats().incremental_fetches, 0);
+    }
+
+    #[test]
+    fn push_snapshot_recycles_pruned_buffers() {
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new(0, vec![0.0; 32], 0);
+        // No samples pin history, so each push prunes its predecessor; the
+        // pruned buffer must be reused from the third push on (the first
+        // push finds no free buffer, the prune of v0 stocks the pool).
+        for k in 0..6 {
+            b.push_snapshot(&vec![k as f64; 32]);
+        }
+        let s = b.stats();
+        assert_eq!(s.versions_live, 1);
+        assert!(
+            s.recycled_buffers >= 4,
+            "pushes should recycle pruned snapshot buffers: {s:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_disabled_behaves_exactly_like_value() {
+        let dim = 20;
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new(0, vec![0.0; dim], 0);
+        let mut ctx = WorkerCtx::new(0);
+        b.handle().value_incremental(&mut ctx);
+        let mut w = vec![0.0; dim];
+        w[3] = 2.0;
+        b.push_snapshot_diff(&w, &sparse_delta(&[(3, 2.0)], dim));
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice());
+        let s = b.stats();
+        assert_eq!(s.incremental_fetches, 0, "ring disabled: full fetches only");
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.fetched_bytes, 2 * (8 + 8 * dim as u64));
     }
 
     #[test]

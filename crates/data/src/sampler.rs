@@ -73,6 +73,50 @@ pub fn sample_k(rng: &mut SmallRng, n: usize, k: usize) -> MiniBatch {
     MiniBatch { rows }
 }
 
+/// [`sample_fraction`] into a caller-owned buffer: `rows` is cleared and
+/// refilled, so a warm buffer makes per-task sampling allocation-free. The
+/// RNG draw sequence and the sampled row set are identical to
+/// [`sample_fraction`].
+pub fn sample_fraction_into(rng: &mut SmallRng, n: usize, fraction: f64, rows: &mut Vec<u32>) {
+    if n == 0 {
+        rows.clear();
+        return;
+    }
+    let fraction = fraction.clamp(0.0, 1.0);
+    let k = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+    sample_k_into(rng, n, k, rows);
+}
+
+/// [`sample_k`] into a caller-owned buffer. Floyd's algorithm with the
+/// sorted output vector itself as the membership set (binary search +
+/// ordered insert): the RNG draws, the chosen set, and the sorted output
+/// are identical to `sample_k`, but a warm buffer never allocates.
+///
+/// The ordered insert shifts `O(k)` elements per draw, so very large
+/// batches delegate to the hash-set [`sample_k`] instead — its one
+/// allocation is noise next to the gradient work a batch that size costs,
+/// and the output is identical either way.
+pub fn sample_k_into(rng: &mut SmallRng, n: usize, k: usize, rows: &mut Vec<u32>) {
+    assert!(k <= n, "sample_k_into: k={k} > n={n}");
+    const INSERT_SORT_MAX: usize = 1024;
+    if k > INSERT_SORT_MAX {
+        let mb = sample_k(rng, n, k);
+        rows.clear();
+        rows.extend_from_slice(&mb.rows);
+        return;
+    }
+    rows.clear();
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j) as u32;
+        match rows.binary_search(&t) {
+            // `t` already chosen: Floyd's replacement picks `j`, which is
+            // strictly greater than every element chosen so far.
+            Ok(_) => rows.push(j as u32),
+            Err(pos) => rows.insert(pos, t),
+        }
+    }
+}
+
 /// Samples `k` rows from `0..n` with replacement (unsorted, in draw order).
 pub fn sample_with_replacement(rng: &mut SmallRng, n: usize, k: usize) -> Vec<u32> {
     assert!(n > 0, "sample_with_replacement: empty population");
@@ -135,6 +179,36 @@ mod tests {
         assert_eq!(sample_fraction(&mut rng, 100, 1.0).len(), 100);
         assert_eq!(sample_fraction(&mut rng, 0, 0.5).len(), 0);
         assert_eq!(sample_fraction(&mut rng, 7, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_samplers_exactly() {
+        let mut buf = Vec::new();
+        // Spans both regimes of sample_k_into (ordered insert and the
+        // large-batch hash-set delegation past 1024).
+        for (n, k) in [
+            (1usize, 1usize),
+            (10, 3),
+            (50, 50),
+            (200, 1),
+            (97, 41),
+            (5_000, 2_000),
+        ] {
+            for seed in 0..20u64 {
+                let a = sample_k(&mut derive_rng(seed, 0, 0), n, k);
+                sample_k_into(&mut derive_rng(seed, 0, 0), n, k, &mut buf);
+                assert_eq!(a.rows, buf, "n={n} k={k} seed={seed}");
+            }
+        }
+        for frac in [0.0, 0.05, 0.3, 1.0] {
+            for seed in 0..10u64 {
+                let a = sample_fraction(&mut derive_rng(seed, 1, 2), 73, frac);
+                sample_fraction_into(&mut derive_rng(seed, 1, 2), 73, frac, &mut buf);
+                assert_eq!(a.rows, buf, "frac={frac} seed={seed}");
+            }
+        }
+        sample_fraction_into(&mut derive_rng(0, 0, 0), 0, 0.5, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

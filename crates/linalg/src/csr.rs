@@ -252,6 +252,60 @@ impl CsrMatrix {
             .expect("gather_axpy: CSR invariants guarantee valid pairs")
     }
 
+    /// [`CsrMatrix::rows_dot`] into a caller-owned buffer: `out` is cleared
+    /// and refilled, so a warm buffer makes the margin kernel
+    /// allocation-free. Values are identical to `rows_dot`.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != ncols` or any row index is out of range.
+    pub fn rows_dot_into(&self, rows: &[u32], w: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(w.len(), self.ncols, "rows_dot_into: dim mismatch");
+        out.clear();
+        out.extend(rows.iter().map(|&r| self.row_dot(r as usize, w)));
+    }
+
+    /// [`CsrMatrix::gather_axpy`] into caller-owned buffers: `pairs` is the
+    /// gather scratch, `out_idx`/`out_val` receive the merged result with
+    /// strictly increasing indices. All three are cleared and refilled, so
+    /// warm buffers make the gather kernel allocation-free. The pair
+    /// collection order, the unstable sort, and the duplicate-sum order are
+    /// exactly those of `gather_axpy`, so the values are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `rows.len() != coefs.len()` or any row is out of range.
+    pub fn gather_axpy_into(
+        &self,
+        rows: &[u32],
+        coefs: &[f64],
+        pairs: &mut Vec<(u32, f64)>,
+        out_idx: &mut Vec<u32>,
+        out_val: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            rows.len(),
+            coefs.len(),
+            "gather_axpy_into: rows/coefs length mismatch"
+        );
+        pairs.clear();
+        for (&r, &a) in rows.iter().zip(coefs.iter()) {
+            let (idx, val) = self.row(r as usize);
+            for (c, v) in idx.iter().zip(val.iter()) {
+                pairs.push((*c, a * *v));
+            }
+        }
+        pairs.sort_unstable_by_key(|p| p.0);
+        out_idx.clear();
+        out_val.clear();
+        for &(i, v) in pairs.iter() {
+            if out_idx.last() == Some(&i) {
+                *out_val.last_mut().expect("parallel to out_idx") += v;
+            } else {
+                out_idx.push(i);
+                out_val.push(v);
+            }
+        }
+    }
+
     /// Total stored nonzeros across the given rows — the work-unit count of
     /// one sparse mini-batch gradient over them.
     pub fn rows_nnz(&self, rows: &[u32]) -> u64 {
@@ -402,6 +456,28 @@ mod tests {
         let g = a.gather_axpy(&[], &[]);
         assert_eq!(g.nnz(), 0);
         assert_eq!(g.dim(), 3);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let a = sample();
+        let rows = [0u32, 2, 0, 2];
+        let coefs = [2.0, -1.0, 0.5, 0.25];
+        let w = [1.0, -2.0, 3.0];
+        let mut margins = Vec::new();
+        a.rows_dot_into(&rows, &w, &mut margins);
+        assert_eq!(margins, a.rows_dot(&rows, &w));
+        let (mut pairs, mut idx, mut val) = (Vec::new(), Vec::new(), Vec::new());
+        // Run twice so the second pass exercises warm (reused) buffers.
+        for _ in 0..2 {
+            a.gather_axpy_into(&rows, &coefs, &mut pairs, &mut idx, &mut val);
+            let reference = a.gather_axpy(&rows, &coefs);
+            assert_eq!(idx.as_slice(), reference.indices());
+            assert_eq!(val.as_slice(), reference.values());
+        }
+        // Empty batch clears the outputs.
+        a.gather_axpy_into(&[], &[], &mut pairs, &mut idx, &mut val);
+        assert!(idx.is_empty() && val.is_empty());
     }
 
     #[test]

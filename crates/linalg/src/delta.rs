@@ -78,6 +78,205 @@ impl GradDelta {
             GradDelta::Sparse(s) => s.to_dense(),
         }
     }
+
+    /// Folds `a * self` into a reusable accumulator: the allocation-free
+    /// way to sum a stream of deltas (e.g. aggregating several collected
+    /// gradients before one model application). Sparse deltas merge
+    /// supports in-place inside the accumulator's ping-pong buffers; a
+    /// dense delta (or an accumulator that already went dense) takes the
+    /// dense path. Checked out of `async-optim`'s `ScratchPool` via
+    /// `checkout_fold`; the broadcast ring folds bare index supports with
+    /// [`crate::sparse::merge_union_u32`] instead.
+    pub fn fold_into(&self, a: f64, acc: &mut DeltaFold) {
+        acc.fold_scaled(a, self);
+    }
+}
+
+/// A reusable fold accumulator for [`GradDelta`] streams.
+///
+/// Holds ping-pong index/value buffers for sparse–sparse union merges plus
+/// a lazily allocated dense buffer; once warm, folding performs **zero
+/// heap allocations** as long as buffer capacities suffice (capacity only
+/// grows, so a steady-state workload stops allocating after the first few
+/// folds). Ownership rule: the accumulator owns its buffers for its whole
+/// life — callers [`DeltaFold::clear`] it between logical sums instead of
+/// recreating it.
+#[derive(Debug, Clone)]
+pub struct DeltaFold {
+    dim: usize,
+    /// Current sparse accumulation (strictly increasing indices).
+    idx: Vec<u32>,
+    val: Vec<f64>,
+    /// Merge scratch: the other half of the ping-pong pair.
+    merge_idx: Vec<u32>,
+    merge_val: Vec<f64>,
+    /// Dense accumulation, used once any dense delta is folded.
+    dense: Vec<f64>,
+    is_dense: bool,
+}
+
+impl DeltaFold {
+    /// An empty accumulator for deltas of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            idx: Vec::new(),
+            val: Vec::new(),
+            merge_idx: Vec::new(),
+            merge_val: Vec::new(),
+            dense: Vec::new(),
+            is_dense: false,
+        }
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Resets to the empty sum, keeping every buffer's capacity. Also
+    /// re-dimensions the accumulator (a pool can serve models of different
+    /// sizes across runs).
+    pub fn clear(&mut self, dim: usize) {
+        self.dim = dim;
+        self.idx.clear();
+        self.val.clear();
+        self.is_dense = false;
+        // The dense buffer is re-zeroed lazily when the dense path is next
+        // taken; truncating here keeps `clear` O(1).
+        self.dense.clear();
+    }
+
+    /// True once the accumulation fell back to dense storage.
+    pub fn is_dense(&self) -> bool {
+        self.is_dense
+    }
+
+    /// Stored entries (dense: the full dimension).
+    pub fn nnz(&self) -> usize {
+        if self.is_dense {
+            self.dim
+        } else {
+            self.idx.len()
+        }
+    }
+
+    /// The accumulated sparse support (empty when dense).
+    pub fn indices(&self) -> &[u32] {
+        if self.is_dense {
+            &[]
+        } else {
+            &self.idx
+        }
+    }
+
+    /// The accumulated sparse values, parallel to [`DeltaFold::indices`].
+    pub fn values(&self) -> &[f64] {
+        if self.is_dense {
+            &[]
+        } else {
+            &self.val
+        }
+    }
+
+    /// `self += a * d`.
+    ///
+    /// # Panics
+    /// Panics if `d.dim() != self.dim()`.
+    pub fn fold_scaled(&mut self, a: f64, d: &GradDelta) {
+        assert_eq!(d.dim(), self.dim, "DeltaFold: dim mismatch");
+        match d {
+            GradDelta::Sparse(s) if !self.is_dense => self.merge_sparse(a, s),
+            _ => {
+                self.ensure_dense();
+                d.axpy_into(a, &mut self.dense);
+            }
+        }
+    }
+
+    /// `out += a * self` — applies the accumulated sum to a dense target.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    pub fn axpy_into(&self, a: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "DeltaFold::axpy_into: dim mismatch");
+        if self.is_dense {
+            crate::dense::axpy(a, &self.dense, out);
+        } else {
+            for (i, v) in self.idx.iter().zip(self.val.iter()) {
+                out[*i as usize] += a * *v;
+            }
+        }
+    }
+
+    /// Snapshots the accumulated sum as an owned [`GradDelta`] (allocates;
+    /// intended for tests and cold paths).
+    pub fn to_delta(&self) -> GradDelta {
+        if self.is_dense {
+            GradDelta::Dense(self.dense.clone())
+        } else {
+            GradDelta::Sparse(
+                SparseVec::new(self.idx.clone(), self.val.clone(), self.dim)
+                    .expect("fold maintains strictly increasing indices"),
+            )
+        }
+    }
+
+    fn ensure_dense(&mut self) {
+        if self.is_dense {
+            return;
+        }
+        self.dense.clear();
+        self.dense.resize(self.dim, 0.0);
+        for (i, v) in self.idx.iter().zip(self.val.iter()) {
+            self.dense[*i as usize] += *v;
+        }
+        self.idx.clear();
+        self.val.clear();
+        self.is_dense = true;
+    }
+
+    /// Union-merge of the sorted accumulation with a sorted sparse delta
+    /// into the ping-pong scratch, then swap — no allocation once the
+    /// scratch capacities cover the union.
+    fn merge_sparse(&mut self, a: f64, s: &SparseVec) {
+        if s.nnz() == 0 {
+            return;
+        }
+        let (oi, ov) = (s.indices(), s.values());
+        if self.idx.is_empty() {
+            self.idx.extend_from_slice(oi);
+            self.val.clear();
+            self.val.extend(ov.iter().map(|v| a * v));
+            return;
+        }
+        self.merge_idx.clear();
+        self.merge_val.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.idx.len() && j < oi.len() {
+            let (si, sj) = (self.idx[i], oi[j]);
+            if si == sj {
+                self.merge_idx.push(si);
+                self.merge_val.push(self.val[i] + a * ov[j]);
+                i += 1;
+                j += 1;
+            } else if si < sj {
+                self.merge_idx.push(si);
+                self.merge_val.push(self.val[i]);
+                i += 1;
+            } else {
+                self.merge_idx.push(sj);
+                self.merge_val.push(a * ov[j]);
+                j += 1;
+            }
+        }
+        self.merge_idx.extend_from_slice(&self.idx[i..]);
+        self.merge_val.extend_from_slice(&self.val[i..]);
+        self.merge_idx.extend_from_slice(&oi[j..]);
+        self.merge_val.extend(ov[j..].iter().map(|v| a * v));
+        std::mem::swap(&mut self.idx, &mut self.merge_idx);
+        std::mem::swap(&mut self.val, &mut self.merge_val);
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +310,71 @@ mod tests {
         assert!(!dense.is_sparse());
         assert_eq!(dense.nnz(), 10);
         assert_eq!(GradDelta::zero_sparse(7).nnz(), 0);
+    }
+
+    #[test]
+    fn fold_into_sparse_stream_matches_dense_reference() {
+        let deltas = [
+            GradDelta::Sparse(sv(&[(1, 2.0), (3, -1.0)], 6)),
+            GradDelta::Sparse(sv(&[(0, 0.5), (3, 4.0), (5, 1.0)], 6)),
+            GradDelta::Sparse(sv(&[(2, -2.0)], 6)),
+        ];
+        let mut acc = DeltaFold::new(6);
+        let mut reference = vec![0.0; 6];
+        for (k, d) in deltas.iter().enumerate() {
+            let a = 1.0 + k as f64;
+            d.fold_into(a, &mut acc);
+            d.axpy_into(a, &mut reference);
+        }
+        assert!(!acc.is_dense());
+        assert_eq!(acc.to_delta().to_dense(), reference);
+        let mut out = vec![1.0; 6];
+        acc.axpy_into(2.0, &mut out);
+        for (o, r) in out.iter().zip(&reference) {
+            assert!((o - (1.0 + 2.0 * r)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fold_into_goes_dense_on_dense_delta_and_stays() {
+        let mut acc = DeltaFold::new(4);
+        GradDelta::Sparse(sv(&[(1, 1.0)], 4)).fold_into(1.0, &mut acc);
+        GradDelta::Dense(vec![1.0, 0.0, 2.0, 0.0]).fold_into(0.5, &mut acc);
+        assert!(acc.is_dense());
+        assert_eq!(acc.nnz(), 4);
+        GradDelta::Sparse(sv(&[(3, 2.0)], 4)).fold_into(1.0, &mut acc);
+        assert_eq!(acc.to_delta().to_dense(), vec![0.5, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn fold_clear_resets_and_redimensions() {
+        let mut acc = DeltaFold::new(3);
+        GradDelta::Dense(vec![1.0; 3]).fold_into(1.0, &mut acc);
+        acc.clear(5);
+        assert_eq!(acc.dim(), 5);
+        assert!(!acc.is_dense());
+        assert_eq!(acc.nnz(), 0);
+        GradDelta::Sparse(sv(&[(4, 7.0)], 5)).fold_into(1.0, &mut acc);
+        assert_eq!(acc.indices(), &[4]);
+        assert_eq!(acc.values(), &[7.0]);
+    }
+
+    #[test]
+    fn fold_is_allocation_stable_once_warm() {
+        // After folding one shape of delta, refolding the same shapes must
+        // not grow any buffer (capacities are retained across clears).
+        let mut acc = DeltaFold::new(100);
+        let a = GradDelta::Sparse(sv(&[(1, 1.0), (50, 2.0)], 100));
+        let b = GradDelta::Sparse(sv(&[(2, 1.0), (50, -1.0), (99, 3.0)], 100));
+        a.fold_into(1.0, &mut acc);
+        b.fold_into(1.0, &mut acc);
+        let caps = (acc.idx.capacity(), acc.merge_idx.capacity());
+        for _ in 0..10 {
+            acc.clear(100);
+            a.fold_into(1.0, &mut acc);
+            b.fold_into(1.0, &mut acc);
+        }
+        assert_eq!(caps, (acc.idx.capacity(), acc.merge_idx.capacity()));
     }
 
     #[test]

@@ -37,20 +37,40 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 
 /// `y += a * x` (BLAS `axpy`).
 ///
+/// Processed in width-4 `chunks_exact` blocks so release builds see
+/// constant-trip inner loops with no tail bounds checks; the scalar
+/// remainder handles the last `len % 4` entries. Elementwise order is
+/// unchanged, so results are bit-identical to the naive loop.
+///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (yb, xb) in (&mut yc).zip(&mut xc) {
+        yb[0] += a * xb[0];
+        yb[1] += a * xb[1];
+        yb[2] += a * xb[2];
+        yb[3] += a * xb[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += a * *xi;
     }
 }
 
-/// `x *= a` (BLAS `scal`).
+/// `x *= a` (BLAS `scal`), blocked like [`axpy`].
 #[inline]
 pub fn scal(a: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
+    let mut xc = x.chunks_exact_mut(4);
+    for xb in &mut xc {
+        xb[0] *= a;
+        xb[1] *= a;
+        xb[2] *= a;
+        xb[3] *= a;
+    }
+    for xi in xc.into_remainder() {
         *xi *= a;
     }
 }
@@ -65,26 +85,42 @@ pub fn copy(x: &[f64], y: &mut [f64]) {
     y.copy_from_slice(x);
 }
 
-/// `y += x`.
+/// `y += x`, blocked like [`axpy`].
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn add_assign(y: &mut [f64], x: &[f64]) {
     assert_eq!(x.len(), y.len(), "add_assign: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (yb, xb) in (&mut yc).zip(&mut xc) {
+        yb[0] += xb[0];
+        yb[1] += xb[1];
+        yb[2] += xb[2];
+        yb[3] += xb[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += *xi;
     }
 }
 
-/// `y -= x`.
+/// `y -= x`, blocked like [`axpy`].
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn sub_assign(y: &mut [f64], x: &[f64]) {
     assert_eq!(x.len(), y.len(), "sub_assign: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (yb, xb) in (&mut yc).zip(&mut xc) {
+        yb[0] -= xb[0];
+        yb[1] -= xb[1];
+        yb[2] -= xb[2];
+        yb[3] -= xb[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi -= *xi;
     }
 }
@@ -124,7 +160,7 @@ pub fn zero(x: &mut [f64]) {
     }
 }
 
-/// `out = a*x + b*y`, overwriting `out`.
+/// `out = a*x + b*y`, overwriting `out`; blocked like [`axpy`].
 ///
 /// # Panics
 /// Panics if any slice length differs.
@@ -132,8 +168,22 @@ pub fn zero(x: &mut [f64]) {
 pub fn lincomb(a: f64, x: &[f64], b: f64, y: &[f64], out: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "lincomb: length mismatch");
     assert_eq!(x.len(), out.len(), "lincomb: output length mismatch");
-    for i in 0..out.len() {
-        out[i] = a * x[i] + b * y[i];
+    let mut oc = out.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for ((ob, xb), yb) in (&mut oc).zip(&mut xc).zip(&mut yc) {
+        ob[0] = a * xb[0] + b * yb[0];
+        ob[1] = a * xb[1] + b * yb[1];
+        ob[2] = a * xb[2] + b * yb[2];
+        ob[3] = a * xb[3] + b * yb[3];
+    }
+    for ((oi, xi), yi) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(xc.remainder())
+        .zip(yc.remainder())
+    {
+        *oi = a * *xi + b * *yi;
     }
 }
 
@@ -222,6 +272,45 @@ mod tests {
         add_assign(&mut y, &x);
         sub_assign(&mut y, &x);
         assert_eq!(y, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_on_all_tail_lengths() {
+        // chunks_exact blocking must be bit-identical to the scalar loop
+        // for every remainder length 0..4.
+        for n in 0..13usize {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+            let y0: Vec<f64> = (0..n).map(|i| 2.0 - (i as f64) * 0.7).collect();
+            let a = -1.75;
+            let mut got = y0.clone();
+            axpy(a, &x, &mut got);
+            let want: Vec<f64> = y0.iter().zip(&x).map(|(yi, xi)| yi + a * xi).collect();
+            assert_eq!(got, want, "axpy n={n}");
+
+            let mut got = x.clone();
+            scal(a, &mut got);
+            let want: Vec<f64> = x.iter().map(|xi| xi * a).collect();
+            assert_eq!(got, want, "scal n={n}");
+
+            let mut got = y0.clone();
+            add_assign(&mut got, &x);
+            let want: Vec<f64> = y0.iter().zip(&x).map(|(yi, xi)| yi + xi).collect();
+            assert_eq!(got, want, "add_assign n={n}");
+
+            let mut got = y0.clone();
+            sub_assign(&mut got, &x);
+            let want: Vec<f64> = y0.iter().zip(&x).map(|(yi, xi)| yi - xi).collect();
+            assert_eq!(got, want, "sub_assign n={n}");
+
+            let mut got = vec![0.0; n];
+            lincomb(a, &x, 0.5, &y0, &mut got);
+            let want: Vec<f64> = x
+                .iter()
+                .zip(&y0)
+                .map(|(xi, yi)| a * xi + 0.5 * yi)
+                .collect();
+            assert_eq!(got, want, "lincomb n={n}");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod solve;
 pub mod sparse;
 
 pub use csr::CsrMatrix;
-pub use delta::GradDelta;
+pub use delta::{DeltaFold, GradDelta};
 pub use dense_mat::DenseMatrix;
 pub use matrix::Matrix;
 pub use parallel::ParallelismCfg;

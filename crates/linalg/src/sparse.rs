@@ -193,6 +193,57 @@ impl SparseVec {
         }
         out
     }
+
+    /// Decomposes into `(indices, values, dim)`, handing the backing
+    /// buffers back to the caller — the return half of a buffer-pool
+    /// checkout (see `async-optim`'s `ScratchPool`).
+    pub fn into_parts(self) -> (Vec<u32>, Vec<f64>, usize) {
+        (self.indices, self.values, self.dim)
+    }
+}
+
+/// `out[indices[k]] = values[k]` — scatter-assign of absolute values onto a
+/// dense buffer. This is the apply step of a version-diff patch: the patch
+/// carries the *final* values of every changed coordinate, so assignment
+/// (not accumulation) reconstructs the target exactly.
+///
+/// # Panics
+/// Panics if the slices have different lengths or an index is out of range.
+#[inline]
+pub fn scatter_assign(indices: &[u32], values: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "scatter_assign: length mismatch"
+    );
+    for (i, v) in indices.iter().zip(values.iter()) {
+        out[*i as usize] = *v;
+    }
+}
+
+/// Union-merge of two strictly increasing index lists into `out` (cleared
+/// first). The building block of the broadcast ring's support fold: the
+/// union of per-version change supports is the patch support.
+#[inline]
+pub fn merge_union_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ai, bj) = (a[i], b[j]);
+        if ai == bj {
+            out.push(ai);
+            i += 1;
+            j += 1;
+        } else if ai < bj {
+            out.push(ai);
+            i += 1;
+        } else {
+            out.push(bj);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 #[cfg(test)]
@@ -284,6 +335,31 @@ mod tests {
         let empty = SparseVec::new(vec![], vec![], 4).unwrap();
         x.axpy(1.0, &empty);
         assert_eq!(x.nnz(), 1);
+    }
+
+    #[test]
+    fn scatter_assign_overwrites_only_support() {
+        let mut out = [1.0, 2.0, 3.0, 4.0];
+        scatter_assign(&[1, 3], &[-5.0, 9.0], &mut out);
+        assert_eq!(out, [1.0, -5.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn merge_union_merges_sorted_lists() {
+        let mut out = Vec::new();
+        merge_union_u32(&[1, 4, 7], &[0, 4, 9], &mut out);
+        assert_eq!(out, vec![0, 1, 4, 7, 9]);
+        merge_union_u32(&[], &[2, 3], &mut out);
+        assert_eq!(out, vec![2, 3]);
+        merge_union_u32(&[5], &[], &mut out);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let v = sv(&[(2, 1.0), (5, -2.0)], 8);
+        let (idx, val, dim) = v.clone().into_parts();
+        assert_eq!(SparseVec::new(idx, val, dim).unwrap(), v);
     }
 
     #[test]

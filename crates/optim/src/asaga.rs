@@ -35,6 +35,7 @@ use sparklet::{Payload, Rdd, WorkerCtx};
 
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
+use crate::scratch::ScratchPool;
 use crate::solver::{block_rdd, AsyncSolver, PinLedger, RunReport, SolverCfg};
 
 /// One task's SAGA contribution.
@@ -87,26 +88,32 @@ impl Asaga {
         bcast: &AsyncBcast<Vec<f64>>,
         cfg: &SolverCfg,
         minibatch_hint: u64,
+        pool: &ScratchPool,
     ) -> Vec<usize> {
         let handle = bcast.handle();
         let server_table = bcast.clone();
         let version = ctx.version();
         let obj = self.objective;
         let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+        let pool = pool.clone();
         let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
             let block = &data[0];
             let w_cur = handle.value(wctx);
+            let mut scratch = pool.checkout();
             let mut rng = sampler::derive_rng(seed, version, part as u64);
-            let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
-            let mut indices = Vec::with_capacity(mb.len());
-            let scale = 1.0 / mb.len().max(1) as f64;
+            sampler::sample_fraction_into(&mut rng, block.rows(), fraction, &mut scratch.rows);
+            let scale = 1.0 / scratch.rows.len().max(1) as f64;
             let labels = block.labels();
             let features = block.features();
             // Per-row telescoping coefficients `scale·(f'ⱼ(w_cur) −
             // f'ⱼ(w_{φⱼ}))`; the combination is gathered sparsely on CSR
-            // partitions and scattered densely otherwise.
-            let mut coefs = Vec::with_capacity(mb.len());
-            for &r in &mb.rows {
+            // partitions and scattered densely otherwise. The id and
+            // coefficient buffers come from the pool; `ids` travels with
+            // the result and is recycled server-side after the table
+            // update.
+            scratch.ids.clear();
+            scratch.coefs.clear();
+            for &r in &scratch.rows {
                 let i = r as usize;
                 let j = block.global_row(i);
                 // The ID of the model version row j last saw — attached by
@@ -116,21 +123,36 @@ impl Asaga {
                 let w_old = handle.value_at(wctx, vj);
                 let d_new = obj.dloss(features.row_dot(i, &w_cur), labels[i]);
                 let d_old = obj.dloss(features.row_dot(i, &w_old), labels[i]);
-                coefs.push(scale * (d_new - d_old));
-                indices.push(j);
+                scratch.coefs.push(scale * (d_new - d_old));
+                scratch.ids.push(j);
             }
             let delta = match features {
-                Matrix::Sparse(csr) => GradDelta::Sparse(csr.gather_axpy(&mb.rows, &coefs)),
+                Matrix::Sparse(csr) => {
+                    let (mut idx, mut val) = pool.checkout_sparse();
+                    csr.gather_axpy_into(
+                        &scratch.rows,
+                        &scratch.coefs,
+                        &mut scratch.pairs,
+                        &mut idx,
+                        &mut val,
+                    );
+                    GradDelta::Sparse(
+                        async_linalg::SparseVec::new(idx, val, block.cols())
+                            .expect("gather kernel produces valid sparse output"),
+                    )
+                }
                 Matrix::Dense(_) => {
-                    let mut d = vec![0.0; block.cols()];
-                    for (&r, &a) in mb.rows.iter().zip(coefs.iter()) {
+                    let mut d = pool.checkout_dense(block.cols());
+                    for (&r, &a) in scratch.rows.iter().zip(scratch.coefs.iter()) {
                         features.row_axpy(r as usize, a, &mut d);
                     }
                     GradDelta::Dense(d)
                 }
             };
             // Two gradient evaluations per sampled row.
-            let entries = 2 * features.rows_nnz(&mb.rows);
+            let entries = 2 * features.rows_nnz(&scratch.rows);
+            let indices = std::mem::take(&mut scratch.ids);
+            pool.give_back(scratch);
             DeltaMsg {
                 delta,
                 indices,
@@ -187,6 +209,8 @@ impl AsyncSolver for Asaga {
         };
         // Every row's implicit initial version is 0 = w₀.
         let bcast = ctx.async_broadcast(w.clone(), n as u64);
+        // Steady-state buffer recycling for the delta/ids result cycle.
+        let pool = ScratchPool::new();
         // ᾱ = mean table gradient, seeded at w₀ so it is exactly consistent
         // with the version table.
         let mut alpha_bar = vec![0.0; dcols];
@@ -209,7 +233,7 @@ impl AsyncSolver for Asaga {
         let start_version = ctx.version();
 
         let v0 = ctx.version();
-        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
         pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
@@ -224,7 +248,7 @@ impl AsyncSolver for Asaga {
                 // Total stall (all in-flight tasks lost): restart with a
                 // fresh wave if revived/joined workers are available.
                 let v = ctx.version();
-                let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+                let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
                 if ws.is_empty() {
                     break;
                 }
@@ -270,8 +294,10 @@ impl AsyncSolver for Asaga {
             // batch mean — on the delta's support only when sparse.
             let b = t.value.indices.len() as f64;
             t.value.delta.axpy_into(b / n.max(1) as f64, &mut alpha_bar);
+            pool.recycle_ids(t.value.indices);
+            pool.recycle_delta(t.value.delta);
             updates = ctx.advance_version() - start_version;
-            bcast.push(w.clone());
+            bcast.push_snapshot(&w);
             wall_clock = ctx.now();
             if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -288,7 +314,7 @@ impl AsyncSolver for Asaga {
                 });
             }
             let v = ctx.version();
-            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint);
+            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
             pinned.record_wave(v, &ws);
         }
 
@@ -299,6 +325,8 @@ impl AsyncSolver for Asaga {
         while let Some(t) = ctx.collect::<DeltaMsg>() {
             bcast.unpin(t.attrs.issued_version);
             pinned.consume(t.attrs.worker, t.attrs.issued_version);
+            pool.recycle_ids(t.value.indices);
+            pool.recycle_delta(t.value.delta);
         }
         // Tasks lost to worker failures never surface: release their pins
         // so the model versions they held can prune.

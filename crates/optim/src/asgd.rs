@@ -22,6 +22,7 @@ use sparklet::Payload;
 
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
+use crate::scratch::ScratchPool;
 use crate::solver::{
     block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
     SolverCfg,
@@ -86,6 +87,12 @@ impl AsyncSolver for Asgd {
         // empty, so superseded model versions prune as soon as no task
         // needs them.
         let bcast = ctx.async_broadcast(w.clone(), 0);
+        if cfg.bcast_ring > 0 {
+            bcast.enable_incremental(cfg.bcast_ring);
+        }
+        // Steady-state buffer recycling: gradients, sampling buffers, and
+        // the result deltas all cycle through the pool.
+        let pool = ScratchPool::new();
 
         let mut trace = ConvergenceTrace::new();
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -100,7 +107,15 @@ impl AsyncSolver for Asgd {
         let start_version = ctx.version();
 
         let v0 = ctx.version();
-        let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+        let ws = submit_grad_wave(
+            ctx,
+            &rdd,
+            &bcast,
+            cfg,
+            minibatch_hint,
+            self.objective,
+            &pool,
+        );
         pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
@@ -115,7 +130,15 @@ impl AsyncSolver for Asgd {
                 // If chaos has since revived or joined workers, a fresh
                 // wave restarts the run; otherwise the cluster is dead.
                 let v = ctx.version();
-                let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+                let ws = submit_grad_wave(
+                    ctx,
+                    &rdd,
+                    &bcast,
+                    cfg,
+                    minibatch_hint,
+                    self.objective,
+                    &pool,
+                );
                 if ws.is_empty() {
                     break;
                 }
@@ -134,6 +157,10 @@ impl AsyncSolver for Asgd {
                 1.0
             };
             let lambda = self.objective.lambda();
+            // True when this update's change support is exactly the
+            // gradient's sparse support — the precondition for declaring a
+            // sparse version diff to the incremental broadcast.
+            let mut sparse_support = false;
             match &t.value.g {
                 GradDelta::Dense(g) => {
                     for i in 0..dcols {
@@ -142,16 +169,28 @@ impl AsyncSolver for Asgd {
                 }
                 GradDelta::Sparse(_) => {
                     // Ridge shrinkage over every coordinate, then scatter
-                    // the data gradient onto its support only.
+                    // the data gradient onto its support only. Without a
+                    // ridge term the shrink is an exact no-op, so skipping
+                    // it leaves untouched coordinates bit-unchanged — which
+                    // is what makes the sparse version diff exact.
                     let shrink = cfg.step * damp * lambda;
-                    for wi in w.iter_mut() {
-                        *wi -= shrink * *wi;
+                    if shrink != 0.0 {
+                        for wi in w.iter_mut() {
+                            *wi -= shrink * *wi;
+                        }
+                    } else {
+                        sparse_support = true;
                     }
                     t.value.g.axpy_into(-(cfg.step * damp), &mut w);
                 }
             }
             updates = ctx.advance_version() - start_version;
-            bcast.push(w.clone());
+            if sparse_support {
+                bcast.push_snapshot_diff(&w, &t.value.g);
+            } else {
+                bcast.push_snapshot(&w);
+            }
+            pool.recycle_delta(t.value.g);
             wall_clock = ctx.now();
             if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -166,7 +205,15 @@ impl AsyncSolver for Asgd {
                 });
             }
             let v = ctx.version();
-            let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+            let ws = submit_grad_wave(
+                ctx,
+                &rdd,
+                &bcast,
+                cfg,
+                minibatch_hint,
+                self.objective,
+                &pool,
+            );
             pinned.record_wave(v, &ws);
         }
 

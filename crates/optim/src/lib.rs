@@ -39,6 +39,7 @@ pub mod asgd;
 pub mod checkpoint;
 pub mod msgd;
 pub mod objective;
+pub mod scratch;
 pub mod solver;
 
 pub use asaga::Asaga;
@@ -46,4 +47,5 @@ pub use asgd::Asgd;
 pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};
 pub use msgd::AsyncMsgd;
 pub use objective::Objective;
+pub use scratch::{ScratchPool, TaskScratch};
 pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};

@@ -34,6 +34,7 @@ use sparklet::Payload;
 
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
+use crate::scratch::ScratchPool;
 use crate::solver::{
     block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
     SolverCfg,
@@ -93,6 +94,9 @@ impl AsyncSolver for AsyncMsgd {
         let mean_rows = dataset.rows() / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
+        // Buffer recycling for the gradient/result cycle; the velocity is
+        // checked out of the same pool below.
+        let pool = ScratchPool::new();
         // Resume from a checkpoint when one is installed: both the server
         // model and the heavy-ball velocity restore bit-identically.
         let (mut w, mut u, base_updates) = match self.resume.take() {
@@ -109,7 +113,7 @@ impl AsyncSolver for AsyncMsgd {
             }
             // The heavy-ball velocity; dense by nature (momentum mixes
             // every coordinate), updated in O(dim) per server update.
-            None => (vec![0.0; dcols], vec![0.0; dcols], 0),
+            None => (vec![0.0; dcols], pool.checkout_dense(dcols), 0),
         };
         let bcast = ctx.async_broadcast(w.clone(), 0);
 
@@ -122,7 +126,15 @@ impl AsyncSolver for AsyncMsgd {
         let start_version = ctx.version();
 
         let v0 = ctx.version();
-        let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+        let ws = submit_grad_wave(
+            ctx,
+            &rdd,
+            &bcast,
+            cfg,
+            minibatch_hint,
+            self.objective,
+            &pool,
+        );
         pinned.record_wave(v0, &ws);
 
         let mut updates = 0u64;
@@ -137,7 +149,15 @@ impl AsyncSolver for AsyncMsgd {
                 // Total stall (all in-flight tasks lost): restart with a
                 // fresh wave if revived/joined workers are available.
                 let v = ctx.version();
-                let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+                let ws = submit_grad_wave(
+                    ctx,
+                    &rdd,
+                    &bcast,
+                    cfg,
+                    minibatch_hint,
+                    self.objective,
+                    &pool,
+                );
                 if ws.is_empty() {
                     break;
                 }
@@ -181,7 +201,11 @@ impl AsyncSolver for AsyncMsgd {
             }
 
             updates = ctx.advance_version() - start_version;
-            bcast.push(w.clone());
+            // Momentum mixes every coordinate, so every version is a dense
+            // change: snapshot pushes only (the buffer-recycling still
+            // applies).
+            bcast.push_snapshot(&w);
+            pool.recycle_delta(t.value.g);
             wall_clock = ctx.now();
             if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -196,7 +220,15 @@ impl AsyncSolver for AsyncMsgd {
                 });
             }
             let v = ctx.version();
-            let ws = submit_grad_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, self.objective);
+            let ws = submit_grad_wave(
+                ctx,
+                &rdd,
+                &bcast,
+                cfg,
+                minibatch_hint,
+                self.objective,
+                &pool,
+            );
             pinned.record_wave(v, &ws);
         }
 

@@ -8,7 +8,9 @@
 
 use async_data::{Block, Dataset};
 use async_linalg::parallel::{par_matvec, par_matvec_t, par_residual_sq};
-use async_linalg::{dense, GradDelta, Matrix, ParallelismCfg};
+use async_linalg::{dense, GradDelta, Matrix, ParallelismCfg, SparseVec};
+
+use crate::scratch::{ScratchPool, TaskScratch};
 
 /// A row-separable regularized objective.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +114,56 @@ impl Objective {
             }
             Matrix::Dense(_) => {
                 let mut g = vec![0.0; block.cols()];
+                self.minibatch_grad(block, rows, w, &mut g);
+                GradDelta::Dense(g)
+            }
+        }
+    }
+
+    /// The zero-allocation variant of [`Objective::minibatch_grad_delta`]:
+    /// the batch is `scratch.rows` (sampled there by the caller), the
+    /// margin/coefficient buffers come from `scratch`, and the returned
+    /// delta's backing arrays come from `pool` — returned to it by the
+    /// server via [`ScratchPool::recycle_delta`] after absorption. Values
+    /// are **bit-identical** to `minibatch_grad_delta` (same kernels, same
+    /// operation order); only the buffers' provenance differs.
+    pub fn minibatch_grad_delta_pooled(
+        &self,
+        block: &Block,
+        w: &[f64],
+        scratch: &mut TaskScratch,
+        pool: &ScratchPool,
+    ) -> GradDelta {
+        let TaskScratch {
+            rows,
+            margins,
+            coefs,
+            pairs,
+            ..
+        } = scratch;
+        match block.features() {
+            Matrix::Sparse(csr) => {
+                if rows.is_empty() {
+                    return GradDelta::zero_sparse(block.cols());
+                }
+                let labels = block.labels();
+                let scale = 1.0 / rows.len() as f64;
+                csr.rows_dot_into(rows, w, margins);
+                coefs.clear();
+                coefs.extend(
+                    rows.iter()
+                        .zip(margins.iter())
+                        .map(|(&r, &z)| scale * self.dloss(z, labels[r as usize])),
+                );
+                let (mut idx, mut val) = pool.checkout_sparse();
+                csr.gather_axpy_into(rows, coefs, pairs, &mut idx, &mut val);
+                GradDelta::Sparse(
+                    SparseVec::new(idx, val, block.cols())
+                        .expect("gather kernel produces valid sparse output"),
+                )
+            }
+            Matrix::Dense(_) => {
+                let mut g = pool.checkout_dense(block.cols());
                 self.minibatch_grad(block, rows, w, &mut g);
                 GradDelta::Dense(g)
             }

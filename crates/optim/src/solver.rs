@@ -14,6 +14,7 @@ use sparklet::{Rdd, WorkerCtx};
 
 use crate::checkpoint::Checkpoint;
 use crate::objective::Objective;
+use crate::scratch::ScratchPool;
 
 /// Configuration shared by all solvers.
 #[derive(Debug, Clone)]
@@ -46,6 +47,15 @@ pub struct SolverCfg {
     /// [`RunReport::checkpoints`], ready for `to_bytes` and a later
     /// `resume_from`.
     pub checkpoint_every: u64,
+    /// Capacity of the incremental-broadcast ring (0 = disabled, the
+    /// default): when > 0, the model broadcast keeps the change supports
+    /// of this many recent versions and ships version-diff patches to
+    /// workers instead of dense snapshots wherever a patch is smaller and
+    /// bit-exact (see `async_core::AsyncBcast::enable_incremental`). The
+    /// ASGD update has a sparse change support only when the objective has
+    /// no ridge term (λ = 0); with λ > 0 every version declares a dense
+    /// change and resolution falls back to full snapshots.
+    pub bcast_ring: usize,
 }
 
 impl Default for SolverCfg {
@@ -62,6 +72,7 @@ impl Default for SolverCfg {
             seed: 42,
             eval_threads: ParallelismCfg::sequential(),
             checkpoint_every: 0,
+            bcast_ring: 0,
         }
     }
 }
@@ -129,6 +140,11 @@ pub(crate) struct GradMsg {
 /// (one fused margins-plus-gather pass). Pins the submission version once
 /// per in-flight task; callers pair each pin with an unpin at consumption
 /// (or run end for lost tasks).
+///
+/// Tasks draw every transient buffer from `pool` and resolve the model
+/// through the incremental path (`value_incremental`, which is exactly the
+/// plain fetch when the broadcast's ring is disabled); results are
+/// bit-identical to the pre-pool implementation.
 pub(crate) fn submit_grad_wave(
     ctx: &mut AsyncContext,
     rdd: &Rdd<Block>,
@@ -136,17 +152,21 @@ pub(crate) fn submit_grad_wave(
     cfg: &SolverCfg,
     minibatch_hint: u64,
     objective: Objective,
+    pool: &ScratchPool,
 ) -> Vec<usize> {
     let handle = bcast.handle();
     let version = ctx.version();
     let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+    let pool = pool.clone();
     let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
         let block = &data[0];
-        let w = handle.value(wctx);
+        let w = handle.value_incremental(wctx);
+        let mut scratch = pool.checkout();
         let mut rng = sampler::derive_rng(seed, version, part as u64);
-        let mb = sampler::sample_fraction(&mut rng, block.rows(), fraction);
-        let g = objective.minibatch_grad_delta(block, &mb.rows, &w);
-        let entries = block.features().rows_nnz(&mb.rows);
+        sampler::sample_fraction_into(&mut rng, block.rows(), fraction, &mut scratch.rows);
+        let g = objective.minibatch_grad_delta_pooled(block, &w, &mut scratch, &pool);
+        let entries = block.features().rows_nnz(&scratch.rows);
+        pool.give_back(scratch);
         GradMsg { g, entries }
     };
     let opts = SubmitOpts {

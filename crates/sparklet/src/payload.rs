@@ -2,12 +2,55 @@
 //!
 //! The simulated engine charges communication time per byte, so every
 //! broadcastable value reports its encoded size. [`Payload::encode`] writes
-//! the actual little-endian wire format; the engines only need
-//! [`Payload::encoded_len`], but tests use `encode` to verify that the
-//! declared sizes match reality.
+//! the actual little-endian wire format and [`Payload::decode`] reads it
+//! back; the engines only need [`Payload::encoded_len`], but tests
+//! roundtrip every impl to verify the declared sizes match reality.
+//!
+//! Dense `f64` slabs are encoded with **one** byte-slice extend (on
+//! little-endian targets the in-memory representation *is* the wire
+//! encoding), not a per-element `put_f64_le` loop — the encode cost of a
+//! model snapshot is a single `memcpy`.
+
+use std::sync::Arc;
 
 use async_linalg::{GradDelta, SparseVec};
 use bytes::{BufMut, BytesMut};
+
+/// Appends `xs` as little-endian `f64`s in one slice extend.
+fn put_f64s_le(buf: &mut BytesMut, xs: &[f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `f64` has no padding bytes and, on a little-endian
+        // target, its in-memory byte order is exactly the LE wire order;
+        // the view covers `xs.len() * 8` initialized bytes.
+        let bytes = unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), xs.len() * 8) };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for v in xs {
+        buf.put_f64_le(*v);
+    }
+}
+
+/// Reads `n` little-endian `f64`s from the front of `bytes`. The count is
+/// untrusted wire data: the length check uses checked arithmetic so a
+/// hostile prefix can neither wrap the bound nor drive an allocation.
+fn get_f64s_le(bytes: &[u8], n: usize) -> Option<Vec<f64>> {
+    let need = n.checked_mul(8)?;
+    if bytes.len() < need {
+        return None;
+    }
+    Some(
+        bytes[..need]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect(),
+    )
+}
+
+fn get_u64_le(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+}
 
 /// A value that can be broadcast: knows its wire size and representation.
 pub trait Payload {
@@ -16,6 +59,18 @@ pub trait Payload {
 
     /// Appends the wire encoding to `buf`.
     fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes one value from the front of `bytes`, returning it and the
+    /// number of bytes consumed. Returns `None` on truncated or malformed
+    /// input. The default implementation refuses (for payloads that are
+    /// size-accounted but never rematerialized driver-side).
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)>
+    where
+        Self: Sized,
+    {
+        let _ = bytes;
+        None
+    }
 }
 
 impl Payload for f64 {
@@ -24,6 +79,9 @@ impl Payload for f64 {
     }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_f64_le(*self);
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        Some((f64::from_le_bytes(bytes.get(..8)?.try_into().ok()?), 8))
     }
 }
 
@@ -34,18 +92,68 @@ impl Payload for u64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(*self);
     }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        Some((get_u64_le(bytes)?, 8))
+    }
 }
 
 impl Payload for Vec<f64> {
-    /// Length prefix plus the raw entries.
+    /// Length prefix plus the raw entries, written as one slice extend.
     fn encoded_len(&self) -> u64 {
         8 + 8 * self.len() as u64
     }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.len() as u64);
-        for v in self {
-            buf.put_f64_le(*v);
-        }
+        put_f64s_le(buf, self);
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let n = get_u64_le(bytes)? as usize;
+        let vals = get_f64s_le(&bytes[8..], n)?;
+        Some((vals, 8 + 8 * n))
+    }
+}
+
+impl Payload for [f64] {
+    /// Identical wire shape to `Vec<f64>` — a borrowed or `Arc`-shared
+    /// dense slab costs the same bytes as an owned one.
+    fn encoded_len(&self) -> u64 {
+        8 + 8 * self.len() as u64
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.len() as u64);
+        put_f64s_le(buf, self);
+    }
+}
+
+/// Shared payloads encode exactly like their contents: broadcasting an
+/// `Arc` snapshot costs the same wire bytes while making driver-side
+/// cloning free. This is what lets the engines hold one model snapshot per
+/// version instead of one owned `Vec<f64>` per worker per round.
+impl<T: Payload> Payload for Arc<T> {
+    fn encoded_len(&self) -> u64 {
+        (**self).encoded_len()
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (v, n) = T::decode(bytes)?;
+        Some((Arc::new(v), n))
+    }
+}
+
+/// An `Arc<[f64]>` model snapshot: same wire shape as `Vec<f64>`, zero-copy
+/// to clone driver-side.
+impl Payload for Arc<[f64]> {
+    fn encoded_len(&self) -> u64 {
+        (**self).encoded_len()
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        (**self).encode(buf);
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (v, n) = Vec::<f64>::decode(bytes)?;
+        Some((v.into(), n))
     }
 }
 
@@ -62,6 +170,24 @@ impl Payload for SparseVec {
             buf.put_u32_le(*i);
             buf.put_f64_le(*v);
         }
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let nnz = get_u64_le(bytes)? as usize;
+        let dim = get_u64_le(&bytes[8..])? as usize;
+        // Validate the untrusted count against the available bytes (with
+        // checked arithmetic) before any allocation sized by it.
+        let body = nnz.checked_mul(12)?;
+        let total = body.checked_add(16)?;
+        let mut rest = bytes.get(16..total)?;
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(u32::from_le_bytes(rest.get(..4)?.try_into().ok()?));
+            values.push(f64::from_le_bytes(rest.get(4..12)?.try_into().ok()?));
+            rest = &rest[12..];
+        }
+        let sv = SparseVec::new(indices, values, dim).ok()?;
+        Some((sv, total))
     }
 }
 
@@ -88,6 +214,19 @@ impl Payload for GradDelta {
             }
         }
     }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        match *bytes.first()? {
+            0 => {
+                let (v, n) = Vec::<f64>::decode(&bytes[1..])?;
+                Some((GradDelta::Dense(v), 1 + n))
+            }
+            1 => {
+                let (s, n) = SparseVec::decode(&bytes[1..])?;
+                Some((GradDelta::Sparse(s), 1 + n))
+            }
+            _ => None,
+        }
+    }
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
@@ -97,6 +236,11 @@ impl<A: Payload, B: Payload> Payload for (A, B) {
     fn encode(&self, buf: &mut BytesMut) {
         self.0.encode(buf);
         self.1.encode(buf);
+    }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let (a, na) = A::decode(bytes)?;
+        let (b, nb) = B::decode(&bytes[na..])?;
+        Some(((a, b), na + nb))
     }
 }
 
@@ -114,29 +258,75 @@ impl<T: Payload> Payload for Vec<(u64, T)> {
             v.encode(buf);
         }
     }
+    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+        let n = get_u64_le(bytes)? as usize;
+        // Every entry needs at least its 8-byte key, so the remaining
+        // input bounds the plausible count — a corrupt prefix must not
+        // size an allocation.
+        let mut out = Vec::with_capacity(n.min(bytes.len() / 8));
+        let mut at = 8usize;
+        for _ in 0..n {
+            let k = get_u64_le(bytes.get(at..)?)?;
+            let (v, nv) = T::decode(bytes.get(at + 8..)?)?;
+            out.push((k, v));
+            at += 8 + nv;
+        }
+        Some((out, at))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn encoded_bytes<P: Payload>(p: &P) -> usize {
+    fn encoded_bytes<P: Payload + ?Sized>(p: &P) -> usize {
         let mut buf = BytesMut::new();
         p.encode(&mut buf);
         buf.len()
+    }
+
+    fn roundtrip<P: Payload + PartialEq + std::fmt::Debug>(p: &P) {
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        assert_eq!(buf.len() as u64, p.encoded_len());
+        let (back, used) = P::decode(buf.as_slice()).expect("decodes");
+        assert_eq!(&back, p);
+        assert_eq!(used, buf.len());
     }
 
     #[test]
     fn scalar_sizes_match_encoding() {
         assert_eq!(encoded_bytes(&1.5f64) as u64, 1.5f64.encoded_len());
         assert_eq!(encoded_bytes(&7u64) as u64, 7u64.encoded_len());
+        roundtrip(&-1.25f64);
+        roundtrip(&u64::MAX);
     }
 
     #[test]
-    fn vec_size_matches_encoding() {
+    fn vec_size_matches_encoding_and_roundtrips() {
         let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
         assert_eq!(encoded_bytes(&v) as u64, v.encoded_len());
         assert_eq!(v.encoded_len(), 8 + 800);
+        roundtrip(&v);
+        roundtrip(&Vec::<f64>::new());
+    }
+
+    #[test]
+    fn arc_and_slice_payloads_match_owned_encoding() {
+        let v: Vec<f64> = vec![1.0, -2.5, 3.25];
+        let slab: Arc<[f64]> = v.clone().into();
+        assert_eq!(slab.encoded_len(), v.encoded_len());
+        assert_eq!(encoded_bytes(slab.as_ref()), encoded_bytes(&v));
+        let shared = Arc::new(v.clone());
+        assert_eq!(shared.encoded_len(), v.encoded_len());
+        assert_eq!(encoded_bytes(&shared), encoded_bytes(&v));
+        let mut a = BytesMut::new();
+        slab.encode(&mut a);
+        let mut b = BytesMut::new();
+        v.encode(&mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
+        roundtrip(&slab);
+        roundtrip(&shared);
     }
 
     #[test]
@@ -146,6 +336,8 @@ mod tests {
         assert_eq!(encoded_bytes(&small) as u64, small.encoded_len());
         assert_eq!(encoded_bytes(&big) as u64, big.encoded_len());
         assert!(big.encoded_len() > 40 * small.encoded_len());
+        roundtrip(&small);
+        roundtrip(&big);
     }
 
     #[test]
@@ -153,10 +345,13 @@ mod tests {
         let s = SparseVec::from_pairs(vec![(3, 1.5), (9, -2.0), (40, 0.25)], 64).unwrap();
         assert_eq!(encoded_bytes(&s) as u64, s.encoded_len());
         assert_eq!(s.encoded_len(), 16 + 12 * 3);
+        roundtrip(&s);
         let gd = GradDelta::Sparse(s);
         assert_eq!(encoded_bytes(&gd) as u64, gd.encoded_len());
+        roundtrip(&gd);
         let dd = GradDelta::Dense(vec![1.0; 64]);
         assert_eq!(encoded_bytes(&dd) as u64, dd.encoded_len());
+        roundtrip(&dd);
         // The sparse arm is the cheaper wire shape at this density.
         assert!(gd.encoded_len() < dd.encoded_len() / 5);
     }
@@ -166,5 +361,49 @@ mod tests {
         let p = (2.0f64, vec![1.0f64, 2.0]);
         assert_eq!(p.encoded_len(), 8 + (8 + 16));
         assert_eq!(encoded_bytes(&p) as u64, p.encoded_len());
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let v: Vec<f64> = vec![1.0, 2.0, 3.0];
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        assert!(Vec::<f64>::decode(&buf.as_slice()[..buf.len() - 1]).is_none());
+        assert!(f64::decode(&[0u8; 4]).is_none());
+        assert!(GradDelta::decode(&[9u8, 0, 0]).is_none());
+        // SparseVec decode re-validates invariants: unsorted indices fail.
+        let mut bad = BytesMut::new();
+        bad.put_u64_le(2);
+        bad.put_u64_le(10);
+        bad.put_u32_le(5);
+        bad.put_f64_le(1.0);
+        bad.put_u32_le(3);
+        bad.put_f64_le(1.0);
+        assert!(SparseVec::decode(bad.as_slice()).is_none());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating() {
+        // A count prefix of 2^61 would wrap `n * 8` to 0 under unchecked
+        // arithmetic and be silently accepted; a huge-but-unwrapped count
+        // must also not size an allocation before validation.
+        for n in [u64::MAX, 1u64 << 61, 1u64 << 40] {
+            let mut buf = BytesMut::new();
+            buf.put_u64_le(n);
+            buf.put_f64_le(1.0);
+            assert!(Vec::<f64>::decode(buf.as_slice()).is_none(), "n={n}");
+            let mut table = BytesMut::new();
+            table.put_u64_le(n);
+            table.put_u64_le(7);
+            assert!(
+                Vec::<(u64, f64)>::decode(table.as_slice()).is_none(),
+                "n={n}"
+            );
+            let mut sv = BytesMut::new();
+            sv.put_u64_le(n);
+            sv.put_u64_le(10);
+            assert!(SparseVec::decode(sv.as_slice()).is_none(), "n={n}");
+        }
     }
 }

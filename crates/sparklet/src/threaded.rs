@@ -17,12 +17,13 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use async_cluster::straggler::DelayAssignment;
-use async_cluster::{ClusterSpec, VTime, WorkerId};
+use async_cluster::{ClusterSpec, CommModel, VTime, WorkerId, WorkerProfile};
 
 use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskFn, TaskOutput};
 use crate::worker::WorkerCtx;
@@ -59,7 +60,11 @@ enum PendingChaos {
 /// The threaded engine. See the module docs.
 pub struct ThreadedEngine {
     spec: ClusterSpec,
-    assignment: DelayAssignment,
+    /// Shared straggler assignment: one allocation for the whole engine
+    /// lifetime; worker (re)spawns clone the `Arc`, not the tables.
+    assignment: Arc<DelayAssignment>,
+    /// Shared communication model, likewise cloned by pointer per spawn.
+    comm: Arc<CommModel>,
     time_scale: f64,
     start: Instant,
     txs: Vec<Sender<Msg>>,
@@ -93,11 +98,13 @@ impl ThreadedEngine {
         spec.validate().expect("invalid cluster spec");
         assert!(time_scale >= 0.0, "time_scale must be nonnegative");
         let n = spec.workers;
-        let assignment = spec.delay.assign(n);
+        let assignment = Arc::new(spec.delay.assign(n));
+        let comm = Arc::new(spec.comm.clone());
         let (res_tx, res_rx) = unbounded::<WireDone>();
         let mut engine = Self {
             spec,
             assignment,
+            comm,
             time_scale,
             start: Instant::now(),
             txs: Vec::with_capacity(n),
@@ -126,9 +133,14 @@ impl ThreadedEngine {
     fn spawn_worker(&mut self, w: WorkerId) -> Sender<Msg> {
         let (tx, rx) = unbounded::<Msg>();
         let res_tx = self.results_tx.clone();
-        let profile = self.spec.profiles[w].clone();
-        let comm = self.spec.comm.clone();
-        let assignment = self.assignment.clone();
+        // The comm/assignment tables were allocated once at engine
+        // construction and are pointer-cloned here; the (tiny) profile is
+        // wrapped in an `Arc` once per worker incarnation, reading
+        // straight from the spec so there is no second profile list to
+        // keep in sync.
+        let profile = Arc::new(self.spec.profiles[w].clone());
+        let comm = Arc::clone(&self.comm);
+        let assignment = Arc::clone(&self.assignment);
         let time_scale = self.time_scale;
         let epoch = self.epoch[w];
         let handle = std::thread::Builder::new()
@@ -209,9 +221,9 @@ fn worker_loop(
     epoch: u64,
     rx: Receiver<Msg>,
     res_tx: Sender<WireDone>,
-    profile: async_cluster::WorkerProfile,
-    comm: async_cluster::CommModel,
-    assignment: DelayAssignment,
+    profile: Arc<WorkerProfile>,
+    comm: Arc<CommModel>,
+    assignment: Arc<DelayAssignment>,
     time_scale: f64,
 ) {
     let mut ctx = WorkerCtx::new(w);
@@ -388,9 +400,7 @@ impl Engine for ThreadedEngine {
     fn add_worker(&mut self) -> WorkerId {
         let w = self.spec.workers;
         self.spec.workers += 1;
-        self.spec
-            .profiles
-            .push(async_cluster::WorkerProfile::default_speed());
+        self.spec.profiles.push(WorkerProfile::default_speed());
         self.busy.push(false);
         self.dead.push(false);
         self.epoch.push(0);

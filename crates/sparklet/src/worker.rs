@@ -76,6 +76,24 @@ impl WorkerCtx {
         self.cache.insert(key, value);
     }
 
+    /// Removes and returns a cached entry. Incremental broadcast resolution
+    /// takes the worker's newest cached model out of the cache, patches it
+    /// forward (in place when uniquely owned), and reinserts it at the new
+    /// version's key.
+    pub fn cache_remove(&mut self, key: (u64, u64)) -> Option<CachedValue> {
+        self.cache.remove(&key)
+    }
+
+    /// The newest cached version of `bcast_id`, if any — the base an
+    /// incremental fetch patches forward from.
+    pub fn cache_newest_version(&self, bcast_id: u64) -> Option<u64> {
+        self.cache
+            .keys()
+            .filter(|&&(b, _)| b == bcast_id)
+            .map(|&(_, v)| v)
+            .max()
+    }
+
     /// Evicts all versions of `bcast_id` strictly below `min_version` —
     /// called when the server's reference counts show old history can no
     /// longer be requested.
@@ -150,6 +168,21 @@ mod tests {
         ctx.cache_put_local((2, 5), Arc::new(1.0f64));
         assert_eq!(ctx.take_charges(), (0, VDur::ZERO));
         assert_eq!(ctx.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn newest_version_and_remove_track_cache_contents() {
+        let mut ctx = WorkerCtx::new(0);
+        assert_eq!(ctx.cache_newest_version(1), None);
+        ctx.cache_put_local((1, 3), Arc::new(3u64));
+        ctx.cache_put_local((1, 7), Arc::new(7u64));
+        ctx.cache_put_local((2, 9), Arc::new(9u64));
+        assert_eq!(ctx.cache_newest_version(1), Some(7));
+        assert_eq!(ctx.cache_newest_version(2), Some(9));
+        let v = ctx.cache_remove((1, 7)).expect("present");
+        assert_eq!(*v.downcast::<u64>().unwrap(), 7);
+        assert_eq!(ctx.cache_newest_version(1), Some(3));
+        assert!(ctx.cache_remove((1, 7)).is_none());
     }
 
     #[test]

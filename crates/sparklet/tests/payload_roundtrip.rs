@@ -1,0 +1,93 @@
+//! Encode/decode roundtrip properties for every [`Payload`] impl.
+//!
+//! The wire format is the ground truth of the engines' byte accounting:
+//! `encoded_len` must equal the bytes `encode` writes, and `decode` must
+//! reproduce the original value from exactly those bytes. These properties
+//! are checked over generated values for every payload shape the workspace
+//! ships — scalars, dense slabs (owned, `Arc`-shared, and `Arc<[f64]>`
+//! snapshots), sparse vectors, gradient deltas, tuples, and keyed tables.
+
+use std::sync::Arc;
+
+use async_linalg::{GradDelta, SparseVec};
+use bytes::BytesMut;
+use proptest::prelude::*;
+use sparklet::Payload;
+
+fn assert_roundtrip<P: Payload + PartialEq + std::fmt::Debug>(p: &P) -> Result<(), String> {
+    let mut buf = BytesMut::new();
+    p.encode(&mut buf);
+    prop_assert_eq!(buf.len() as u64, p.encoded_len());
+    let (back, used) = match P::decode(buf.as_slice()) {
+        Some(ok) => ok,
+        None => return Err(format!("decode failed for {p:?}")),
+    };
+    prop_assert_eq!(&back, p);
+    prop_assert_eq!(used, buf.len());
+    // Decoding must also succeed (and consume the same prefix) with
+    // trailing garbage appended — payloads are self-delimiting.
+    let mut longer = buf.into_vec();
+    longer.extend_from_slice(&[0xAB; 7]);
+    let (back2, used2) = match P::decode(&longer) {
+        Some(ok) => ok,
+        None => return Err("decode failed with trailing bytes".to_string()),
+    };
+    prop_assert_eq!(&back2, p);
+    prop_assert_eq!(used2, used);
+    Ok(())
+}
+
+fn gen_sparse(rng_vals: &[(u32, f64)], dim: usize) -> SparseVec {
+    SparseVec::from_pairs(rng_vals.to_vec(), dim).expect("pairs within dim")
+}
+
+proptest! {
+    #[test]
+    fn scalars_roundtrip(x in -1e9..1e9f64, n in 0u64..u64::MAX) {
+        assert_roundtrip(&x)?;
+        assert_roundtrip(&n)?;
+    }
+
+    #[test]
+    fn dense_slabs_roundtrip(vals in proptest::collection::vec(-1e6..1e6f64, 0..200)) {
+        assert_roundtrip(&vals)?;
+        assert_roundtrip(&Arc::new(vals.clone()))?;
+        let slab: Arc<[f64]> = vals.clone().into();
+        assert_roundtrip(&slab)?;
+        assert_roundtrip(&GradDelta::Dense(vals))?;
+    }
+
+    #[test]
+    fn sparse_and_deltas_roundtrip(
+        pairs in proptest::collection::vec((0u32..500, -100.0..100.0f64), 0..64),
+        extra in 500usize..2000,
+    ) {
+        let sv = gen_sparse(&pairs, extra);
+        assert_roundtrip(&sv)?;
+        assert_roundtrip(&GradDelta::Sparse(sv))?;
+    }
+
+    #[test]
+    fn tuples_and_tables_roundtrip(
+        x in -10.0..10.0f64,
+        vals in proptest::collection::vec(-10.0..10.0f64, 0..16),
+        keys in proptest::collection::vec(0u64..1000, 0..8),
+    ) {
+        assert_roundtrip(&(x, vals.clone()))?;
+        let table: Vec<(u64, Vec<f64>)> =
+            keys.iter().map(|&k| (k, vals.clone())).collect();
+        assert_roundtrip(&table)?;
+        let nested: Vec<(u64, (f64, Vec<f64>))> =
+            keys.iter().map(|&k| (k, (x, vals.clone()))).collect();
+        assert_roundtrip(&nested)?;
+    }
+
+    #[test]
+    fn truncated_input_never_decodes(vals in proptest::collection::vec(-1.0..1.0f64, 1..32)) {
+        let mut buf = BytesMut::new();
+        vals.encode(&mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(Vec::<f64>::decode(&buf.as_slice()[..cut]).is_none());
+        }
+    }
+}
