@@ -1,0 +1,27 @@
+//! Records the server-scaling (sharded absorption) datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_server_scaling
+//! [output.json]` (default `BENCH_server_scaling.json` in the current
+//! directory). Keys prefixed `wc_` are host wall-clock observations and
+//! vary run to run; everything else is deterministic for the default
+//! configuration — CI gates the file with `grep -v wc_` on both sides of
+//! the diff.
+
+use async_bench::server_scaling::{run_server_scaling, ServerScalingCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server_scaling.json".to_string());
+    let s = run_server_scaling(ServerScalingCfg::default());
+    let json = s.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "server_scaling: bit-identical sharding: {}; max arm {:.0} steps/s vs serial {:.0} ({:.2}x) -> {}",
+        s.sharding_bit_identical,
+        s.wc.last().map_or(0.0, |a| a.steps_per_sec),
+        s.wc[0].steps_per_sec,
+        s.wc_speedup_max_over_serial,
+        out,
+    );
+}

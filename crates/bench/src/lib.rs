@@ -19,6 +19,7 @@ use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
 pub mod elastic_chaos;
 pub mod hotpath;
+pub mod server_scaling;
 pub mod sparse_fastpath;
 
 /// Configuration of the ASP-vs-BSP straggler ablation.

@@ -17,6 +17,9 @@
 //!   partitions never materialize a dense buffer;
 //! * chunked multi-threaded variants built on crossbeam scoped threads
 //!   ([`parallel`]);
+//! * a persistent shard-worker thread pool for the parameter-server apply
+//!   path ([`shard`]), with disjoint-range helpers and bit-identical
+//!   sharded kernels;
 //! * a conjugate-gradient least-squares solver ([`solve`]) used to compute
 //!   high-precision baseline optima for the paper's error metric.
 //!
@@ -29,6 +32,7 @@ pub mod dense;
 pub mod dense_mat;
 pub mod matrix;
 pub mod parallel;
+pub mod shard;
 pub mod solve;
 pub mod sparse;
 
@@ -37,6 +41,7 @@ pub use delta::{DeltaFold, GradDelta};
 pub use dense_mat::DenseMatrix;
 pub use matrix::Matrix;
 pub use parallel::ParallelismCfg;
+pub use shard::{DisjointSlices, ShardPool};
 pub use sparse::SparseVec;
 
 /// Crate-wide result alias.

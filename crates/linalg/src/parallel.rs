@@ -140,29 +140,71 @@ pub fn par_matvec(cfg: ParallelismCfg, a: &Matrix, w: &[f64], out: &mut [f64]) {
     .expect("crossbeam scope failed");
 }
 
+/// Process-wide pool of per-thread partial buffers for [`par_matvec_t`].
+/// The transpose kernel needs one `ncols`-sized accumulator per thread per
+/// call; recycling them here means driver-side objective evaluation stops
+/// allocating O(threads·d) on every eval once the pool is warm (buffers
+/// only grow, never shrink).
+static PARTIAL_POOL: std::sync::Mutex<Vec<Vec<f64>>> = std::sync::Mutex::new(Vec::new());
+
+/// Checks a zeroed `dim`-length partial out of the pool (warm when one was
+/// returned before; its capacity is reused).
+fn checkout_partial(dim: usize) -> Vec<f64> {
+    let mut buf = PARTIAL_POOL
+        .lock()
+        .expect("partial pool poisoned")
+        .pop()
+        .unwrap_or_default();
+    buf.clear();
+    buf.resize(dim, 0.0);
+    buf
+}
+
+fn give_back_partial(buf: Vec<f64>) {
+    PARTIAL_POOL
+        .lock()
+        .expect("partial pool poisoned")
+        .push(buf);
+}
+
 /// Parallel `out = Aᵀ·v` (overwrites `out`). Each thread accumulates into a
-/// private buffer; buffers are summed at the end. `v.len()` must equal
-/// `A.nrows()` and `out.len()` `A.ncols()`.
+/// private buffer drawn from a process-wide pool (no O(threads·d)
+/// allocation once warm); buffers are summed into `out` in range order,
+/// which is the exact operation order of the historical fold — for a
+/// given thread count, results are bit-identical to the old
+/// implementation regardless of pool warmth. (Changing the thread count
+/// regroups the f64 partial sums and so changes the bits, exactly as it
+/// always has.) `v.len()` must equal `A.nrows()` and `out.len()`
+/// `A.ncols()`.
 pub fn par_matvec_t(cfg: ParallelismCfg, a: &Matrix, v: &[f64], out: &mut [f64]) {
     assert_eq!(v.len(), a.nrows(), "par_matvec_t: v dim mismatch");
     assert_eq!(out.len(), a.ncols(), "par_matvec_t: out dim mismatch");
-    let acc = par_map_reduce(
-        cfg,
-        a.nrows(),
-        vec![0.0; a.ncols()],
-        |r| {
-            let mut buf = vec![0.0; a.ncols()];
-            for i in r {
-                a.row_axpy(i, v[i], &mut buf);
+    let ranges = split_ranges(a.nrows(), cfg.threads());
+    let mut partials: Vec<Vec<f64>> = ranges.iter().map(|_| checkout_partial(a.ncols())).collect();
+    if ranges.len() > 1 {
+        crossbeam::thread::scope(|s| {
+            for (r, buf) in ranges.iter().zip(partials.iter_mut()) {
+                let r = r.clone();
+                s.spawn(move |_| {
+                    for i in r {
+                        a.row_axpy(i, v[i], buf);
+                    }
+                });
             }
-            buf
-        },
-        |mut x, y| {
-            crate::dense::add_assign(&mut x, &y);
-            x
-        },
-    );
-    out.copy_from_slice(&acc);
+        })
+        .expect("crossbeam scope failed");
+    } else if let (Some(r), Some(buf)) = (ranges.first(), partials.first_mut()) {
+        for i in r.clone() {
+            a.row_axpy(i, v[i], buf);
+        }
+    }
+    // Zero-init plus in-order adds: the same f64 sequence as folding the
+    // partials into a fresh accumulator, so values are unchanged.
+    crate::dense::zero(out);
+    for buf in partials {
+        crate::dense::add_assign(out, &buf);
+        give_back_partial(buf);
+    }
 }
 
 #[cfg(test)]

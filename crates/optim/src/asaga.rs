@@ -27,16 +27,17 @@
 //! telescoping delta.
 
 use async_cluster::ConvergenceTrace;
-use async_core::{AsyncBcast, AsyncContext, SubmitOpts};
+use async_core::{AsyncBcast, AsyncContext, SubmitOpts, Tagged};
 use async_data::sampler;
 use async_data::{Block, Dataset};
 use async_linalg::{GradDelta, Matrix};
 use sparklet::{Payload, Rdd, WorkerCtx};
 
+use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
-use crate::solver::{block_rdd, AsyncSolver, PinLedger, RunReport, SolverCfg};
+use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunReport, SolverCfg};
 
 /// One task's SAGA contribution.
 struct DeltaMsg {
@@ -228,13 +229,20 @@ impl AsyncSolver for Asaga {
         let mut pinned = PinLedger::new(ctx.workers());
         let mut checkpoints = Vec::new();
 
-        // Count updates relative to the context's starting version so a
-        // reused (but drained) context still runs a full budget.
-        let start_version = ctx.version();
-
         let v0 = ctx.version();
         let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
         pinned.record_wave(v0, &ws);
+
+        // The sharded server: both the model step and the ᾱ table-mean
+        // re-base run shard-parallel; batched waves apply the deltas
+        // sequentially within each shard (each estimator step must see the
+        // ᾱ left by the previous table update — the ordering that keeps
+        // SAGA unbiased).
+        let mut server = ShardedAbsorber::new(dcols, cfg.server_threads);
+        let absorb_batch = cfg.absorb_batch.max(1);
+        let mut wave: Vec<Tagged<DeltaMsg>> = Vec::new();
+        let mut damps: Vec<f64> = Vec::new();
+        let mut scales: Vec<f64> = Vec::new();
 
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
@@ -244,7 +252,9 @@ impl AsyncSolver for Asaga {
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
-            let Some(t) = ctx.collect::<DeltaMsg>() else {
+            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            crate::solver::collect_wave(ctx, want, &mut wave);
+            if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
                 // fresh wave if revived/joined workers are available.
                 let v = ctx.version();
@@ -254,56 +264,74 @@ impl AsyncSolver for Asaga {
                 }
                 pinned.record_wave(v, &ws);
                 continue;
-            };
-            tasks_completed += 1;
-            max_staleness = max_staleness.max(t.attrs.staleness);
-            grad_entries += t.value.entries;
-            result_bytes += t.value.delta.encoded_len();
-            let task_version = t.attrs.issued_version;
-            // SAGA's table update: the batch is now recorded at the version
-            // the task computed against; then release the in-flight pin.
-            bcast.record_use(&t.value.indices, task_version);
-            bcast.unpin(task_version);
-            pinned.consume(t.attrs.worker, task_version);
-            let damp = if cfg.staleness_damping {
-                1.0 / (1.0 + t.attrs.staleness as f64)
-            } else {
-                1.0
-            };
-            // SAGA's estimator uses ᾱ *before* this batch's table update:
-            // E[f'ⱼ(φⱼ)] over the pre-update table equals ᾱ_old, which is
-            // what keeps g unbiased.
-            match &t.value.delta {
-                GradDelta::Dense(delta) => {
-                    for i in 0..dcols {
-                        let g = delta[i] + alpha_bar[i] + lambda * w[i];
-                        w[i] -= cfg.step * damp * g;
-                    }
-                }
-                GradDelta::Sparse(_) => {
-                    // Dense part of the step (ᾱ + ridge) over every
-                    // coordinate, then scatter the sparse telescoping delta
-                    // onto its support only.
-                    for i in 0..dcols {
-                        w[i] -= cfg.step * damp * (alpha_bar[i] + lambda * w[i]);
-                    }
-                    t.value.delta.axpy_into(-(cfg.step * damp), &mut w);
-                }
             }
-            // Only now does ᾱ absorb the telescoping delta: b/n of the
-            // batch mean — on the delta's support only when sparse.
-            let b = t.value.indices.len() as f64;
-            t.value.delta.axpy_into(b / n.max(1) as f64, &mut alpha_bar);
-            pool.recycle_ids(t.value.indices);
-            pool.recycle_delta(t.value.delta);
-            updates = ctx.advance_version() - start_version;
-            bcast.push_snapshot(&w);
+            damps.clear();
+            scales.clear();
+            for t in &wave {
+                tasks_completed += 1;
+                max_staleness = max_staleness.max(t.attrs.staleness);
+                grad_entries += t.value.entries;
+                result_bytes += t.value.delta.encoded_len();
+                let task_version = t.attrs.issued_version;
+                // SAGA's table update: the batch is now recorded at the
+                // version the task computed against; then release the
+                // in-flight pin.
+                bcast.record_use(&t.value.indices, task_version);
+                bcast.unpin(task_version);
+                pinned.consume(t.attrs.worker, task_version);
+                damps.push(if cfg.staleness_damping {
+                    1.0 / (1.0 + t.attrs.staleness as f64)
+                } else {
+                    1.0
+                });
+                scales.push(t.value.indices.len() as f64 / n.max(1) as f64);
+            }
+            // SAGA's estimator uses ᾱ *before* each delta's own table
+            // absorption: E[f'ⱼ(φⱼ)] over the pre-update table equals
+            // ᾱ_old, which is what keeps g unbiased — the absorber
+            // preserves that step/absorb interleaving per delta, sharded
+            // (bit-identical to the serial order for any thread count).
+            if wave.len() == 1 {
+                server.asaga_step(
+                    &mut w,
+                    &mut alpha_bar,
+                    &wave[0].value.delta,
+                    cfg.step * damps[0],
+                    lambda,
+                    scales[0],
+                );
+            } else {
+                let nw = wave.len();
+                let deltas = &wave;
+                server.asaga_wave(
+                    &mut w,
+                    &mut alpha_bar,
+                    nw,
+                    |k| &deltas[k].value.delta,
+                    &damps,
+                    cfg.step,
+                    lambda,
+                    &scales,
+                );
+            }
+            for t in wave.drain(..) {
+                pool.recycle_ids(t.value.indices);
+                pool.recycle_delta(t.value.delta);
+            }
+            let prev_updates = updates;
+            updates += damps.len() as u64;
+            // One model version and one snapshot push per wave (the
+            // historical per-delta cadence when absorb_batch = 1).
+            ctx.advance_version();
+            bcast.push_snapshot_sharded(&w, None, server.pool());
             wall_clock = ctx.now();
-            if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
+            if cfg.eval_every > 0 && crossed_multiple(prev_updates, updates, cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
-            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+            if cfg.checkpoint_every > 0
+                && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
+            {
                 checkpoints.push(Checkpoint {
                     solver: "asaga".to_string(),
                     updates: base_updates + updates,

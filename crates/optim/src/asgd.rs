@@ -15,17 +15,18 @@
 //! shared with [`crate::AsyncMsgd`] in [`crate::solver`].
 
 use async_cluster::ConvergenceTrace;
-use async_core::AsyncContext;
+use async_core::{AsyncContext, Tagged};
 use async_data::Dataset;
 use async_linalg::GradDelta;
 use sparklet::Payload;
 
+use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{
-    block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
-    SolverCfg,
+    block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
+    GradMsg, PinLedger, RunReport, SolverCfg,
 };
 
 /// Asynchronous stochastic gradient descent.
@@ -102,9 +103,6 @@ impl AsyncSolver for Asgd {
         // leftovers (tasks lost to worker failure) released at run end.
         let mut pinned = PinLedger::new(ctx.workers());
         let mut checkpoints = Vec::new();
-        // Count updates relative to the context's starting version so a
-        // reused (but drained) context still runs a full budget.
-        let start_version = ctx.version();
 
         let v0 = ctx.version();
         let ws = submit_grad_wave(
@@ -118,14 +116,25 @@ impl AsyncSolver for Asgd {
         );
         pinned.record_wave(v0, &ws);
 
+        // The sharded server: apply passes (and snapshot memcpys) run
+        // shard-parallel on its persistent pool; with absorb_batch > 1 a
+        // wave of ready deltas is folded per shard and applied fused.
+        let mut server = ShardedAbsorber::new(dcols, cfg.server_threads);
+        let absorb_batch = cfg.absorb_batch.max(1);
+        let mut wave: Vec<Tagged<GradMsg>> = Vec::new();
+        let mut damps: Vec<f64> = Vec::new();
+
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
         let mut max_staleness = 0u64;
         let mut grad_entries = 0u64;
         let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
+        let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
-            let Some(t) = ctx.collect::<GradMsg>() else {
+            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            collect_wave(ctx, want, &mut wave);
+            if wave.is_empty() {
                 // Total stall: every in-flight task was lost to failures.
                 // If chaos has since revived or joined workers, a fresh
                 // wave restarts the run; otherwise the cluster is dead.
@@ -144,59 +153,63 @@ impl AsyncSolver for Asgd {
                 }
                 pinned.record_wave(v, &ws);
                 continue;
-            };
-            tasks_completed += 1;
-            max_staleness = max_staleness.max(t.attrs.staleness);
-            grad_entries += t.value.entries;
-            result_bytes += t.value.g.encoded_len();
-            bcast.unpin(t.attrs.issued_version);
-            pinned.consume(t.attrs.worker, t.attrs.issued_version);
-            let damp = if cfg.staleness_damping {
-                1.0 / (1.0 + t.attrs.staleness as f64)
-            } else {
-                1.0
-            };
-            let lambda = self.objective.lambda();
-            // True when this update's change support is exactly the
-            // gradient's sparse support — the precondition for declaring a
-            // sparse version diff to the incremental broadcast.
-            let mut sparse_support = false;
-            match &t.value.g {
-                GradDelta::Dense(g) => {
-                    for i in 0..dcols {
-                        w[i] -= cfg.step * damp * (g[i] + lambda * w[i]);
-                    }
-                }
-                GradDelta::Sparse(_) => {
-                    // Ridge shrinkage over every coordinate, then scatter
-                    // the data gradient onto its support only. Without a
-                    // ridge term the shrink is an exact no-op, so skipping
-                    // it leaves untouched coordinates bit-unchanged — which
-                    // is what makes the sparse version diff exact.
-                    let shrink = cfg.step * damp * lambda;
-                    if shrink != 0.0 {
-                        for wi in w.iter_mut() {
-                            *wi -= shrink * *wi;
-                        }
-                    } else {
-                        sparse_support = true;
-                    }
-                    t.value.g.axpy_into(-(cfg.step * damp), &mut w);
-                }
             }
-            updates = ctx.advance_version() - start_version;
-            if sparse_support {
-                bcast.push_snapshot_diff(&w, &t.value.g);
-            } else {
-                bcast.push_snapshot(&w);
+            damps.clear();
+            for t in &wave {
+                tasks_completed += 1;
+                max_staleness = max_staleness.max(t.attrs.staleness);
+                grad_entries += t.value.entries;
+                result_bytes += t.value.g.encoded_len();
+                bcast.unpin(t.attrs.issued_version);
+                pinned.consume(t.attrs.worker, t.attrs.issued_version);
+                damps.push(if cfg.staleness_damping {
+                    1.0 / (1.0 + t.attrs.staleness as f64)
+                } else {
+                    1.0
+                });
             }
-            pool.recycle_delta(t.value.g);
+            // Single-delta waves take the exact serial expressions
+            // (sharded — bit-identical for any thread count); larger
+            // waves take the fused fold-then-apply pass. Either way the
+            // returned flag marks an update whose change support is
+            // exactly the gradients' sparse support — the precondition
+            // for declaring a sparse version diff to the incremental
+            // broadcast.
+            let sparse_support = if wave.len() == 1 {
+                server.asgd_step(&mut w, &wave[0].value.g, cfg.step * damps[0], lambda)
+            } else {
+                let n = wave.len();
+                let deltas = &wave;
+                server.asgd_wave(&mut w, n, |k| &deltas[k].value.g, &damps, cfg.step, lambda)
+            };
+            let prev_updates = updates;
+            updates += wave.len() as u64;
+            // One model version (and one snapshot push) per wave: with
+            // absorb_batch = 1 this is exactly the historical
+            // version-per-delta cadence.
+            ctx.advance_version();
+            let support = if !sparse_support {
+                None
+            } else if wave.len() == 1 {
+                match &wave[0].value.g {
+                    GradDelta::Sparse(s) => Some(s.indices()),
+                    GradDelta::Dense(_) => None,
+                }
+            } else {
+                Some(server.wave_support())
+            };
+            bcast.push_snapshot_sharded(&w, support, server.pool());
+            for t in wave.drain(..) {
+                pool.recycle_delta(t.value.g);
+            }
             wall_clock = ctx.now();
-            if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
+            if cfg.eval_every > 0 && crossed_multiple(prev_updates, updates, cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
-            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+            if cfg.checkpoint_every > 0
+                && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
+            {
                 checkpoints.push(Checkpoint {
                     solver: "asgd".to_string(),
                     updates: base_updates + updates,

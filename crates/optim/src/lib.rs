@@ -25,6 +25,14 @@
 //! `SimEngine` — see the note in [`asaga`]. `tests/barrier_e2e.rs`,
 //! `tests/msgd_e2e.rs` and `tests/sparse_e2e.rs` have end-to-end runs.
 //!
+//! All three solvers absorb server-side through the sharded absorption
+//! pipeline ([`absorber::ShardedAbsorber`]): apply passes run
+//! shard-parallel on a persistent thread pool
+//! ([`SolverCfg::server_threads`] — bit-identical to the serial server
+//! for any thread count), and waves of ready deltas can be folded and
+//! applied fused ([`SolverCfg::absorb_batch`] — value-equivalent, one
+//! snapshot push per wave).
+//!
 //! The solvers are *elastic*: they keep running through worker kills,
 //! revivals, and mid-run joins (see `async_cluster::chaos` for churn
 //! scripts), and [`checkpoint`] snapshots the server state —
@@ -34,6 +42,7 @@
 
 #![deny(missing_docs)]
 
+pub mod absorber;
 pub mod asaga;
 pub mod asgd;
 pub mod checkpoint;
@@ -42,6 +51,7 @@ pub mod objective;
 pub mod scratch;
 pub mod solver;
 
+pub use absorber::ShardedAbsorber;
 pub use asaga::Asaga;
 pub use asgd::Asgd;
 pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};

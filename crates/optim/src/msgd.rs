@@ -27,17 +27,17 @@
 //! coordinate).
 
 use async_cluster::ConvergenceTrace;
-use async_core::AsyncContext;
+use async_core::{AsyncContext, Tagged};
 use async_data::Dataset;
-use async_linalg::GradDelta;
 use sparklet::Payload;
 
+use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{
-    block_rdd, drain_grad_tasks, submit_grad_wave, AsyncSolver, GradMsg, PinLedger, RunReport,
-    SolverCfg,
+    block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
+    GradMsg, PinLedger, RunReport, SolverCfg,
 };
 
 /// Asynchronous momentum SGD with staleness-adaptive damping.
@@ -123,7 +123,6 @@ impl AsyncSolver for AsyncMsgd {
 
         let mut pinned = PinLedger::new(ctx.workers());
         let mut checkpoints = Vec::new();
-        let start_version = ctx.version();
 
         let v0 = ctx.version();
         let ws = submit_grad_wave(
@@ -137,6 +136,15 @@ impl AsyncSolver for AsyncMsgd {
         );
         pinned.record_wave(v0, &ws);
 
+        // The sharded server: momentum's recurrence has no fold form, so
+        // batched waves apply delta-sequentially *within* each shard — one
+        // pool dispatch and one snapshot push per wave.
+        let mut server = ShardedAbsorber::new(dcols, cfg.server_threads);
+        let absorb_batch = cfg.absorb_batch.max(1);
+        let mut wave: Vec<Tagged<GradMsg>> = Vec::new();
+        let mut betas: Vec<f64> = Vec::new();
+        let mut gammas: Vec<f64> = Vec::new();
+
         let mut updates = 0u64;
         let mut tasks_completed = 0u64;
         let mut max_staleness = 0u64;
@@ -145,7 +153,9 @@ impl AsyncSolver for AsyncMsgd {
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
-            let Some(t) = ctx.collect::<GradMsg>() else {
+            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            collect_wave(ctx, want, &mut wave);
+            if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
                 // fresh wave if revived/joined workers are available.
                 let v = ctx.version();
@@ -163,55 +173,70 @@ impl AsyncSolver for AsyncMsgd {
                 }
                 pinned.record_wave(v, &ws);
                 continue;
-            };
-            tasks_completed += 1;
-            max_staleness = max_staleness.max(t.attrs.staleness);
-            grad_entries += t.value.entries;
-            result_bytes += t.value.g.encoded_len();
-            bcast.unpin(t.attrs.issued_version);
-            pinned.consume(t.attrs.worker, t.attrs.issued_version);
-
-            // The staleness-adaptive rule: consult the STAT table for the
-            // worst delay visible right now, fold in this result's own
-            // staleness tag, and damp momentum (and optionally the step).
-            let snap = ctx.stat();
-            let observed = t.attrs.staleness.max(snap.max_staleness());
-            let damp = 1.0 / (1.0 + observed as f64);
-            let beta = self.momentum * damp;
-            let gamma = cfg.step * if cfg.staleness_damping { damp } else { 1.0 };
-
-            match &t.value.g {
-                GradDelta::Dense(g) => {
-                    for i in 0..dcols {
-                        u[i] = beta * u[i] + g[i] + lambda * w[i];
-                        w[i] -= gamma * u[i];
-                    }
-                }
-                GradDelta::Sparse(_) => {
-                    // Decay + ridge over every coordinate, scatter the data
-                    // gradient onto its support, then step along u.
-                    for i in 0..dcols {
-                        u[i] = beta * u[i] + lambda * w[i];
-                    }
-                    t.value.g.axpy_into(1.0, &mut u);
-                    for i in 0..dcols {
-                        w[i] -= gamma * u[i];
-                    }
-                }
             }
-
-            updates = ctx.advance_version() - start_version;
-            // Momentum mixes every coordinate, so every version is a dense
-            // change: snapshot pushes only (the buffer-recycling still
-            // applies).
-            bcast.push_snapshot(&w);
-            pool.recycle_delta(t.value.g);
+            // The staleness-adaptive rule: consult the STAT table for the
+            // worst delay visible right now (one snapshot per wave), fold
+            // in each result's own staleness tag, and damp momentum (and
+            // optionally the step) per consumed result.
+            let snap = ctx.stat();
+            betas.clear();
+            gammas.clear();
+            for t in &wave {
+                tasks_completed += 1;
+                max_staleness = max_staleness.max(t.attrs.staleness);
+                grad_entries += t.value.entries;
+                result_bytes += t.value.g.encoded_len();
+                bcast.unpin(t.attrs.issued_version);
+                pinned.consume(t.attrs.worker, t.attrs.issued_version);
+                let observed = t.attrs.staleness.max(snap.max_staleness());
+                let damp = 1.0 / (1.0 + observed as f64);
+                betas.push(self.momentum * damp);
+                gammas.push(cfg.step * if cfg.staleness_damping { damp } else { 1.0 });
+            }
+            // The per-coordinate recurrence is the serial one in either
+            // branch; sharding (any thread count) and the wave form are
+            // both bit-identical to stepping the batch one delta at a
+            // time with the same (βₖ, γₖ) sequence.
+            if wave.len() == 1 {
+                server.msgd_step(
+                    &mut w,
+                    &mut u,
+                    &wave[0].value.g,
+                    betas[0],
+                    gammas[0],
+                    lambda,
+                );
+            } else {
+                let n = wave.len();
+                let deltas = &wave;
+                server.msgd_wave(
+                    &mut w,
+                    &mut u,
+                    n,
+                    |k| &deltas[k].value.g,
+                    &betas,
+                    &gammas,
+                    lambda,
+                );
+            }
+            let prev_updates = updates;
+            updates += wave.len() as u64;
+            // One model version and one snapshot push per wave; momentum
+            // mixes every coordinate, so every version is a dense change
+            // (the shard-parallel memcpy and buffer recycling still apply).
+            ctx.advance_version();
+            bcast.push_snapshot_sharded(&w, None, server.pool());
+            for t in wave.drain(..) {
+                pool.recycle_delta(t.value.g);
+            }
             wall_clock = ctx.now();
-            if cfg.eval_every > 0 && updates.is_multiple_of(cfg.eval_every) {
+            if cfg.eval_every > 0 && crossed_multiple(prev_updates, updates, cfg.eval_every) {
                 let f = self.objective.full_objective(cfg.eval_threads, dataset, &w);
                 trace.push(wall_clock, f - cfg.baseline);
             }
-            if cfg.checkpoint_every > 0 && updates.is_multiple_of(cfg.checkpoint_every) {
+            if cfg.checkpoint_every > 0
+                && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
+            {
                 checkpoints.push(Checkpoint {
                     solver: "async-msgd".to_string(),
                     updates: base_updates + updates,

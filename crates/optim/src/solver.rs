@@ -56,6 +56,52 @@ pub struct SolverCfg {
     /// no ridge term (λ = 0); with λ > 0 every version declares a dense
     /// change and resolution falls back to full snapshots.
     pub bcast_ring: usize,
+    /// Server-side absorption threads: the model is partitioned into this
+    /// many contiguous coordinate shards and every apply pass (ridge
+    /// shrink, gradient scatter, snapshot memcpy, SAGA ᾱ absorption) runs
+    /// shard-parallel on a persistent pool
+    /// ([`crate::absorber::ShardedAbsorber`]). **Bit-identity contract:**
+    /// for any `server_threads`, a run with `absorb_batch = 1` reproduces
+    /// the single-threaded server bit-exactly — shards are disjoint and
+    /// each coordinate sees the serial f64 operation sequence.
+    ///
+    /// # Example
+    /// ```
+    /// use async_optim::SolverCfg;
+    ///
+    /// // A 4-shard server applying one delta at a time: bit-identical to
+    /// // the serial server, so byte-gated benches may enable it freely.
+    /// let cfg = SolverCfg {
+    ///     server_threads: 4,
+    ///     absorb_batch: 1,
+    ///     ..SolverCfg::default()
+    /// };
+    /// assert_eq!(cfg.server_threads, 4);
+    /// ```
+    pub server_threads: usize,
+    /// Deltas absorbed per server wave (clamped to at least 1): each wave
+    /// blocks for one result, then opportunistically drains up to this
+    /// many already-arrived results and folds them per shard before **one**
+    /// fused apply pass and **one** snapshot push. Batching reorders the
+    /// f64 arithmetic (fold-then-apply ≠ delta-at-a-time in f64, and the
+    /// model version now advances once per wave), so `absorb_batch > 1` is
+    /// **value-equivalent, not bit-identical**, to the serial server and
+    /// is kept out of the byte-gated benches.
+    ///
+    /// # Example
+    /// ```
+    /// use async_optim::SolverCfg;
+    ///
+    /// // Fold up to 4 ready deltas per wave on a 4-shard server — the
+    /// // high-throughput configuration of the server-scaling bench.
+    /// let cfg = SolverCfg {
+    ///     server_threads: 4,
+    ///     absorb_batch: 4,
+    ///     ..SolverCfg::default()
+    /// };
+    /// assert_eq!(cfg.absorb_batch, 4);
+    /// ```
+    pub absorb_batch: usize,
 }
 
 impl Default for SolverCfg {
@@ -73,6 +119,8 @@ impl Default for SolverCfg {
             eval_threads: ParallelismCfg::sequential(),
             checkpoint_every: 0,
             bcast_ring: 0,
+            server_threads: 1,
+            absorb_batch: 1,
         }
     }
 }
@@ -235,6 +283,28 @@ impl PinLedger {
             bcast.unpin(v);
         }
     }
+}
+
+/// True when `now` crossed a multiple of `every` that `prev` had not yet
+/// reached — the wave-aware replacement for `now % every == 0`: identical
+/// for unit steps, and still firing once per crossed multiple when a
+/// batched wave advances `updates` by more than one.
+pub(crate) fn crossed_multiple(prev: u64, now: u64, every: u64) -> bool {
+    now / every > prev / every
+}
+
+/// Collects one absorption wave: blocks for the first result, then drains
+/// up to `want − 1` more that have already arrived (`want` is the absorb
+/// batch capped at the remaining update budget). With `want == 1` this is
+/// exactly one `collect` call. `wave` is a reused buffer; it comes back
+/// empty only when every in-flight task was lost.
+pub(crate) fn collect_wave<R: Send + 'static>(
+    ctx: &mut AsyncContext,
+    want: usize,
+    wave: &mut Vec<async_core::Tagged<R>>,
+) {
+    wave.clear();
+    ctx.collect_up_to_into(want.max(1), wave);
 }
 
 /// Drains in-flight [`GradMsg`] tasks (discarding their gradients) and

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use async_core::AsyncBcast;
 use async_data::{sampler, Dataset, SynthSpec};
 use async_linalg::GradDelta;
-use async_optim::{Objective, ScratchPool};
+use async_optim::{Objective, ScratchPool, ShardedAbsorber};
 
 struct CountingAlloc;
 
@@ -132,6 +132,113 @@ fn dense_arm_is_also_allocation_free_once_warm() {
         iteration(&objective, block, &mut w, &mut grad_sum, &pool, i);
     }
     assert_eq!(allocations() - before, 0, "dense arm allocated");
+}
+
+/// One steady-state *batched* wave on the sharded server: produce
+/// `batch` pooled gradients, fold-then-apply them through the absorber's
+/// per-shard accumulators, and recycle every consumed delta's buffers
+/// through [`ScratchPool::recycle_delta`].
+#[allow(clippy::too_many_arguments)]
+fn batched_wave(
+    objective: &Objective,
+    block: &async_data::Block,
+    w: &mut [f64],
+    absorber: &mut ShardedAbsorber,
+    pool: &ScratchPool,
+    deltas: &mut Vec<GradDelta>,
+    damps: &[f64],
+    iter: u64,
+) {
+    for k in 0..damps.len() as u64 {
+        let mut scratch = pool.checkout();
+        let mut rng = sampler::derive_rng(7, iter * 101 + k, 0);
+        sampler::sample_fraction_into(&mut rng, block.rows(), 0.1, &mut scratch.rows);
+        let g = objective.minibatch_grad_delta_pooled(block, w, &mut scratch, pool);
+        pool.give_back(scratch);
+        deltas.push(g);
+    }
+    let ds = &*deltas;
+    absorber.asgd_wave(w, ds.len(), |k| &ds[k], damps, 0.05, objective.lambda());
+    for g in deltas.drain(..) {
+        pool.recycle_delta(g);
+    }
+}
+
+#[test]
+fn batched_sharded_waves_allocate_nothing() {
+    // The fold-then-apply wave — per-shard DeltaFold folding, the fused
+    // apply pass on the persistent shard pool, and the delta recycling —
+    // must be as allocation-free as the per-delta path once warm.
+    let dataset = sparse_dataset();
+    let blocks = dataset.partition(1);
+    let block = &blocks[0];
+    let objective = Objective::Logistic { lambda: 0.0 };
+    let pool = ScratchPool::new();
+    let mut absorber = ShardedAbsorber::new(dataset.cols(), 4);
+    let mut w = vec![0.02; dataset.cols()];
+    let mut deltas: Vec<GradDelta> = Vec::with_capacity(4);
+    let damps = [1.0, 0.5, 1.0, 0.25];
+
+    const ROUNDS: u64 = 30;
+    for i in 0..ROUNDS {
+        batched_wave(
+            &objective,
+            block,
+            &mut w,
+            &mut absorber,
+            &pool,
+            &mut deltas,
+            &damps,
+            i,
+        );
+    }
+    let before = allocations();
+    for i in 0..ROUNDS {
+        batched_wave(
+            &objective,
+            block,
+            &mut w,
+            &mut absorber,
+            &pool,
+            &mut deltas,
+            &damps,
+            i,
+        );
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched waves must not allocate ({} allocations over {} waves)",
+        after - before,
+        ROUNDS
+    );
+}
+
+#[test]
+fn sharded_snapshot_push_is_allocation_bounded() {
+    // The shard-parallel snapshot memcpy recycles pruned buffers like the
+    // serial push; its only extra steady-state allocation is the small
+    // per-push chunk-descriptor vector (bounded by the pool's thread
+    // count), never an O(dim) buffer.
+    let dim = 8_000;
+    let pool = async_linalg::ShardPool::new(4);
+    let b: AsyncBcast<Vec<f64>> = AsyncBcast::new(0, vec![0.0; dim], 0);
+    let w = vec![1.0; dim];
+    for _ in 0..10 {
+        b.push_snapshot_sharded(&w, Some(&[3, 77]), &pool);
+    }
+    let before = allocations();
+    const PUSHES: u64 = 25;
+    for _ in 0..PUSHES {
+        b.push_snapshot_sharded(&w, Some(&[3, 77]), &pool);
+    }
+    let per_push = (allocations() - before) as f64 / PUSHES as f64;
+    assert!(
+        per_push <= 3.0,
+        "sharded snapshot push should cost O(1) small allocations, got {per_push} per push"
+    );
+    assert!(b.stats().recycled_buffers >= 30);
 }
 
 #[test]
