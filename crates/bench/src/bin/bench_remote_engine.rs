@@ -1,0 +1,28 @@
+//! Records the remote-engine (multi-process backend) datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_remote_engine
+//! [output.json]` (default `BENCH_remote_engine.json` in the current
+//! directory). The process arm discovers the `async_worker` binary next to
+//! this executable (or via `ASYNC_WORKER_BIN`); build it first with
+//! `cargo build --release -p async-optim`. Keys prefixed `wc_` are host
+//! wall-clock observations and vary run to run; everything else is
+//! deterministic for the default configuration — CI gates the file with
+//! `grep -v '"wc_'` on both sides of the diff.
+
+use async_bench::remote_engine::{run_remote_engine, RemoteEngineCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_remote_engine.json".to_string());
+    let r = run_remote_engine(RemoteEngineCfg::default());
+    let json = r.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    for a in &r.arms {
+        eprintln!(
+            "remote_engine: {} arm {:.0} steps/s, agrees with sim: {}",
+            a.transport, a.steps_per_sec, a.agrees_with_sim
+        );
+    }
+    eprintln!("remote_engine: -> {out}");
+}

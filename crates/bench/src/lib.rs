@@ -19,6 +19,7 @@ use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
 pub mod elastic_chaos;
 pub mod hotpath;
+pub mod remote_engine;
 pub mod server_scaling;
 pub mod sparse_fastpath;
 

@@ -1,0 +1,343 @@
+//! The remote-engine benchmark: real cross-process optimization throughput
+//! behind the unified [`Engine`](sparklet::Engine) API.
+//!
+//! One ASGD workload runs three ways:
+//!
+//! 1. **Simulated, deterministic** (byte-gated in CI): the virtual-time
+//!    oracle. Its trace, byte ledger, and final objective are exact
+//!    functions of the configuration.
+//! 2. **Remote over worker processes** (`wc_` keys, host-dependent, not
+//!    gated): the same solver on [`sparklet::EngineKind::Remote`] — one OS process
+//!    per worker over loopback TCP, blocks shipped once per incarnation,
+//!    model versions resolved through `WirePlan`s, minibatch gradients
+//!    recomputed worker-side. The headline number is genuine end-to-end
+//!    steps/s through the wire protocol, serialization and kernel included.
+//! 3. **Remote over loopback threads** (`wc_` keys): identical wire
+//!    protocol without process spawns — isolates frame/codec overhead from
+//!    process scheduling, and doubles as the arm CI can always run.
+//!
+//! Each remote arm also records its optimality-gap agreement with the sim
+//! oracle — the same contract `remote_e2e.rs` asserts — under `wc_` keys
+//! (the gap depends on the host's real completion order).
+
+use std::time::Instant;
+
+use async_cluster::{ClusterSpec, CommModel, DelayModel, VDur};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::{Dataset, SynthSpec};
+use async_linalg::ParallelismCfg;
+use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
+use sparklet::{Driver, EngineBuilder};
+
+use crate::json_f64;
+
+/// Configuration of the remote-engine benchmark.
+#[derive(Debug, Clone)]
+pub struct RemoteEngineCfg {
+    /// Cluster size (one worker process per worker on the remote arms).
+    pub workers: usize,
+    /// Dataset rows.
+    pub rows: usize,
+    /// Feature dimension.
+    pub cols: usize,
+    /// Ridge coefficient.
+    pub lambda: f64,
+    /// Server update budget for the simulated (gated) run.
+    pub updates: u64,
+    /// Server update budget for the remote (wall-clock) arms.
+    pub wc_updates: u64,
+    /// Mini-batch fraction per task.
+    pub batch_fraction: f64,
+    /// Step size.
+    pub step: f64,
+    /// Sampling/generation seed.
+    pub seed: u64,
+    /// Worker executable for the process arm; `None` uses
+    /// [`sparklet::remote::default_worker_bin`] discovery.
+    pub worker_bin: Option<std::path::PathBuf>,
+}
+
+impl Default for RemoteEngineCfg {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            rows: 2_048,
+            cols: 256,
+            lambda: 1e-3,
+            updates: 300,
+            wc_updates: 600,
+            batch_fraction: 0.1,
+            step: 0.04,
+            seed: 2028,
+            worker_bin: None,
+        }
+    }
+}
+
+/// One remote arm's wall-clock measurements (all host-dependent).
+#[derive(Debug, Clone)]
+pub struct RemoteArm {
+    /// "process" (real OS worker processes) or "loopback" (in-process
+    /// threads speaking the same wire protocol).
+    pub transport: &'static str,
+    /// Server updates per second of host time, end to end through the
+    /// frame codec.
+    pub steps_per_sec: f64,
+    /// Host seconds the run took.
+    pub elapsed_secs: f64,
+    /// Updates actually applied.
+    pub updates: u64,
+    /// Final objective value.
+    pub final_objective: f64,
+    /// `(remote_gap − sim_gap) / gap0`: signed relative disagreement with
+    /// the oracle on how far the run closed the optimality gap.
+    pub gap_disagreement: f64,
+    /// The `remote_e2e.rs` contract: both gaps below 15% of the initial
+    /// gap and within 10% of each other.
+    pub agrees_with_sim: bool,
+}
+
+/// The benchmark outcome: the gated oracle plus the wall-clock arms.
+#[derive(Debug, Clone)]
+pub struct RemoteEngine {
+    /// The configuration measured.
+    pub cfg: RemoteEngineCfg,
+    /// Deterministic simulated run (byte-gated).
+    pub sim: RunReport,
+    /// Initial optimality gap `f(0) − f*` of the workload.
+    pub gap0: f64,
+    /// Sim run's final optimality gap.
+    pub sim_gap: f64,
+    /// Remote arms: `[process, loopback]` (wall clock, not gated).
+    pub arms: Vec<RemoteArm>,
+}
+
+fn dataset(cfg: &RemoteEngineCfg) -> Dataset {
+    SynthSpec::dense("remote-engine", cfg.rows, cfg.cols, cfg.seed)
+        .generate()
+        .expect("synthetic generation")
+        .0
+}
+
+fn cluster(cfg: &RemoteEngineCfg) -> ClusterSpec {
+    ClusterSpec::homogeneous(cfg.workers, DelayModel::None)
+        .with_comm(CommModel::free())
+        .with_sched_overhead(VDur::ZERO)
+}
+
+fn solver_cfg(cfg: &RemoteEngineCfg, updates: u64, eval_every: u64) -> SolverCfg {
+    SolverCfg::builder()
+        .step(cfg.step)
+        .batch_fraction(cfg.batch_fraction)
+        .barrier(BarrierFilter::Asp)
+        .max_updates(updates)
+        .eval_every(eval_every)
+        .seed(cfg.seed)
+        .build()
+        .expect("benchmark configuration is valid")
+}
+
+fn objective(cfg: &RemoteEngineCfg) -> Objective {
+    Objective::LeastSquares { lambda: cfg.lambda }
+}
+
+fn run_remote(
+    cfg: &RemoteEngineCfg,
+    data: &Dataset,
+    transport: &'static str,
+    baseline: f64,
+    gap0: f64,
+    sim_gap: f64,
+) -> Option<RemoteArm> {
+    let mut b = EngineBuilder::remote().spec(cluster(cfg)).time_scale(0.0);
+    b = match transport {
+        "loopback" => b.loopback_workers(std::sync::Arc::new(async_optim::worker_registry)),
+        _ => match &cfg.worker_bin {
+            Some(p) => b.worker_bin(p.clone()),
+            None => b,
+        },
+    };
+    let engine = match b.build() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("remote_engine: {transport} arm unavailable ({e}); skipping");
+            return None;
+        }
+    };
+    let mut ctx = AsyncContext::new(Driver::from_engine(engine));
+    let t0 = Instant::now();
+    let report = Asgd::new(objective(cfg)).run(&mut ctx, data, &solver_cfg(cfg, cfg.wc_updates, 0));
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+    let gap = report.final_objective - baseline;
+    Some(RemoteArm {
+        transport,
+        steps_per_sec: report.updates as f64 / elapsed_secs.max(1e-9),
+        elapsed_secs,
+        updates: report.updates,
+        final_objective: report.final_objective,
+        gap_disagreement: (gap - sim_gap) / gap0.max(1e-12),
+        agrees_with_sim: gap < 0.15 * gap0
+            && sim_gap < 0.15 * gap0
+            && (gap - sim_gap).abs() <= 0.10 * gap0,
+    })
+}
+
+/// Runs the oracle and both remote arms.
+pub fn run_remote_engine(cfg: RemoteEngineCfg) -> RemoteEngine {
+    let data = dataset(&cfg);
+    let obj = objective(&cfg);
+    let baseline = obj
+        .optimum(ParallelismCfg::sequential(), &data)
+        .expect("least-squares baseline");
+    let f0 = obj.full_objective(ParallelismCfg::sequential(), &data, &vec![0.0; data.cols()]);
+    let gap0 = f0 - baseline;
+    let mut sim_ctx = AsyncContext::sim(cluster(&cfg));
+    let sim = Asgd::new(obj).run(
+        &mut sim_ctx,
+        &data,
+        &solver_cfg(&cfg, cfg.updates, (cfg.updates / 6).max(1)),
+    );
+    let sim_gap = sim.final_objective - baseline;
+    let arms: Vec<RemoteArm> = ["process", "loopback"]
+        .iter()
+        .filter_map(|t| run_remote(&cfg, &data, t, baseline, gap0, sim_gap))
+        .collect();
+    for a in &arms {
+        eprintln!(
+            "remote_engine: {} arm {:.0} steps/s over {} updates; agrees with sim: {}",
+            a.transport, a.steps_per_sec, a.updates, a.agrees_with_sim,
+        );
+    }
+    RemoteEngine {
+        cfg,
+        sim,
+        gap0,
+        sim_gap,
+        arms,
+    }
+}
+
+fn sim_json(r: &RunReport, indent: &str) -> String {
+    let trace: Vec<String> = r
+        .trace
+        .points()
+        .iter()
+        .map(|&(t, e)| format!("[{}, {}]", json_f64(t.as_millis_f64()), json_f64(e)))
+        .collect();
+    format!(
+        "{{\n{i}  \"updates\": {},\n{i}  \"tasks_completed\": {},\n{i}  \"max_staleness\": {},\n{i}  \"bytes_shipped\": {},\n{i}  \"result_bytes\": {},\n{i}  \"grad_entries\": {},\n{i}  \"wall_clock_ms\": {},\n{i}  \"final_objective\": {},\n{i}  \"trace_ms_objective\": [{}]\n{i}}}",
+        r.updates,
+        r.tasks_completed,
+        r.max_staleness,
+        r.bytes_shipped,
+        r.result_bytes,
+        r.grad_entries,
+        json_f64(r.wall_clock.as_millis_f64()),
+        json_f64(r.final_objective),
+        trace.join(", "),
+        i = indent,
+    )
+}
+
+fn arm_json(a: &RemoteArm, indent: &str) -> String {
+    // Every line of an arm object carries a `wc_` key: the measurements are
+    // host wall-clock observations and the CI byte gate drops them.
+    format!(
+        "{{\n{i}  \"wc_transport\": \"{}\",\n{i}  \"wc_steps_per_sec\": {},\n{i}  \"wc_elapsed_secs\": {},\n{i}  \"wc_updates\": {},\n{i}  \"wc_final_objective\": {},\n{i}  \"wc_gap_disagreement_vs_sim\": {},\n{i}  \"wc_agrees_with_sim\": {}\n{i}}}",
+        a.transport,
+        json_f64(a.steps_per_sec),
+        json_f64(a.elapsed_secs),
+        a.updates,
+        json_f64(a.final_objective),
+        json_f64(a.gap_disagreement),
+        a.agrees_with_sim,
+        i = indent,
+    )
+}
+
+impl RemoteEngine {
+    /// Renders the benchmark as a stable JSON document. Keys starting with
+    /// `wc_` are host wall-clock observations and are excluded from the CI
+    /// byte-reproduction gate (`grep -v '"wc_'`); every other byte is
+    /// deterministic for a fixed configuration. The remote arm *count* can
+    /// vary only if the process arm is unavailable, so the arm array is
+    /// rendered as one line per arm — each fully under `wc_` keys except
+    /// the braces, which stay balanced either way.
+    pub fn to_json(&self) -> String {
+        let c = &self.cfg;
+        let arms: Vec<String> = self.arms.iter().map(|a| arm_json(a, "    ")).collect();
+        format!(
+            "{{\n  \"benchmark\": \"remote_engine\",\n  \"description\": \"ASGD through the multi-process remote engine vs the deterministic simulator: the sim oracle is byte-gated; wc_ arms are real cross-process (and loopback-thread) steps/sec through the frame codec with sim-agreement verdicts (host-dependent, ungated)\",\n  \"config\": {{\n    \"workers\": {},\n    \"dataset\": \"dense synthetic {}x{}, lambda {}\",\n    \"updates\": {},\n    \"wc_updates\": {},\n    \"batch_fraction\": {},\n    \"step\": {},\n    \"seed\": {}\n  }},\n  \"sim_oracle\": {},\n  \"sim_final_gap_over_gap0\": {},\n  \"wc_remote_arms\": [\n    {}\n  ]\n}}\n",
+            c.workers,
+            c.rows,
+            c.cols,
+            json_f64(c.lambda),
+            c.updates,
+            c.wc_updates,
+            json_f64(c.batch_fraction),
+            json_f64(c.step),
+            c.seed,
+            sim_json(&self.sim, "  "),
+            json_f64(self.sim_gap / self.gap0.max(1e-12)),
+            arms.join(",\n    "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RemoteEngineCfg {
+        RemoteEngineCfg {
+            rows: 256,
+            cols: 32,
+            updates: 60,
+            wc_updates: 60,
+            // Tests must not depend on a prebuilt worker binary; the
+            // loopback arm covers the wire protocol.
+            worker_bin: Some("/nonexistent/async_worker".into()),
+            ..RemoteEngineCfg::default()
+        }
+    }
+
+    #[test]
+    fn loopback_arm_agrees_with_the_sim_oracle() {
+        let r = run_remote_engine(small_cfg());
+        assert_eq!(r.sim.updates, 60);
+        let loopback = r
+            .arms
+            .iter()
+            .find(|a| a.transport == "loopback")
+            .expect("loopback arm always runs");
+        assert_eq!(loopback.updates, 60);
+        assert!(
+            loopback.agrees_with_sim,
+            "gap disagreement {}",
+            loopback.gap_disagreement
+        );
+    }
+
+    #[test]
+    fn gated_portion_is_deterministic() {
+        let a = run_remote_engine(small_cfg());
+        let b = run_remote_engine(small_cfg());
+        let strip = |j: &str| -> String {
+            j.lines()
+                .filter(|l| !l.contains("\"wc_"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a.to_json()), strip(&b.to_json()));
+        let j = a.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
+    fn missing_worker_binary_degrades_to_the_loopback_arm() {
+        let r = run_remote_engine(small_cfg());
+        assert!(r.arms.iter().all(|a| a.transport == "loopback"));
+    }
+}

@@ -612,6 +612,12 @@ impl<T: Payload + Send + Sync + 'static> HistoryHandle<T> {
         self.version
     }
 
+    /// The owning broadcast's id — the worker-cache namespace every
+    /// resolution of this handle reads and writes.
+    pub fn id(&self) -> u64 {
+        self.bcast_id
+    }
+
     /// Resolves the handle's own version — `w_br.value` in Algorithm 4.
     pub fn value(&self, ctx: &mut WorkerCtx) -> Arc<T> {
         self.value_at(ctx, self.version)
@@ -766,6 +772,266 @@ impl HistoryHandle<Vec<f64>> {
             patch_bytes,
         );
         value
+    }
+
+    /// Plans how to materialize this handle's version on a **networked**
+    /// worker whose cache the driver tracks through `mirror`: the exact
+    /// decision [`HistoryHandle::value_incremental`] would take on that
+    /// worker, reified as a shippable [`WirePlan`] instead of executed in
+    /// process. The mirror receives the same cache bookkeeping (watermark
+    /// evictions, fetched-entry insertions, byte charges) a real resolution
+    /// performs, and the broadcast's traffic counters advance identically —
+    /// so a remote run reports the same fetch/patch statistics as the
+    /// simulator, and the next plan for the same worker sees the cache
+    /// state this one left behind. The worker applies the plan with
+    /// [`WirePlan::apply`], which reproduces the resolved value bit-exactly.
+    pub fn wire_plan(&self, mirror: &mut WorkerCtx) -> WirePlan {
+        if self.table.read().ring_capacity == 0 {
+            return self.wire_plan_at(mirror, self.version);
+        }
+        let version = self.version;
+        // Keep the newest cached model, evict everything older — the same
+        // bound `value_incremental` enforces. The plan carries the
+        // watermark so the worker's cache evicts in lockstep.
+        let evict_below = match mirror.cache_newest_version(self.bcast_id) {
+            Some(newest) => {
+                mirror.cache_evict_below(self.bcast_id, newest);
+                newest
+            }
+            None => 0,
+        };
+        let key = (self.bcast_id, version);
+        if mirror.cache_get(key).is_some() {
+            return WirePlan::Cached {
+                version,
+                evict_below,
+            };
+        }
+        let base_version = match mirror.cache_newest_version(self.bcast_id) {
+            Some(v) if v < version => v,
+            _ => return self.wire_plan_at(mirror, version),
+        };
+        let mut scratch = self.patch_scratch.checkout();
+        let PatchScratch { union, tmp, values } = &mut scratch;
+        let (patch_bytes, target) = {
+            let t = self.table.read();
+            let Some(supports) = t.ring_supports(base_version + 1, version) else {
+                drop(t);
+                self.patch_scratch.give_back(scratch);
+                return self.wire_plan_at(mirror, version);
+            };
+            union.clear();
+            for s in supports {
+                if union.is_empty() {
+                    union.extend_from_slice(s);
+                } else {
+                    sparse::merge_union_u32(union, s, tmp);
+                    std::mem::swap(union, tmp);
+                }
+            }
+            let entry = t.versions[version as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
+            let bytes = patch_wire_bytes(union.len());
+            if bytes >= entry.bytes {
+                drop(t);
+                self.patch_scratch.give_back(scratch);
+                return self.wire_plan_at(mirror, version);
+            }
+            let target = Arc::clone(&entry.value);
+            values.clear();
+            values.extend(union.iter().map(|&i| target[i as usize]));
+            (bytes, target)
+        };
+        let indices = union.clone();
+        let patch_values = values.clone();
+        self.patch_scratch.give_back(scratch);
+        // The patched result *is* the target version: mirror it directly
+        // instead of re-running the scatter driver-side.
+        mirror
+            .cache_remove((self.bcast_id, base_version))
+            .expect("newest cached version is present");
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fetched_bytes
+            .fetch_add(patch_bytes, Ordering::Relaxed);
+        self.counters
+            .incremental_fetches
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .incremental_bytes
+            .fetch_add(patch_bytes, Ordering::Relaxed);
+        mirror.cache_put_fetched(
+            key,
+            target as Arc<dyn std::any::Any + Send + Sync>,
+            patch_bytes,
+        );
+        WirePlan::Patch {
+            base: base_version,
+            version,
+            indices,
+            values: patch_values,
+            evict_below,
+        }
+    }
+
+    /// Plans the materialization of an arbitrary historical `version` on a
+    /// networked worker — the wire form of [`HistoryHandle::value_at`],
+    /// with the same mirror bookkeeping contract as
+    /// [`HistoryHandle::wire_plan`].
+    ///
+    /// # Panics
+    /// Panics if `version` was pruned (see [`HistoryHandle::value_at`]).
+    pub fn wire_plan_at(&self, mirror: &mut WorkerCtx, version: u64) -> WirePlan {
+        mirror.cache_evict_below(self.bcast_id, self.min_live);
+        let key = (self.bcast_id, version);
+        if mirror.cache_get(key).is_some() {
+            return WirePlan::Cached {
+                version,
+                evict_below: self.min_live,
+            };
+        }
+        let (value, bytes) = {
+            let t = self.table.read();
+            let entry = t.versions[version as usize]
+                .as_ref()
+                .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
+            (Arc::clone(&entry.value), entry.bytes)
+        };
+        self.counters.fetches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .fetched_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        mirror.cache_put_fetched(
+            key,
+            value.clone() as Arc<dyn std::any::Any + Send + Sync>,
+            bytes,
+        );
+        WirePlan::Snapshot {
+            version,
+            values: value,
+            evict_below: self.min_live,
+        }
+    }
+}
+
+/// How a networked worker materializes one history-broadcast version: the
+/// driver resolves each version against its per-worker cache **mirror**
+/// ([`HistoryHandle::wire_plan`]) and ships the resulting plan inside the
+/// task request; the worker replays it with [`WirePlan::apply`]. Because
+/// the plan is chosen against the mirror, `Cached` never misses on the
+/// worker and `Patch` always finds its base — as long as driver and worker
+/// process the same task stream, which the remote engine's epoch guard
+/// enforces (a reconnected worker gets a fresh mirror, so its first plans
+/// are `Snapshot`s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePlan {
+    /// The worker already holds `version`; nothing crosses the wire.
+    Cached {
+        /// Version to resolve from the worker's cache.
+        version: u64,
+        /// Evict cached versions below this before resolving.
+        evict_below: u64,
+    },
+    /// Full dense snapshot of `version`.
+    Snapshot {
+        /// Version the values belong to.
+        version: u64,
+        /// The complete model vector.
+        values: Arc<Vec<f64>>,
+        /// Evict cached versions below this before inserting.
+        evict_below: u64,
+    },
+    /// Version-diff patch: scatter `indices`/`values` onto the cached
+    /// `base` to reconstruct `version` bit-exactly.
+    Patch {
+        /// Cached version the patch applies on top of.
+        base: u64,
+        /// Version the patched vector becomes.
+        version: u64,
+        /// Changed coordinates (strictly increasing).
+        indices: Vec<u32>,
+        /// Final values of those coordinates at `version`.
+        values: Vec<f64>,
+        /// Evict cached versions below this before patching.
+        evict_below: u64,
+    },
+}
+
+impl WirePlan {
+    /// The version this plan materializes.
+    pub fn version(&self) -> u64 {
+        match *self {
+            WirePlan::Cached { version, .. }
+            | WirePlan::Snapshot { version, .. }
+            | WirePlan::Patch { version, .. } => version,
+        }
+    }
+
+    /// Executes the plan against a worker's local cache, returning the
+    /// materialized model vector and caching it for later plans.
+    ///
+    /// # Panics
+    /// Panics if the cache diverged from the driver's mirror (a `Cached`
+    /// miss or a missing `Patch` base) — with the remote engine's
+    /// epoch-guarded task stream that indicates a protocol bug, not a
+    /// recoverable condition.
+    pub fn apply(self, ctx: &mut WorkerCtx, bcast_id: u64) -> Arc<Vec<f64>> {
+        match self {
+            WirePlan::Cached {
+                version,
+                evict_below,
+            } => {
+                ctx.cache_evict_below(bcast_id, evict_below);
+                ctx.cache_get((bcast_id, version))
+                    .unwrap_or_else(|| {
+                        panic!("wire plan expected version {version} cached on the worker")
+                    })
+                    .downcast::<Vec<f64>>()
+                    .expect("history cache type mismatch")
+            }
+            WirePlan::Snapshot {
+                version,
+                values,
+                evict_below,
+            } => {
+                ctx.cache_evict_below(bcast_id, evict_below);
+                let bytes = values.encoded_len();
+                ctx.cache_put_fetched(
+                    (bcast_id, version),
+                    values.clone() as Arc<dyn std::any::Any + Send + Sync>,
+                    bytes,
+                );
+                values
+            }
+            WirePlan::Patch {
+                base,
+                version,
+                indices,
+                values,
+                evict_below,
+            } => {
+                ctx.cache_evict_below(bcast_id, evict_below);
+                let base_any = ctx.cache_remove((bcast_id, base)).unwrap_or_else(|| {
+                    panic!("wire plan expected patch base {base} cached on the worker")
+                });
+                let base_vec = base_any
+                    .downcast::<Vec<f64>>()
+                    .expect("history cache type mismatch");
+                let mut w = match Arc::try_unwrap(base_vec) {
+                    Ok(owned) => owned,
+                    Err(shared) => shared.as_ref().clone(),
+                };
+                sparse::scatter_assign(&indices, &values, &mut w);
+                let value = Arc::new(w);
+                ctx.cache_put_fetched(
+                    (bcast_id, version),
+                    value.clone() as Arc<dyn std::any::Any + Send + Sync>,
+                    patch_wire_bytes(indices.len()),
+                );
+                value
+            }
+        }
     }
 }
 
@@ -1133,6 +1399,87 @@ mod tests {
         assert_eq!(s.incremental_fetches, 0, "ring disabled: full fetches only");
         assert_eq!(s.fetches, 2);
         assert_eq!(s.fetched_bytes, 2 * (8 + 8 * dim as u64));
+    }
+
+    #[test]
+    fn wire_plans_track_value_incremental_exactly() {
+        // Two identically driven broadcasts: one resolved in process, one
+        // planned against a driver-side mirror and applied on a "remote"
+        // worker ctx. Values, traffic stats, and cache shapes must agree
+        // at every step, and the plan kinds must follow the same
+        // patch/snapshot decisions.
+        let dim = 120;
+        let local: AsyncBcast<Vec<f64>> = AsyncBcast::new(7, vec![0.0; dim], 0);
+        let wired: AsyncBcast<Vec<f64>> = AsyncBcast::new(7, vec![0.0; dim], 0);
+        local.enable_incremental(4);
+        wired.enable_incremental(4);
+        let mut ctx = WorkerCtx::new(0); // in-process worker
+        let mut mirror = WorkerCtx::new(0); // driver-side mirror
+        let mut remote = WorkerCtx::new(0); // networked worker
+        let mut w = vec![0.0; dim];
+        let mut saw_patch = false;
+        let mut saw_snapshot = false;
+        for k in 0..10u32 {
+            let u = if k == 4 {
+                // One dense update mid-stream forces a snapshot fallback.
+                for wi in w.iter_mut() {
+                    *wi += 0.25;
+                }
+                GradDelta::Dense(vec![0.25; dim])
+            } else {
+                let u = sparse_delta(&[(k % dim as u32, 1.0), (k * 7 % dim as u32, -0.5)], dim);
+                u.axpy_into(1.0, &mut w);
+                u
+            };
+            local.push_snapshot_diff(&w, &u);
+            wired.push_snapshot_diff(&w, &u);
+            let expect = local.handle().value_incremental(&mut ctx);
+            let plan = wired.handle().wire_plan(&mut mirror);
+            match &plan {
+                WirePlan::Patch { .. } => saw_patch = true,
+                WirePlan::Snapshot { .. } => saw_snapshot = true,
+                WirePlan::Cached { .. } => {}
+            }
+            let got = plan.apply(&mut remote, wired.id());
+            assert_eq!(got.as_slice(), expect.as_slice(), "push {k}");
+            assert_eq!(ctx.cache_len(), mirror.cache_len(), "push {k}");
+            assert_eq!(ctx.cache_len(), remote.cache_len(), "push {k}");
+            // Re-planning the same version is a cache hit on the mirror.
+            let again = wired.handle().wire_plan(&mut mirror);
+            assert!(matches!(again, WirePlan::Cached { .. }), "push {k}");
+            assert_eq!(
+                again.apply(&mut remote, wired.id()).as_slice(),
+                expect.as_slice()
+            );
+        }
+        assert!(saw_patch && saw_snapshot, "both plan kinds exercised");
+        let (a, b) = (local.stats(), wired.stats());
+        assert_eq!(a.fetches, b.fetches);
+        assert_eq!(a.fetched_bytes, b.fetched_bytes);
+        assert_eq!(a.incremental_fetches, b.incremental_fetches);
+        assert_eq!(a.incremental_bytes, b.incremental_bytes);
+        // The mirror charged the same wire bytes the in-process worker did.
+        assert_eq!(ctx.take_charges().0, mirror.take_charges().0);
+    }
+
+    #[test]
+    fn wire_plan_at_resolves_history_for_fresh_and_warm_workers() {
+        let b = bcast(4);
+        b.push(vec![1.0; 4]); // v1
+        b.record_use(&[0, 1], 1);
+        b.push(vec![2.0; 4]); // v2
+        let h = b.handle();
+        let mut mirror = WorkerCtx::new(0);
+        let mut remote = WorkerCtx::new(0);
+        // Fresh worker: historical v1 ships as a snapshot...
+        let plan = h.wire_plan_at(&mut mirror, 1);
+        assert!(matches!(plan, WirePlan::Snapshot { version: 1, .. }));
+        assert_eq!(plan.apply(&mut remote, h.id())[0], 1.0);
+        // ...and planning it again is a cache hit.
+        let plan = h.wire_plan_at(&mut mirror, 1);
+        assert!(matches!(plan, WirePlan::Cached { version: 1, .. }));
+        assert_eq!(plan.apply(&mut remote, h.id())[0], 1.0);
+        assert_eq!(b.stats().fetches, 1);
     }
 
     #[test]

@@ -32,10 +32,11 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use async_cluster::{ClusterSpec, VDur, VTime, WorkerId};
 use sparklet::rdd::Data;
-use sparklet::{BcastCharge, Completion, Driver, Payload, Rdd, WorkerCtx};
+use sparklet::{BcastCharge, Completion, DecodeError, Driver, Payload, Rdd, WireTask, WorkerCtx};
 
 use crate::barrier::BarrierFilter;
 use crate::broadcast::AsyncBcast;
@@ -96,6 +97,27 @@ impl SubmitOpts<'_> {
             self.cost_scale
         }
     }
+}
+
+/// The wire form of a submission family, for networked engines: a routine
+/// id registered in the worker binary, a request builder that runs
+/// **driver-side** against the worker's cache mirror (resolving broadcast
+/// versions into [`crate::broadcast::WirePlan`]s and serializing the task's
+/// inputs), and a response decoder for the bytes the worker sends back.
+/// In-process engines ignore it and run the submission's closure as usual —
+/// one `async_reduce_wired` call site drives all three backends.
+#[derive(Clone)]
+pub struct RemoteRoutine {
+    /// Routine id resolved by the worker's `RoutineRegistry`.
+    pub routine: u32,
+    /// Builds the request bytes for one partition (`&mut WorkerCtx` is the
+    /// driver-side mirror of the target worker's cache).
+    #[allow(clippy::type_complexity)]
+    pub build: Arc<dyn Fn(&mut WorkerCtx, usize) -> Vec<u8> + Send + Sync>,
+    /// Decodes the worker's response bytes into the task output consumed
+    /// by [`AsyncContext::collect`].
+    #[allow(clippy::type_complexity)]
+    pub decode: Arc<dyn Fn(&[u8]) -> Result<Box<dyn Any + Send>, DecodeError> + Send + Sync>,
 }
 
 /// The ASYNC coordinator. See the module docs.
@@ -259,6 +281,29 @@ impl AsyncContext {
         R: Send + 'static,
         F: Fn(&mut WorkerCtx, Vec<T>, usize) -> R + Send + Sync + Clone + 'static,
     {
+        self.async_reduce_wired(rdd, filter, opts, f, None)
+    }
+
+    /// [`AsyncContext::async_reduce`] with an optional wire form: when
+    /// `remote` is `Some` and the driver's engine is networked, each
+    /// submission additionally carries a [`WireTask`] built from the
+    /// routine (request bytes assembled driver-side against the worker's
+    /// cache mirror) and `f` is used for in-process bookkeeping only.
+    /// In-process engines drop the wire form and run `f` — results,
+    /// staleness accounting, and byte charges are identical either way.
+    pub fn async_reduce_wired<T, R, F>(
+        &mut self,
+        rdd: &Rdd<T>,
+        filter: &BarrierFilter,
+        opts: SubmitOpts<'_>,
+        f: F,
+        remote: Option<&RemoteRoutine>,
+    ) -> Vec<WorkerId>
+    where
+        T: Data,
+        R: Send + 'static,
+        F: Fn(&mut WorkerCtx, Vec<T>, usize) -> R + Send + Sync + Clone + 'static,
+    {
         let nparts = rdd.num_partitions();
         if nparts == 0 {
             return Vec::new();
@@ -281,10 +326,19 @@ impl AsyncContext {
                 let data = ops.compute(part);
                 Box::new(f(ctx, data, part)) as Box<dyn Any + Send>
             });
+            let wire = remote.map(|r| {
+                let build = Arc::clone(&r.build);
+                let decode = Arc::clone(&r.decode);
+                WireTask {
+                    routine: r.routine,
+                    build: Box::new(move |mirror: &mut WorkerCtx| build(mirror, part)),
+                    decode: Box::new(move |bytes: &[u8]| decode(bytes)),
+                }
+            });
             let issued_at = self.driver.now();
             if self
                 .driver
-                .submit_raw(w, part as u64, cost, opts.extra_bytes, opts.uses, run)
+                .submit_raw_wired(w, part as u64, cost, opts.extra_bytes, opts.uses, run, wire)
                 .is_ok()
             {
                 self.stat

@@ -157,6 +157,39 @@ pub struct Block {
 }
 
 impl Block {
+    /// Assembles a block from its parts — the wire-transfer constructor:
+    /// networked workers receive a block's rows once per worker incarnation
+    /// and rebuild it locally with the same geometry
+    /// ([`Dataset::partition`] remains the in-process path).
+    ///
+    /// # Panics
+    /// Panics if `labels` is not parallel to `features`' rows or the block
+    /// extends past `total_rows`.
+    pub fn from_parts(
+        features: Matrix,
+        labels: Vec<f64>,
+        row_offset: usize,
+        total_rows: usize,
+        part_id: usize,
+    ) -> Self {
+        assert_eq!(
+            features.nrows(),
+            labels.len(),
+            "labels must be parallel to feature rows"
+        );
+        assert!(
+            row_offset + features.nrows() <= total_rows,
+            "block rows exceed the declared dataset size"
+        );
+        Self {
+            features: Arc::new(features),
+            labels: Arc::new(labels),
+            row_offset,
+            total_rows,
+            part_id,
+        }
+    }
+
     /// Feature rows local to this block.
     pub fn features(&self) -> &Matrix {
         &self.features
@@ -182,6 +215,12 @@ impl Block {
     pub fn global_row(&self, i: usize) -> u64 {
         debug_assert!(i < self.rows());
         (self.row_offset + i) as u64
+    }
+
+    /// Global row id of this block's first row (its offset into the parent
+    /// dataset).
+    pub fn row_offset(&self) -> usize {
+        self.row_offset
     }
 
     /// Total rows of the parent dataset (`n` in the algorithms).

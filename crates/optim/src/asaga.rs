@@ -39,16 +39,18 @@ use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunReport, SolverCfg};
 
-/// One task's SAGA contribution.
-struct DeltaMsg {
+/// One task's SAGA contribution. Crate-visible so the remote wire codec
+/// ([`crate::remote`]) can decode worker responses into the same message
+/// type the in-process closures return.
+pub(crate) struct DeltaMsg {
     /// `(1/b) Σⱼ (f'ⱼ(w_cur) − f'ⱼ(w_{φⱼ}))·xⱼ` over the batch, sparse
     /// over CSR partitions (the telescoping difference has the batch's
     /// support, so it ships and applies without densifying).
-    delta: GradDelta,
+    pub(crate) delta: GradDelta,
     /// Global row ids of the batch (for the server's table update).
-    indices: Vec<u64>,
+    pub(crate) indices: Vec<u64>,
     /// Stored feature entries the two gradient evaluations touched.
-    entries: u64,
+    pub(crate) entries: u64,
 }
 
 /// Asynchronous SAGA with server-side history.
@@ -168,7 +170,12 @@ impl Asaga {
             minibatch: minibatch_hint,
             ..SubmitOpts::default()
         };
-        let submitted = ctx.async_reduce(rdd, &cfg.barrier, opts, task);
+        // The wire form for the remote backend: sampling and version
+        // lookup run driver-side in `build` (the submission instant — the
+        // same moment the simulator runs the closure above), and the
+        // worker replays the arithmetic. In-process engines ignore it.
+        let routine = crate::remote::asaga_routine(rdd, bcast, obj, seed, version, fraction);
+        let submitted = ctx.async_reduce_wired(rdd, &cfg.barrier, opts, task, Some(&routine));
         // Pin the submission version once per in-flight task: `record_use`
         // at consumption must find it alive.
         for _ in &submitted {

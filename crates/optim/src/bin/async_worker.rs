@@ -1,0 +1,8 @@
+//! The conventional remote worker executable: serves this crate's solver
+//! routines (mini-batch gradient, ASAGA telescoping difference) over the
+//! sparklet wire protocol. The remote engine spawns one of these per
+//! worker with `--connect <addr> --worker <id> --epoch <e>`.
+
+fn main() -> std::io::Result<()> {
+    sparklet::remote::worker_main(async_optim::worker_registry())
+}

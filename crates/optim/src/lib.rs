@@ -48,6 +48,7 @@ pub mod asgd;
 pub mod checkpoint;
 pub mod msgd;
 pub mod objective;
+pub mod remote;
 pub mod scratch;
 pub mod solver;
 
@@ -57,5 +58,6 @@ pub use asgd::Asgd;
 pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};
 pub use msgd::AsyncMsgd;
 pub use objective::Objective;
+pub use remote::{worker_registry, ROUTINE_ASAGA, ROUTINE_GRAD};
 pub use scratch::{ScratchPool, TaskScratch};
-pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg};
+pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg, SolverCfgBuilder, SolverCfgError};

@@ -1,0 +1,773 @@
+//! Wire routines for running the solvers on the multi-process
+//! [`RemoteEngine`](sparklet::RemoteEngine).
+//!
+//! A remote worker cannot execute task closures, so each solver's gradient
+//! task has a *wire form*: a [`RemoteRoutine`] whose `build` runs
+//! driver-side at submission (against the worker's cache mirror — the same
+//! instant the simulator runs closures, so model-version resolution and
+//! byte accounting agree with the deterministic oracle) and whose routine
+//! handler recomputes the identical f64 arithmetic inside the worker
+//! process. Two routines cover all three solvers:
+//!
+//! * [`ROUTINE_GRAD`] — the mini-batch gradient wave shared by ASGD and
+//!   momentum SGD. The request ships only the objective, the sampling
+//!   seed/version, and a [`WirePlan`] for the current model; the worker
+//!   re-derives the batch from the pure sampling RNG.
+//! * [`ROUTINE_ASAGA`] — the SAGA telescoping-difference wave. Batch rows
+//!   and their per-sample historical versions **must** be resolved
+//!   driver-side (the server attaches version IDs at submission), so the
+//!   request carries the sampled rows, their versions, and one plan per
+//!   distinct version.
+//!
+//! Each partition's data block crosses the wire **once per worker
+//! incarnation**: the driver mirrors which blocks a worker holds under a
+//! reserved cache namespace ([`BLOCKS_NS`]) and attaches the block only to
+//! the first task that needs it; a revived worker gets a fresh mirror and
+//! is re-shipped automatically. Shipped blocks are deliberately *not*
+//! charged to the task's modelled bytes — the in-process engines
+//! materialize partitions without charging either, and the sim-vs-remote
+//! accounting contract is "identical bytes", not "more honest bytes".
+//!
+//! [`worker_registry`] assembles the handler table; the `async_worker`
+//! binary is `worker_main(worker_registry())`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use async_core::{AsyncBcast, RemoteRoutine, WirePlan};
+use async_data::{sampler, Block};
+use async_linalg::{CsrMatrix, DenseMatrix, GradDelta, Matrix, SparseVec};
+use bytes::{BufMut, BytesMut};
+use sparklet::{DecodeError, Payload, Rdd, RoutineRegistry, WorkerCtx};
+
+use crate::asaga::DeltaMsg;
+use crate::objective::Objective;
+use crate::solver::GradMsg;
+
+/// Routine id of the ASGD/MSGD mini-batch gradient task.
+pub const ROUTINE_GRAD: u32 = 1;
+
+/// Routine id of the ASAGA telescoping-difference task.
+pub const ROUTINE_ASAGA: u32 = 2;
+
+/// Reserved worker-cache namespace for shipped data blocks, keyed
+/// `(BLOCKS_NS, partition)`. History broadcasts allocate ids from 0
+/// upward, so the top of the id space cannot collide.
+pub const BLOCKS_NS: u64 = u64::MAX - 1;
+
+// ---------------------------------------------------------------------------
+// Positioned decoding
+// ---------------------------------------------------------------------------
+
+/// A positioned reader over untrusted request/response bytes: every
+/// primitive advances the offset and failures report it, so torn frames
+/// diagnose like any other [`DecodeError`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.at..).unwrap_or(&[])
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.rest().first().ok_or(DecodeError::Truncated {
+            at: self.at,
+            needed: 1,
+        })?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let rest = self.rest();
+        let b = rest.get(..4).ok_or_else(|| DecodeError::Truncated {
+            at: self.at + rest.len(),
+            needed: 4usize.saturating_sub(rest.len()),
+        })?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn payload<T: Payload>(&mut self) -> Result<T, DecodeError> {
+        let at = self.at;
+        let (v, n) = T::decode(self.rest()).map_err(|e| e.shifted(at))?;
+        self.at += n;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        self.payload::<u64>()
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        self.payload::<f64>()
+    }
+
+    /// Validates an untrusted element count against the bytes actually
+    /// remaining (each element consumes at least `min_bytes`), so a
+    /// hostile prefix can never size an allocation.
+    fn checked_count(&self, n: u64, min_bytes: usize) -> Result<usize, DecodeError> {
+        let n_us = n as usize;
+        if n_us
+            .checked_mul(min_bytes)
+            .is_none_or(|need| need > self.rest().len())
+        {
+            return Err(DecodeError::LengthOverflow {
+                at: self.at,
+                len: n,
+            });
+        }
+        Ok(n_us)
+    }
+}
+
+fn put_u32s(buf: &mut BytesMut, vals: &[u32]) {
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_u32_le(v);
+    }
+}
+
+fn get_u32s(r: &mut Reader) -> Result<Vec<u32>, DecodeError> {
+    let n64 = r.u64()?;
+    let n = r.checked_count(n64, 4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32()?);
+    }
+    Ok(out)
+}
+
+fn put_u64s(buf: &mut BytesMut, vals: &[u64]) {
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_u64s(r: &mut Reader) -> Result<Vec<u64>, DecodeError> {
+    let n64 = r.u64()?;
+    let n = r.checked_count(n64, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Objective / block / plan codecs
+// ---------------------------------------------------------------------------
+
+fn encode_objective(o: &Objective, buf: &mut BytesMut) {
+    match o {
+        Objective::LeastSquares { lambda } => {
+            buf.put_u8(0);
+            buf.put_f64_le(*lambda);
+        }
+        Objective::Logistic { lambda } => {
+            buf.put_u8(1);
+            buf.put_f64_le(*lambda);
+        }
+    }
+}
+
+fn decode_objective(r: &mut Reader) -> Result<Objective, DecodeError> {
+    let at = r.at;
+    let kind = r.u8()?;
+    let lambda = r.f64()?;
+    match kind {
+        0 => Ok(Objective::LeastSquares { lambda }),
+        1 => Ok(Objective::Logistic { lambda }),
+        tag => Err(DecodeError::BadTag { at, tag }),
+    }
+}
+
+/// Encodes a block for its once-per-incarnation shipment: geometry header,
+/// feature storage (dense flat or CSR row-wise), labels.
+fn encode_block(b: &Block, buf: &mut BytesMut) {
+    buf.put_u64_le(b.row_offset() as u64);
+    buf.put_u64_le(b.total_rows() as u64);
+    buf.put_u64_le(b.part_id() as u64);
+    match b.features() {
+        Matrix::Dense(d) => {
+            buf.put_u8(0);
+            buf.put_u64_le(d.nrows() as u64);
+            buf.put_u64_le(d.ncols() as u64);
+            d.as_flat().encode(buf);
+        }
+        Matrix::Sparse(csr) => {
+            buf.put_u8(1);
+            buf.put_u64_le(csr.nrows() as u64);
+            buf.put_u64_le(csr.ncols() as u64);
+            for i in 0..csr.nrows() {
+                // The `SparseVec` wire shape, written straight from the
+                // CSR row without materializing a vector.
+                let (idx, val) = csr.row(i);
+                buf.put_u64_le(idx.len() as u64);
+                buf.put_u64_le(csr.ncols() as u64);
+                for (&ix, &v) in idx.iter().zip(val) {
+                    buf.put_u32_le(ix);
+                    buf.put_f64_le(v);
+                }
+            }
+        }
+    }
+    b.labels().encode(buf);
+}
+
+fn decode_block(r: &mut Reader) -> Result<Block, DecodeError> {
+    let row_offset = r.u64()? as usize;
+    let total_rows = r.u64()? as usize;
+    let part_id = r.u64()? as usize;
+    let at_kind = r.at;
+    let kind = r.u8()?;
+    let nrows64 = r.u64()?;
+    let ncols = r.u64()? as usize;
+    let features = match kind {
+        0 => {
+            let at = r.at;
+            let flat: Vec<f64> = r.payload()?;
+            let expect = (nrows64 as usize)
+                .checked_mul(ncols)
+                .ok_or(DecodeError::LengthOverflow { at, len: nrows64 })?;
+            if flat.len() != expect {
+                return Err(DecodeError::Invalid {
+                    at,
+                    what: "dense block storage does not match its shape",
+                });
+            }
+            let d = DenseMatrix::from_flat(flat, nrows64 as usize, ncols).map_err(|_| {
+                DecodeError::Invalid {
+                    at,
+                    what: "dense block shape rejected",
+                }
+            })?;
+            Matrix::Dense(d)
+        }
+        1 => {
+            // Every encoded row carries at least its 16-byte header.
+            let nrows = r.checked_count(nrows64, 16)?;
+            let at = r.at;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                rows.push(r.payload::<SparseVec>()?);
+            }
+            let csr = CsrMatrix::from_rows(&rows, ncols).map_err(|_| DecodeError::Invalid {
+                at,
+                what: "sparse block rows rejected",
+            })?;
+            Matrix::Sparse(csr)
+        }
+        tag => return Err(DecodeError::BadTag { at: at_kind, tag }),
+    };
+    let at = r.at;
+    let labels: Vec<f64> = r.payload()?;
+    if labels.len() != features.nrows() || row_offset + features.nrows() > total_rows {
+        return Err(DecodeError::Invalid {
+            at,
+            what: "block labels or row range inconsistent with its features",
+        });
+    }
+    Ok(Block::from_parts(
+        features, labels, row_offset, total_rows, part_id,
+    ))
+}
+
+fn encode_plan(p: &WirePlan, buf: &mut BytesMut) {
+    match p {
+        WirePlan::Cached {
+            version,
+            evict_below,
+        } => {
+            buf.put_u8(0);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*evict_below);
+        }
+        WirePlan::Snapshot {
+            version,
+            values,
+            evict_below,
+        } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*evict_below);
+            values.encode(buf);
+        }
+        WirePlan::Patch {
+            base,
+            version,
+            indices,
+            values,
+            evict_below,
+        } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*base);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*evict_below);
+            buf.put_u64_le(indices.len() as u64);
+            for (&i, &v) in indices.iter().zip(values.iter()) {
+                buf.put_u32_le(i);
+                buf.put_f64_le(v);
+            }
+        }
+    }
+}
+
+fn decode_plan(r: &mut Reader) -> Result<WirePlan, DecodeError> {
+    let at = r.at;
+    let kind = r.u8()?;
+    match kind {
+        0 => Ok(WirePlan::Cached {
+            version: r.u64()?,
+            evict_below: r.u64()?,
+        }),
+        1 => {
+            let version = r.u64()?;
+            let evict_below = r.u64()?;
+            let values: Vec<f64> = r.payload()?;
+            Ok(WirePlan::Snapshot {
+                version,
+                values: Arc::new(values),
+                evict_below,
+            })
+        }
+        2 => {
+            let base = r.u64()?;
+            let version = r.u64()?;
+            let evict_below = r.u64()?;
+            let n64 = r.u64()?;
+            let n = r.checked_count(n64, 12)?;
+            let mut indices = Vec::with_capacity(n);
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                indices.push(r.u32()?);
+                values.push(r.f64()?);
+            }
+            Ok(WirePlan::Patch {
+                base,
+                version,
+                indices,
+                values,
+                evict_below,
+            })
+        }
+        tag => Err(DecodeError::BadTag { at, tag }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block shipping (driver mirror + worker cache)
+// ---------------------------------------------------------------------------
+
+/// Driver-side: decides whether `part`'s block must travel with this task
+/// (first task to `mirror`'s incarnation touching the partition) and
+/// records the shipment in the mirror. Never charges bytes — see the
+/// module docs.
+fn ship_block_if_new(mirror: &mut WorkerCtx, part: usize, block: &Block, buf: &mut BytesMut) {
+    let key = (BLOCKS_NS, part as u64);
+    if mirror.cache_get(key).is_some() {
+        buf.put_u8(0);
+    } else {
+        mirror.cache_put_local(key, Arc::new(()));
+        buf.put_u8(1);
+        encode_block(block, buf);
+    }
+}
+
+/// Worker-side: materializes `part`'s block from the request (caching it)
+/// or from the local cache of a previous task.
+fn resolve_block(
+    ctx: &mut WorkerCtx,
+    part: usize,
+    r: &mut Reader,
+) -> Result<Arc<Block>, DecodeError> {
+    let key = (BLOCKS_NS, part as u64);
+    let at = r.at;
+    if r.u8()? == 1 {
+        let block = Arc::new(decode_block(r)?);
+        ctx.cache_put_local(key, block.clone());
+        return Ok(block);
+    }
+    let cached = ctx.cache_get(key).ok_or(DecodeError::Invalid {
+        at,
+        what: "task expects its block cached, but this incarnation never received it",
+    })?;
+    cached
+        .downcast::<Block>()
+        .map_err(|_| DecodeError::Invalid {
+            at,
+            what: "block cache entry has the wrong type",
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Routine: mini-batch gradient (ASGD / MSGD)
+// ---------------------------------------------------------------------------
+
+/// The wire form of one `submit_grad_wave` submission. `build` resolves
+/// the model through [`async_core::HistoryHandle::wire_plan`] — the
+/// networked twin of the closure's `value_incremental` — and ships the
+/// pure sampling inputs;
+/// the worker re-derives the identical batch.
+pub(crate) fn grad_routine(
+    rdd: &Rdd<Block>,
+    bcast: &AsyncBcast<Vec<f64>>,
+    objective: Objective,
+    seed: u64,
+    version: u64,
+    fraction: f64,
+) -> RemoteRoutine {
+    let ops = rdd.ops();
+    let handle = bcast.handle();
+    let bcast_id = bcast.id();
+    RemoteRoutine {
+        routine: ROUTINE_GRAD,
+        build: Arc::new(move |mirror: &mut WorkerCtx, part: usize| {
+            let data = ops.compute(part);
+            let block = &data[0];
+            // Model first, exactly like the closure: the plan's charges
+            // are the bytes `value_incremental` would have charged.
+            let plan = handle.wire_plan(mirror);
+            let mut buf = BytesMut::new();
+            encode_objective(&objective, &mut buf);
+            buf.put_u64_le(seed);
+            buf.put_u64_le(version);
+            buf.put_u64_le(bcast_id);
+            buf.put_f64_le(fraction);
+            buf.put_u64_le(part as u64);
+            ship_block_if_new(mirror, part, block, &mut buf);
+            encode_plan(&plan, &mut buf);
+            buf.into_vec()
+        }),
+        decode: Arc::new(|bytes: &[u8]| {
+            let mut r = Reader::new(bytes);
+            let g: GradDelta = r.payload()?;
+            let entries = r.u64()?;
+            Ok(Box::new(GradMsg { g, entries }))
+        }),
+    }
+}
+
+fn grad_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut r = Reader::new(request);
+    let objective = decode_objective(&mut r)?;
+    let seed = r.u64()?;
+    let version = r.u64()?;
+    let bcast_id = r.u64()?;
+    let fraction = r.f64()?;
+    let part = r.u64()? as usize;
+    let block = resolve_block(ctx, part, &mut r)?;
+    let plan = decode_plan(&mut r)?;
+    let w = plan.apply(ctx, bcast_id);
+    // The same pure RNG the in-process closure derives: identical batch.
+    let mut rng = sampler::derive_rng(seed, version, part as u64);
+    let mut rows = Vec::new();
+    sampler::sample_fraction_into(&mut rng, block.rows(), fraction, &mut rows);
+    let g = objective.minibatch_grad_delta(&block, &rows, &w);
+    let entries = block.features().rows_nnz(&rows);
+    let mut buf = BytesMut::new();
+    g.encode(&mut buf);
+    buf.put_u64_le(entries);
+    Ok(buf.into_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Routine: ASAGA telescoping difference
+// ---------------------------------------------------------------------------
+
+/// The wire form of one ASAGA submission. Sampling and per-row version
+/// lookup happen **driver-side in `build`** — the version table must be
+/// read at the submission instant (the sim's semantics; the whole reason
+/// ASAGA is specified against `SimEngine`) — and the request ships the
+/// rows, their versions, and one [`WirePlan`] per distinct version in
+/// first-need order.
+pub(crate) fn asaga_routine(
+    rdd: &Rdd<Block>,
+    bcast: &AsyncBcast<Vec<f64>>,
+    objective: Objective,
+    seed: u64,
+    version: u64,
+    fraction: f64,
+) -> RemoteRoutine {
+    let ops = rdd.ops();
+    let handle = bcast.handle();
+    let server_table = bcast.clone();
+    let bcast_id = bcast.id();
+    RemoteRoutine {
+        routine: ROUTINE_ASAGA,
+        build: Arc::new(move |mirror: &mut WorkerCtx, part: usize| {
+            let data = ops.compute(part);
+            let block = &data[0];
+            // Same mirror sequence as the closure: current model, then one
+            // `value_at` per sampled row (repeat versions resolve from the
+            // mirror cache and ship nothing).
+            let w_plan = handle.wire_plan_at(mirror, handle.version());
+            let mut rng = sampler::derive_rng(seed, version, part as u64);
+            let mut rows = Vec::new();
+            sampler::sample_fraction_into(&mut rng, block.rows(), fraction, &mut rows);
+            let mut row_versions = Vec::with_capacity(rows.len());
+            let mut plans: Vec<WirePlan> = Vec::new();
+            let mut seen: Vec<u64> = Vec::new();
+            for &rr in &rows {
+                let j = block.global_row(rr as usize);
+                let vj = server_table.version_for_index(j);
+                let plan = handle.wire_plan_at(mirror, vj);
+                row_versions.push(vj);
+                if !seen.contains(&vj) {
+                    seen.push(vj);
+                    plans.push(plan);
+                }
+            }
+            let mut buf = BytesMut::new();
+            encode_objective(&objective, &mut buf);
+            buf.put_u64_le(bcast_id);
+            buf.put_u64_le(part as u64);
+            ship_block_if_new(mirror, part, block, &mut buf);
+            encode_plan(&w_plan, &mut buf);
+            put_u32s(&mut buf, &rows);
+            put_u64s(&mut buf, &row_versions);
+            buf.put_u64_le(plans.len() as u64);
+            for p in &plans {
+                encode_plan(p, &mut buf);
+            }
+            buf.into_vec()
+        }),
+        decode: Arc::new(|bytes: &[u8]| {
+            let mut r = Reader::new(bytes);
+            let delta: GradDelta = r.payload()?;
+            let indices = get_u64s(&mut r)?;
+            let entries = r.u64()?;
+            Ok(Box::new(DeltaMsg {
+                delta,
+                indices,
+                entries,
+            }))
+        }),
+    }
+}
+
+fn asaga_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut r = Reader::new(request);
+    let objective = decode_objective(&mut r)?;
+    let bcast_id = r.u64()?;
+    let part = r.u64()? as usize;
+    let block = resolve_block(ctx, part, &mut r)?;
+    let w_cur = decode_plan(&mut r)?.apply(ctx, bcast_id);
+    let rows = get_u32s(&mut r)?;
+    let row_versions = get_u64s(&mut r)?;
+    if row_versions.len() != rows.len() {
+        return Err(DecodeError::Invalid {
+            at: r.at,
+            what: "row versions not parallel to sampled rows",
+        });
+    }
+    let nplans64 = r.u64()?;
+    // A plan encoding is at least a tag byte and two u64s.
+    let nplans = r.checked_count(nplans64, 17)?;
+    let mut resolved: HashMap<u64, Arc<Vec<f64>>> = HashMap::with_capacity(nplans);
+    for _ in 0..nplans {
+        let plan = decode_plan(&mut r)?;
+        let v = plan.version();
+        resolved.insert(v, plan.apply(ctx, bcast_id));
+    }
+    // The closure's arithmetic, term for term.
+    let scale = 1.0 / rows.len().max(1) as f64;
+    let labels = block.labels();
+    let features = block.features();
+    let mut ids = Vec::with_capacity(rows.len());
+    let mut coefs = Vec::with_capacity(rows.len());
+    for (&rr, vj) in rows.iter().zip(&row_versions) {
+        let i = rr as usize;
+        if i >= block.rows() {
+            return Err(DecodeError::Invalid {
+                at: r.at,
+                what: "sampled row out of block range",
+            });
+        }
+        let j = block.global_row(i);
+        let w_old = resolved.get(vj).ok_or(DecodeError::Invalid {
+            at: r.at,
+            what: "row version has no shipped plan",
+        })?;
+        let d_new = objective.dloss(features.row_dot(i, &w_cur), labels[i]);
+        let d_old = objective.dloss(features.row_dot(i, w_old), labels[i]);
+        coefs.push(scale * (d_new - d_old));
+        ids.push(j);
+    }
+    let delta = match features {
+        Matrix::Sparse(csr) => GradDelta::Sparse(csr.gather_axpy(&rows, &coefs)),
+        Matrix::Dense(_) => {
+            let mut d = vec![0.0; block.cols()];
+            for (&rr, &a) in rows.iter().zip(coefs.iter()) {
+                features.row_axpy(rr as usize, a, &mut d);
+            }
+            GradDelta::Dense(d)
+        }
+    };
+    let entries = 2 * features.rows_nnz(&rows);
+    let mut buf = BytesMut::new();
+    delta.encode(&mut buf);
+    put_u64s(&mut buf, &ids);
+    buf.put_u64_le(entries);
+    Ok(buf.into_vec())
+}
+
+/// The routine table a worker process serves: everything this crate's
+/// solvers submit. The `async_worker` binary is
+/// `sparklet::remote::worker_main(worker_registry())`.
+pub fn worker_registry() -> RoutineRegistry {
+    let mut reg = RoutineRegistry::new();
+    reg.register(ROUTINE_GRAD, grad_handler);
+    reg.register(ROUTINE_ASAGA, asaga_handler);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_data::SynthSpec;
+
+    fn blocks(dense: bool) -> Vec<Block> {
+        let (d, _) = if dense {
+            SynthSpec::dense("wire-d", 24, 6, 5).generate().unwrap()
+        } else {
+            SynthSpec::sparse("wire-s", 24, 40, 4, 5)
+                .generate()
+                .unwrap()
+        };
+        d.partition(3)
+    }
+
+    fn roundtrip_block(b: &Block) -> Block {
+        let mut buf = BytesMut::new();
+        encode_block(b, &mut buf);
+        let bytes = buf.into_vec();
+        let mut r = Reader::new(&bytes);
+        let back = decode_block(&mut r).expect("decodes");
+        assert_eq!(r.at, bytes.len(), "block decode consumed everything");
+        back
+    }
+
+    #[test]
+    fn blocks_roundtrip_bit_exactly() {
+        for dense in [true, false] {
+            for b in blocks(dense) {
+                let back = roundtrip_block(&b);
+                assert_eq!(back.rows(), b.rows());
+                assert_eq!(back.cols(), b.cols());
+                assert_eq!(back.part_id(), b.part_id());
+                assert_eq!(back.total_rows(), b.total_rows());
+                assert_eq!(back.labels(), b.labels());
+                let w: Vec<f64> = (0..b.cols()).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+                for i in 0..b.rows() {
+                    assert_eq!(back.global_row(i), b.global_row(i));
+                    assert_eq!(
+                        back.features().row_dot(i, &w).to_bits(),
+                        b.features().row_dot(i, &w).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_blocks_report_positions() {
+        let b = &blocks(false)[0];
+        let mut buf = BytesMut::new();
+        encode_block(b, &mut buf);
+        let bytes = buf.into_vec();
+        for cut in [0, 5, 24, bytes.len() - 1] {
+            let mut r = Reader::new(&bytes[..cut]);
+            let err = decode_block(&mut r).expect_err("truncation must fail");
+            assert!(err.at() <= cut, "error at {} past cut {cut}", err.at());
+        }
+    }
+
+    #[test]
+    fn plans_roundtrip() {
+        let plans = vec![
+            WirePlan::Cached {
+                version: 7,
+                evict_below: 3,
+            },
+            WirePlan::Snapshot {
+                version: 9,
+                values: Arc::new(vec![1.0, -2.5, 3.25]),
+                evict_below: 9,
+            },
+            WirePlan::Patch {
+                base: 4,
+                version: 6,
+                indices: vec![0, 3, 17],
+                values: vec![0.5, -0.25, 8.0],
+                evict_below: 4,
+            },
+        ];
+        for p in &plans {
+            let mut buf = BytesMut::new();
+            encode_plan(p, &mut buf);
+            let bytes = buf.into_vec();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(&decode_plan(&mut r).expect("decodes"), p);
+            assert_eq!(r.at, bytes.len());
+        }
+    }
+
+    #[test]
+    fn hostile_counts_cannot_size_allocations() {
+        // A u32 list claiming u64::MAX entries with 4 bytes of body.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        buf.put_u32_le(1);
+        let bytes = buf.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            get_u32s(&mut r),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn objective_codec_is_lossless() {
+        for o in [
+            Objective::LeastSquares { lambda: 1e-3 },
+            Objective::Logistic { lambda: 0.0 },
+        ] {
+            let mut buf = BytesMut::new();
+            encode_objective(&o, &mut buf);
+            let bytes = buf.into_vec();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_objective(&mut r).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn block_ships_once_per_incarnation() {
+        let b = &blocks(true)[0];
+        let mut mirror = WorkerCtx::new(0);
+        let mut first = BytesMut::new();
+        ship_block_if_new(&mut mirror, 0, b, &mut first);
+        let mut second = BytesMut::new();
+        ship_block_if_new(&mut mirror, 0, b, &mut second);
+        assert!(first.len() > 1, "first task carries the block");
+        assert_eq!(second.into_vec(), vec![0], "second task ships nothing");
+        // The worker side accepts both forms against its own cache.
+        let mut ctx = WorkerCtx::new(0);
+        let first = first.into_vec();
+        let got = resolve_block(&mut ctx, 0, &mut Reader::new(&first)).unwrap();
+        assert_eq!(got.rows(), b.rows());
+        let cached = resolve_block(&mut ctx, 0, &mut Reader::new(&[0])).unwrap();
+        assert_eq!(cached.rows(), b.rows());
+        // A fresh incarnation without the shipment is a protocol error.
+        let mut fresh = WorkerCtx::new(1);
+        assert!(resolve_block(&mut fresh, 0, &mut Reader::new(&[0])).is_err());
+    }
+}

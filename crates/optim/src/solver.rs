@@ -125,6 +125,152 @@ impl Default for SolverCfg {
     }
 }
 
+/// Why a [`SolverCfgBuilder`] refused to produce a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverCfgError {
+    /// `batch_fraction` outside `(0, 1]` — a task would sample nothing or
+    /// more than its partition.
+    BatchFraction(f64),
+    /// `absorb_batch == 0` — the server wave could never make progress
+    /// (runtime clamps exist for struct-literal configs, but the builder
+    /// refuses the contradiction outright).
+    ZeroAbsorbBatch,
+    /// `server_threads == 0` — the sharded absorber needs at least one
+    /// shard.
+    ZeroServerThreads,
+}
+
+impl std::fmt::Display for SolverCfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverCfgError::BatchFraction(b) => {
+                write!(f, "batch_fraction must lie in (0, 1], got {b}")
+            }
+            SolverCfgError::ZeroAbsorbBatch => write!(f, "absorb_batch must be at least 1"),
+            SolverCfgError::ZeroServerThreads => write!(f, "server_threads must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for SolverCfgError {}
+
+/// Validating construction for [`SolverCfg`] — the preferred path over
+/// struct-literal construction (which stays supported for existing call
+/// sites and tests, but checks nothing until the contradictions surface
+/// mid-run).
+///
+/// ```
+/// use async_optim::{Objective, SolverCfg};
+///
+/// let cfg = SolverCfg::builder()
+///     .step(0.02)
+///     .batch_fraction(0.25)
+///     .max_updates(500)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.max_updates, 500);
+/// assert!(SolverCfg::builder().batch_fraction(0.0).build().is_err());
+///
+/// // The incremental ring only pays off for sparse change supports:
+/// // a ridge term makes every update dense, which `lint` flags.
+/// let ringed = SolverCfg::builder().bcast_ring(8).build().unwrap();
+/// let warnings = ringed.lint(&Objective::LeastSquares { lambda: 1e-3 });
+/// assert_eq!(warnings.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverCfgBuilder {
+    cfg: SolverCfg,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl SolverCfgBuilder {
+    builder_setters! {
+        /// Step size γ ([`SolverCfg::step`]).
+        step: f64,
+        /// Staleness-damped steps ([`SolverCfg::staleness_damping`]).
+        staleness_damping: bool,
+        /// Mini-batch fraction in `(0, 1]` ([`SolverCfg::batch_fraction`]).
+        batch_fraction: f64,
+        /// Barrier strategy ([`SolverCfg::barrier`]).
+        barrier: BarrierFilter,
+        /// Update budget ([`SolverCfg::max_updates`]).
+        max_updates: u64,
+        /// Trace cadence ([`SolverCfg::eval_every`]).
+        eval_every: u64,
+        /// Baseline objective ([`SolverCfg::baseline`]).
+        baseline: f64,
+        /// Partition count ([`SolverCfg::partitions`]).
+        partitions: usize,
+        /// Sampling seed ([`SolverCfg::seed`]).
+        seed: u64,
+        /// Driver-side evaluation parallelism ([`SolverCfg::eval_threads`]).
+        eval_threads: ParallelismCfg,
+        /// Checkpoint cadence ([`SolverCfg::checkpoint_every`]).
+        checkpoint_every: u64,
+        /// Incremental-broadcast ring capacity ([`SolverCfg::bcast_ring`]).
+        bcast_ring: usize,
+        /// Server absorption shards ([`SolverCfg::server_threads`]).
+        server_threads: usize,
+        /// Deltas folded per server wave ([`SolverCfg::absorb_batch`]).
+        absorb_batch: usize,
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<SolverCfg, SolverCfgError> {
+        let cfg = self.cfg;
+        if !(cfg.batch_fraction > 0.0 && cfg.batch_fraction <= 1.0) {
+            return Err(SolverCfgError::BatchFraction(cfg.batch_fraction));
+        }
+        if cfg.absorb_batch == 0 {
+            return Err(SolverCfgError::ZeroAbsorbBatch);
+        }
+        if cfg.server_threads == 0 {
+            return Err(SolverCfgError::ZeroServerThreads);
+        }
+        Ok(cfg)
+    }
+}
+
+impl SolverCfg {
+    /// A [`SolverCfgBuilder`] seeded with the defaults.
+    pub fn builder() -> SolverCfgBuilder {
+        SolverCfgBuilder {
+            cfg: SolverCfg::default(),
+        }
+    }
+
+    /// Configuration smells that are legal but probably not what the
+    /// caller wants, given the objective the run will optimize. Currently
+    /// one: a positive [`SolverCfg::bcast_ring`] with a ridge term
+    /// (λ > 0), where every model update has a **dense** change support,
+    /// so incremental resolution falls back to full snapshots and the
+    /// ring buys nothing.
+    pub fn lint(&self, objective: &Objective) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if self.bcast_ring > 0 && objective.lambda() > 0.0 {
+            warnings.push(format!(
+                "bcast_ring = {} with λ = {}: ridge updates have dense change \
+                 supports, so every incremental resolution falls back to a full \
+                 snapshot — the ring adds bookkeeping without saving bytes",
+                self.bcast_ring,
+                objective.lambda()
+            ));
+        }
+        warnings
+    }
+}
+
 /// Everything one solver run produces.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -223,7 +369,12 @@ pub(crate) fn submit_grad_wave(
         minibatch: minibatch_hint,
         ..SubmitOpts::default()
     };
-    let submitted = ctx.async_reduce(rdd, &cfg.barrier, opts, task);
+    // The wire form for the remote backend: the request ships the model's
+    // wire plan plus the pure sampling inputs, and the worker re-derives
+    // the identical batch (`derive_rng` is a pure function of seed,
+    // version, and partition). In-process engines ignore it.
+    let routine = crate::remote::grad_routine(rdd, bcast, objective, seed, version, fraction);
+    let submitted = ctx.async_reduce_wired(rdd, &cfg.barrier, opts, task, Some(&routine));
     // Pin the submission version per in-flight task so a queued task on
     // the threaded backend can never see its model version pruned.
     for _ in &submitted {
@@ -347,6 +498,63 @@ mod tests {
     use super::*;
     use async_cluster::{ClusterSpec, CommModel, DelayModel};
     use async_data::SynthSpec;
+
+    #[test]
+    fn builder_matches_defaults_and_applies_setters() {
+        let built = SolverCfg::builder().build().unwrap();
+        let defaults = SolverCfg::default();
+        assert_eq!(built.step, defaults.step);
+        assert_eq!(built.batch_fraction, defaults.batch_fraction);
+        assert_eq!(built.max_updates, defaults.max_updates);
+        assert_eq!(built.seed, defaults.seed);
+        assert_eq!(built.server_threads, defaults.server_threads);
+        assert_eq!(built.absorb_batch, defaults.absorb_batch);
+        let cfg = SolverCfg::builder()
+            .step(0.02)
+            .batch_fraction(0.5)
+            .max_updates(77)
+            .bcast_ring(4)
+            .absorb_batch(3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.step, 0.02);
+        assert_eq!(cfg.batch_fraction, 0.5);
+        assert_eq!(cfg.max_updates, 77);
+        assert_eq!(cfg.bcast_ring, 4);
+        assert_eq!(cfg.absorb_batch, 3);
+    }
+
+    #[test]
+    fn builder_rejects_contradictions() {
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(matches!(
+                SolverCfg::builder().batch_fraction(bad).build(),
+                Err(SolverCfgError::BatchFraction(_))
+            ));
+        }
+        assert!(matches!(
+            SolverCfg::builder().absorb_batch(0).build(),
+            Err(SolverCfgError::ZeroAbsorbBatch)
+        ));
+        assert!(matches!(
+            SolverCfg::builder().server_threads(0).build(),
+            Err(SolverCfgError::ZeroServerThreads)
+        ));
+    }
+
+    #[test]
+    fn lint_flags_ring_with_dense_ridge_support() {
+        let ringed = SolverCfg::builder().bcast_ring(8).build().unwrap();
+        assert_eq!(
+            ringed.lint(&Objective::LeastSquares { lambda: 1e-3 }).len(),
+            1
+        );
+        assert!(ringed.lint(&Objective::Logistic { lambda: 0.0 }).is_empty());
+        let no_ring = SolverCfg::builder().build().unwrap();
+        assert!(no_ring
+            .lint(&Objective::LeastSquares { lambda: 1e-3 })
+            .is_empty());
+    }
 
     #[test]
     fn block_rdd_defaults_to_one_partition_per_worker() {

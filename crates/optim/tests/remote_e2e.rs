@@ -1,0 +1,152 @@
+//! Cross-process acceptance for the remote engine: every solver runs
+//! against real worker OS processes over loopback TCP and must land where
+//! the deterministic simulator lands. This mirrors the sim-vs-threaded
+//! agreement suite — the simulator stays the byte-gated oracle, and the
+//! remote backend has to reproduce its convergence behaviour through the
+//! wire protocol (shipped blocks, `WirePlan` model resolution, worker-side
+//! minibatch recompute).
+
+use std::sync::Arc;
+
+use async_cluster::{ChaosSchedule, ClusterSpec, CommModel, DelayModel, VDur, VTime};
+use async_core::{AsyncContext, BarrierFilter};
+use async_data::{Dataset, SynthSpec};
+use async_linalg::ParallelismCfg;
+use async_optim::{Asaga, Asgd, AsyncMsgd, AsyncSolver, Objective, SolverCfg};
+use sparklet::{Driver, EngineBuilder};
+
+const WORKERS: usize = 4;
+
+fn quiet_spec() -> ClusterSpec {
+    ClusterSpec::homogeneous(WORKERS, DelayModel::None)
+        .with_comm(CommModel::free())
+        .with_sched_overhead(VDur::ZERO)
+}
+
+fn dataset() -> Dataset {
+    SynthSpec::dense("remote-e2e", 160, 10, 3)
+        .generate()
+        .unwrap()
+        .0
+}
+
+fn cfg(max_updates: u64, seed: u64) -> SolverCfg {
+    SolverCfg::builder()
+        .step(0.04)
+        .batch_fraction(0.25)
+        .barrier(BarrierFilter::Asp)
+        .max_updates(max_updates)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// A remote context over real worker processes: the `async_worker` binary
+/// built from this crate, one process per worker, loopback TCP.
+fn remote_ctx(time_scale: f64, chaos: Option<ChaosSchedule>) -> AsyncContext {
+    let mut b = EngineBuilder::remote()
+        .spec(quiet_spec())
+        .time_scale(time_scale)
+        .worker_bin(env!("CARGO_BIN_EXE_async_worker"));
+    if let Some(s) = chaos {
+        b = b.chaos(s);
+    }
+    let engine = b.build().expect("spawn workers over loopback TCP");
+    AsyncContext::new(Driver::from_engine(engine))
+}
+
+#[test]
+fn sim_and_remote_agree_on_final_loss_for_every_solver() {
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective.optimum(ParallelismCfg::sequential(), &d).unwrap();
+    let f0 = objective.full_objective(ParallelismCfg::sequential(), &d, &vec![0.0; d.cols()]);
+    let gap0 = f0 - baseline;
+    type SolverFactory = Box<dyn Fn() -> Box<dyn AsyncSolver>>;
+    let solvers: Vec<(&str, SolverFactory)> = vec![
+        ("asgd", Box::new(move || Box::new(Asgd::new(objective)))),
+        ("asaga", Box::new(move || Box::new(Asaga::new(objective)))),
+        (
+            "async-msgd",
+            Box::new(move || Box::new(AsyncMsgd::new(objective).with_momentum(0.5))),
+        ),
+    ];
+    let budget = 150;
+    for (name, make) in &solvers {
+        let mut sim_ctx = AsyncContext::sim(quiet_spec());
+        let sim = make().run(&mut sim_ctx, &d, &cfg(budget, 11));
+        let mut rem_ctx = remote_ctx(0.0, None);
+        let rem = make().run(&mut rem_ctx, &d, &cfg(budget, 11));
+        assert_eq!(sim.updates, budget, "{name}: sim must spend the budget");
+        assert_eq!(rem.updates, budget, "{name}: remote must spend the budget");
+        let sim_gap = sim.final_objective - baseline;
+        let rem_gap = rem.final_objective - baseline;
+        // Both engines close the optimality gap, and they agree on where
+        // the run lands (stochastic completion orders differ, so exact
+        // bit-equality is a sim-only property — agreement is the contract).
+        assert!(sim_gap < 0.15 * gap0, "{name}: sim gap {sim_gap} / {gap0}");
+        assert!(
+            rem_gap < 0.15 * gap0,
+            "{name}: remote gap {rem_gap} / {gap0}"
+        );
+        assert!(
+            (sim_gap - rem_gap).abs() <= 0.10 * gap0,
+            "{name}: sim gap {sim_gap} and remote gap {rem_gap} disagree (gap0 {gap0})"
+        );
+    }
+}
+
+#[test]
+fn remote_chaos_kills_real_processes_and_recovers() {
+    // The elastic scenario on real processes: the kill actually terminates
+    // worker 1's OS process mid-run (its in-flight task surfaces as a lost
+    // completion), the revival spawns a fresh process with a bumped epoch,
+    // and the join adds a brand-new worker process.
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective.optimum(ParallelismCfg::sequential(), &d).unwrap();
+    let f0 = objective.full_objective(ParallelismCfg::sequential(), &d, &vec![0.0; d.cols()]);
+    let chaos = ChaosSchedule::new()
+        .kill(VTime::from_micros(200), 1)
+        .revive(VTime::from_micros(600), 1)
+        .join(VTime::from_micros(900));
+    let mut ctx = remote_ctx(1.0, Some(chaos));
+    let r = Asgd::new(objective).run(&mut ctx, &d, &cfg(200, 17));
+    assert_eq!(r.updates, 200, "run survives the kill/revive/join schedule");
+    let gap = r.final_objective - baseline;
+    assert!(
+        gap < 0.2 * (f0 - baseline),
+        "chaos run should still converge: gap {gap}"
+    );
+    // The join took effect: a fifth worker process is part of the cluster.
+    // next() does not block on future chaos, so wait past the horizon and
+    // poll once in case the run drained before the join's instant.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _ = ctx.collect_all::<()>();
+    assert_eq!(ctx.workers(), WORKERS + 1);
+}
+
+#[test]
+fn loopback_workers_run_the_full_solver_stack_without_processes() {
+    // The loopback transport (worker event loops on in-process threads,
+    // same wire protocol) exercises every codec without process spawns —
+    // the configuration CI uses where spawning children is restricted.
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 1e-3 };
+    let baseline = objective.optimum(ParallelismCfg::sequential(), &d).unwrap();
+    let f0 = objective.full_objective(ParallelismCfg::sequential(), &d, &vec![0.0; d.cols()]);
+    let engine = EngineBuilder::remote()
+        .spec(quiet_spec())
+        .time_scale(0.0)
+        .loopback_workers(Arc::new(async_optim::worker_registry))
+        .build()
+        .expect("loopback workers need no binary");
+    let mut ctx = AsyncContext::new(Driver::from_engine(engine));
+    let r = Asaga::new(objective).run(&mut ctx, &d, &cfg(150, 7));
+    assert_eq!(r.updates, 150);
+    let gap = r.final_objective - baseline;
+    assert!(
+        gap < 0.15 * (f0 - baseline),
+        "loopback ASAGA should converge: gap {gap}"
+    );
+}

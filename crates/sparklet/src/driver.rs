@@ -12,11 +12,10 @@ use std::sync::Arc;
 use async_cluster::{ChaosAction, ChaosSchedule, ClusterSpec, VTime, WaitTimeRecorder, WorkerId};
 
 use crate::broadcast::{BcastCharge, Broadcast, BroadcastRegistry};
-use crate::engine::{Completion, Engine, EngineError, Task, TaskFn};
+use crate::builder::EngineBuilder;
+use crate::engine::{Completion, Engine, EngineError, Task, TaskFn, WireTask};
 use crate::payload::Payload;
 use crate::rdd::{Data, Rdd};
-use crate::sim::SimEngine;
-use crate::threaded::ThreadedEngine;
 use crate::worker::WorkerCtx;
 
 /// Summary of one executed stage.
@@ -48,13 +47,24 @@ pub struct Driver {
 impl Driver {
     /// A driver over the deterministic simulated engine.
     pub fn sim(spec: ClusterSpec) -> Self {
-        Self::from_engine(Box::new(SimEngine::new(spec)))
+        Self::from_engine(
+            EngineBuilder::sim()
+                .spec(spec)
+                .build()
+                .expect("sim construction is infallible"),
+        )
     }
 
     /// A driver over the real-thread engine (see
-    /// [`ThreadedEngine::new`] for `time_scale`).
+    /// [`crate::threaded::ThreadedEngine::new`] for `time_scale`).
     pub fn threaded(spec: ClusterSpec, time_scale: f64) -> Self {
-        Self::from_engine(Box::new(ThreadedEngine::new(spec, time_scale)))
+        Self::from_engine(
+            EngineBuilder::threaded()
+                .spec(spec)
+                .time_scale(time_scale)
+                .build()
+                .expect("threaded construction is infallible"),
+        )
     }
 
     /// A driver over any engine implementation.
@@ -253,18 +263,38 @@ impl Driver {
         uses: &[BcastCharge],
         run: TaskFn,
     ) -> Result<(), EngineError> {
+        self.submit_raw_wired(w, tag, cost, extra_bytes, uses, run, None)
+    }
+
+    /// [`Driver::submit_raw`] with an optional wire form of the task. When
+    /// `wire` is `Some` and the engine is networked (the remote backend),
+    /// the wire form crosses the socket and `run` is used for its
+    /// driver-side bookkeeping only; in-process engines drop the wire form
+    /// and execute `run` as usual. See [`WireTask`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_raw_wired(
+        &mut self,
+        w: WorkerId,
+        tag: u64,
+        cost: f64,
+        extra_bytes: u64,
+        uses: &[BcastCharge],
+        run: TaskFn,
+        wire: Option<WireTask>,
+    ) -> Result<(), EngineError> {
         let bytes = self.registry.charge_for(w, uses) + extra_bytes;
         self.wait.task_received(w, self.engine.now());
         self.total_tasks += 1;
-        self.engine.submit(
-            w,
-            Task {
-                tag,
-                cost,
-                bytes_in: bytes,
-                run,
-            },
-        )
+        let task = Task {
+            tag,
+            cost,
+            bytes_in: bytes,
+            run,
+        };
+        match wire {
+            Some(wire) => self.engine.submit_wired(w, task, wire),
+            None => self.engine.submit(w, task),
+        }
     }
 
     /// Blocks for the next completion (advancing virtual time), recording

@@ -17,6 +17,7 @@ use std::any::Any;
 
 use async_cluster::{VDur, VTime, WorkerId};
 
+use crate::payload::DecodeError;
 use crate::worker::WorkerCtx;
 
 /// Type-erased task result.
@@ -98,6 +99,14 @@ pub enum EngineError {
     /// Every worker in the cluster has failed; no task can be placed and
     /// no partition has an owner until a revival or join.
     NoAliveWorkers,
+    /// A transport-level I/O failure (remote backend): the operation could
+    /// not reach the worker process. Carries the OS error kind so faults
+    /// are diagnosable, not panics.
+    Io(std::io::ErrorKind),
+    /// The worker's connection dropped mid-operation. The worker is marked
+    /// dead and its in-flight task (if any) surfaces as
+    /// [`Completion::Lost`] through the completion stream.
+    Disconnected(WorkerId),
 }
 
 impl std::fmt::Display for EngineError {
@@ -107,11 +116,35 @@ impl std::fmt::Display for EngineError {
             EngineError::WorkerDead(w) => write!(f, "worker {w} is dead"),
             EngineError::WorkerAlive(w) => write!(f, "worker {w} is already alive"),
             EngineError::NoAliveWorkers => write!(f, "no alive workers in the cluster"),
+            EngineError::Io(kind) => write!(f, "transport i/o failure: {kind}"),
+            EngineError::Disconnected(w) => write!(f, "worker {w} disconnected"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// The wire form of a task, for engines whose workers live in other OS
+/// processes and therefore cannot run [`Task::run`] (a closure does not
+/// cross a socket).
+///
+/// `build` runs **driver-side** at submission against the engine's mirror
+/// of the worker's cache state, exactly when the simulator would run the
+/// task closure — so version resolution and byte accounting happen at the
+/// same instant in both backends. `decode` turns the worker's response
+/// bytes back into the typed [`TaskOutput`] the driver expects.
+pub struct WireTask {
+    /// Routine id the worker process dispatches on.
+    pub routine: u32,
+    /// Builds the request bytes against the worker's mirrored cache state,
+    /// charging fetched bytes to the mirror (drained by the engine into
+    /// the task's `bytes_in`).
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn FnOnce(&mut WorkerCtx) -> Vec<u8> + Send>,
+    /// Decodes the worker's response bytes into the task output.
+    #[allow(clippy::type_complexity)]
+    pub decode: Box<dyn Fn(&[u8]) -> Result<TaskOutput, DecodeError> + Send>,
+}
 
 /// A cluster of workers executing tasks. One task per worker at a time
 /// (one executor slot, as in the paper's per-worker executors).
@@ -131,6 +164,15 @@ pub trait Engine: Send {
 
     /// Submits a task to worker `w`.
     fn submit(&mut self, w: WorkerId, task: Task) -> Result<(), EngineError>;
+
+    /// Submits a task together with its wire form. In-process engines run
+    /// the closure and ignore the wire form (the default); engines with
+    /// out-of-process workers override this to ship `wire` instead of
+    /// executing `task.run`.
+    fn submit_wired(&mut self, w: WorkerId, task: Task, wire: WireTask) -> Result<(), EngineError> {
+        drop(wire);
+        self.submit(w, task)
+    }
 
     /// Waits for the next completion, advancing the clock. Returns `None`
     /// when nothing is in flight.

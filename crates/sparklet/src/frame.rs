@@ -1,0 +1,373 @@
+//! Length-prefixed message frames for the remote engine.
+//!
+//! Every message on a driver↔worker connection is one frame:
+//!
+//! ```text
+//! ┌────────────┬───────┬──────────────────────────┐
+//! │ u32 LE len │ u8 tag│ payload (len − 1 bytes)  │
+//! └────────────┴───────┴──────────────────────────┘
+//! ```
+//!
+//! The length covers the tag byte plus the payload, so a reader needs
+//! exactly two reads per frame: 4 bytes of length, then `len` bytes of
+//! body. Payload fields are little-endian, matching [`crate::payload`] —
+//! a `GradDelta` or model patch encoded by the [`Payload`] trait travels
+//! inside a frame byte-for-byte as the in-process engines account it.
+//!
+//! Decoding is fully fallible: torn frames report *where* they tore
+//! ([`DecodeError::Truncated`]), unknown tags report the offending byte
+//! ([`DecodeError::BadTag`]), and a hostile length prefix is rejected
+//! before any allocation it would size ([`DecodeError::LengthOverflow`]).
+//!
+//! [`Payload`]: crate::payload::Payload
+
+use std::io::{Read, Write};
+
+use bytes::{BufMut, BytesMut};
+
+use crate::payload::DecodeError;
+
+/// Upper bound on one frame's body (tag + payload). Generous for model
+/// snapshots, small enough that a corrupt length prefix cannot drive a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// One driver↔worker message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → driver, once per connection: "incarnation `epoch` of
+    /// worker `worker` is up and ready for submissions".
+    WorkerUp {
+        /// The worker announcing itself.
+        worker: u32,
+        /// The incarnation the driver assigned when spawning the process;
+        /// echoed back so the driver can drop greetings from stale
+        /// processes that outlived their kill.
+        epoch: u64,
+    },
+    /// Driver → worker: run routine `routine` on `request`, then sleep the
+    /// modelled straggler delay before responding.
+    Submit {
+        /// Caller-chosen task tag, echoed in the completion.
+        tag: u64,
+        /// Worker incarnation this submission targets.
+        epoch: u64,
+        /// Routine id the worker dispatches on.
+        routine: u32,
+        /// Modelled execution + communication time in microseconds
+        /// (already scaled by the engine's time scale and the worker's
+        /// straggler factor); the worker sleeps this after computing.
+        sleep_us: u64,
+        /// Extra sleep as a multiple of *measured* compute time —
+        /// `(straggler factor − 1)`, zero for non-delayed workers — so
+        /// injected slowdowns also scale real work, exactly like the
+        /// threaded backend.
+        slow_factor: f64,
+        /// Routine-specific request bytes.
+        request: Vec<u8>,
+    },
+    /// Worker → driver: the result of `Submit` with the same `tag`.
+    Completion {
+        /// Tag of the completed task.
+        tag: u64,
+        /// Incarnation that executed it (stale epochs are dropped).
+        epoch: u64,
+        /// Routine-specific response bytes.
+        response: Vec<u8>,
+    },
+    /// Driver → worker: exit cleanly.
+    Shutdown,
+}
+
+const TAG_WORKER_UP: u8 = 0;
+const TAG_SUBMIT: u8 = 1;
+const TAG_COMPLETION: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+fn need(bytes: &[u8], at: usize, n: usize) -> Result<(), DecodeError> {
+    let have = bytes.len().saturating_sub(at);
+    if have < n {
+        Err(DecodeError::Truncated {
+            at: bytes.len(),
+            needed: n - have,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> Result<u32, DecodeError> {
+    need(bytes, at, 4)?;
+    Ok(u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4")))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> Result<u64, DecodeError> {
+    need(bytes, at, 8)?;
+    Ok(u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8")))
+}
+
+/// Appends the frame encoding of `msg` to `buf`.
+pub fn encode_frame(msg: &Msg, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.put_u32_le(0); // length back-patched below
+    match msg {
+        Msg::WorkerUp { worker, epoch } => {
+            buf.put_u8(TAG_WORKER_UP);
+            buf.put_u32_le(*worker);
+            buf.put_u64_le(*epoch);
+        }
+        Msg::Submit {
+            tag,
+            epoch,
+            routine,
+            sleep_us,
+            slow_factor,
+            request,
+        } => {
+            buf.put_u8(TAG_SUBMIT);
+            buf.put_u64_le(*tag);
+            buf.put_u64_le(*epoch);
+            buf.put_u32_le(*routine);
+            buf.put_u64_le(*sleep_us);
+            buf.put_f64_le(*slow_factor);
+            buf.put_slice(request);
+        }
+        Msg::Completion {
+            tag,
+            epoch,
+            response,
+        } => {
+            buf.put_u8(TAG_COMPLETION);
+            buf.put_u64_le(*tag);
+            buf.put_u64_le(*epoch);
+            buf.put_slice(response);
+        }
+        Msg::Shutdown => {
+            buf.put_u8(TAG_SHUTDOWN);
+        }
+    }
+    let body = (buf.len() - start - 4) as u32;
+    buf[start..start + 4].copy_from_slice(&body.to_le_bytes());
+}
+
+/// Decodes one frame from the front of `bytes`, returning the message and
+/// the total bytes consumed (length prefix included).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Msg, usize), DecodeError> {
+    let len = u32_at(bytes, 0)?;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(DecodeError::LengthOverflow {
+            at: 0,
+            len: len as u64,
+        });
+    }
+    let total = 4 + len as usize;
+    need(bytes, 4, len as usize)?;
+    let body = &bytes[4..total];
+    let msg = decode_body(body).map_err(|e| e.shifted(4))?;
+    Ok((msg, total))
+}
+
+/// Decodes a frame body (tag + payload, length prefix already stripped).
+fn decode_body(body: &[u8]) -> Result<Msg, DecodeError> {
+    let tag = body[0];
+    match tag {
+        TAG_WORKER_UP => {
+            let worker = u32_at(body, 1)?;
+            let epoch = u64_at(body, 5)?;
+            Ok(Msg::WorkerUp { worker, epoch })
+        }
+        TAG_SUBMIT => {
+            let tag = u64_at(body, 1)?;
+            let epoch = u64_at(body, 9)?;
+            let routine = u32_at(body, 17)?;
+            let sleep_us = u64_at(body, 21)?;
+            let slow_factor = f64::from_bits(u64_at(body, 29)?);
+            let request = body[37..].to_vec();
+            Ok(Msg::Submit {
+                tag,
+                epoch,
+                routine,
+                sleep_us,
+                slow_factor,
+                request,
+            })
+        }
+        TAG_COMPLETION => {
+            let tag = u64_at(body, 1)?;
+            let epoch = u64_at(body, 9)?;
+            let response = body[17..].to_vec();
+            Ok(Msg::Completion {
+                tag,
+                epoch,
+                response,
+            })
+        }
+        TAG_SHUTDOWN => Ok(Msg::Shutdown),
+        tag => Err(DecodeError::BadTag { at: 0, tag }),
+    }
+}
+
+/// Writes one frame to `w` (two syscall-level writes at most; the frame is
+/// assembled in one buffer first).
+pub fn write_frame(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one complete frame from `r`. A malformed frame surfaces as
+/// [`std::io::ErrorKind::InvalidData`] wrapping the positioned
+/// [`DecodeError`]; a cleanly closed connection as `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Msg> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            DecodeError::LengthOverflow {
+                at: 0,
+                len: len as u64,
+            },
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_body(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.shifted(4)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Msg) {
+        let mut buf = BytesMut::new();
+        encode_frame(msg, &mut buf);
+        let (back, used) = decode_frame(buf.as_slice()).expect("decodes");
+        assert_eq!(&back, msg);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        roundtrip(&Msg::WorkerUp {
+            worker: 3,
+            epoch: 17,
+        });
+        roundtrip(&Msg::Submit {
+            tag: 9,
+            epoch: 2,
+            routine: 1,
+            sleep_us: 1500,
+            slow_factor: 2.5,
+            request: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(&Msg::Completion {
+            tag: 9,
+            epoch: 2,
+            response: vec![],
+        });
+        roundtrip(&Msg::Shutdown);
+    }
+
+    #[test]
+    fn frames_are_self_delimiting_back_to_back() {
+        let msgs = [
+            Msg::Shutdown,
+            Msg::WorkerUp {
+                worker: 0,
+                epoch: 0,
+            },
+            Msg::Completion {
+                tag: 1,
+                epoch: 1,
+                response: vec![0xFF; 32],
+            },
+        ];
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode_frame(m, &mut buf);
+        }
+        let mut at = 0;
+        for m in &msgs {
+            let (back, used) = decode_frame(&buf.as_slice()[at..]).expect("decodes");
+            assert_eq!(&back, m);
+            at += used;
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn torn_and_malformed_frames_report_positions() {
+        let mut buf = BytesMut::new();
+        encode_frame(
+            &Msg::Submit {
+                tag: 1,
+                epoch: 1,
+                routine: 0,
+                sleep_us: 0,
+                slow_factor: 0.0,
+                request: vec![7; 16],
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf.as_slice()[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { at, .. } if at <= cut),
+                "cut {cut}: {err}"
+            );
+        }
+        // Unknown tag: positioned at the tag byte (offset 4, past the
+        // length prefix).
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(1);
+        bad.put_u8(0xEE);
+        assert_eq!(
+            decode_frame(bad.as_slice()),
+            Err(DecodeError::BadTag { at: 4, tag: 0xEE })
+        );
+        // Hostile length prefix: rejected before allocation.
+        let mut huge = BytesMut::new();
+        huge.put_u32_le(u32::MAX);
+        huge.put_u8(TAG_SHUTDOWN);
+        assert!(matches!(
+            decode_frame(huge.as_slice()),
+            Err(DecodeError::LengthOverflow { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let msgs = vec![
+            Msg::WorkerUp {
+                worker: 1,
+                epoch: 4,
+            },
+            Msg::Submit {
+                tag: 42,
+                epoch: 4,
+                routine: 7,
+                sleep_us: 10,
+                slow_factor: 1.0,
+                request: vec![9; 100],
+            },
+            Msg::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).expect("write");
+        }
+        let mut r = wire.as_slice();
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut r).expect("read"), m);
+        }
+        // Stream exhausted: clean EOF.
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+}

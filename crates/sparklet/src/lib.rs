@@ -9,12 +9,15 @@
 //!   `sample` transformations over immutable partitioned collections; any
 //!   partition can be recomputed from its lineage on any worker, which is
 //!   what makes fault tolerance work.
-//! * **Execution engines** ([`engine`], [`sim`], [`threaded`]): a cluster of
-//!   workers that run opaque tasks. The *simulated* engine executes task
-//!   closures eagerly and schedules their completions on a deterministic
-//!   virtual clock (discrete-event style) so experiments are exactly
-//!   reproducible; the *threaded* engine runs one OS thread per worker with
-//!   real queues and real sleeps for injected straggler delays.
+//! * **Execution engines** ([`engine`], [`sim`], [`threaded`], [`remote`]):
+//!   a cluster of workers that run opaque tasks. The *simulated* engine
+//!   executes task closures eagerly and schedules their completions on a
+//!   deterministic virtual clock (discrete-event style) so experiments are
+//!   exactly reproducible; the *threaded* engine runs one OS thread per
+//!   worker with real queues and real sleeps for injected straggler
+//!   delays; the *remote* engine runs one OS *process* per worker over
+//!   TCP with length-prefixed [`frame`]s. [`builder::EngineBuilder`]
+//!   constructs any of them behind one API.
 //! * **Broadcast variables** ([`broadcast`]): Spark-style immutable
 //!   broadcasts, shipped to each worker at most once, with byte accounting —
 //!   the measurement that motivates the paper's `ASYNCbroadcaster`.
@@ -28,19 +31,24 @@
 //! [`driver::Driver`]'s low-level submission API.
 
 pub mod broadcast;
+pub mod builder;
 pub mod driver;
 pub mod engine;
+pub mod frame;
 pub mod payload;
 pub mod rdd;
+pub mod remote;
 pub mod sim;
 pub mod threaded;
 pub mod worker;
 
 pub use broadcast::{BcastCharge, Broadcast};
+pub use builder::{EngineBuilder, EngineKind};
 pub use driver::{Driver, StageStats};
-pub use engine::{Completion, Engine, EngineError, Task, TaskDone};
-pub use payload::Payload;
+pub use engine::{Completion, Engine, EngineError, Task, TaskDone, WireTask};
+pub use payload::{DecodeError, Payload};
 pub use rdd::Rdd;
+pub use remote::{RemoteConfig, RemoteEngine, RoutineRegistry};
 pub use worker::WorkerCtx;
 
 /// Identifies one worker, dense from 0 (re-exported from async-cluster).

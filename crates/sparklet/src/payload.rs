@@ -3,8 +3,10 @@
 //! The simulated engine charges communication time per byte, so every
 //! broadcastable value reports its encoded size. [`Payload::encode`] writes
 //! the actual little-endian wire format and [`Payload::decode`] reads it
-//! back; the engines only need [`Payload::encoded_len`], but tests
-//! roundtrip every impl to verify the declared sizes match reality.
+//! back; the engines only need [`Payload::encoded_len`], but the remote
+//! backend ships these encodings over real sockets, so decoding is fallible
+//! with *positioned* errors ([`DecodeError`]) — a torn frame reports where
+//! it tore, not just that it tore.
 //!
 //! Dense `f64` slabs are encoded with **one** byte-slice extend (on
 //! little-endian targets the in-memory representation *is* the wire
@@ -15,6 +17,104 @@ use std::sync::Arc;
 
 use async_linalg::{GradDelta, SparseVec};
 use bytes::{BufMut, BytesMut};
+
+/// Why a wire decode failed, with the byte offset where it did.
+///
+/// Every variant carries `at`, the offset (from the start of the buffer
+/// handed to the outermost [`Payload::decode`] call) at which the decoder
+/// gave up. Nested decoders re-base child errors so positions stay
+/// end-to-end meaningful — the error from a `Vec<(u64, GradDelta)>` table
+/// points into the table's bytes, not into one entry's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a fixed-size field or counted body: `needed`
+    /// more bytes were required at offset `at`.
+    Truncated {
+        /// Offset at which the input ran out.
+        at: usize,
+        /// Bytes still required at that offset.
+        needed: usize,
+    },
+    /// A discriminant byte named no known variant.
+    BadTag {
+        /// Offset of the offending tag byte.
+        at: usize,
+        /// The unrecognized tag value.
+        tag: u8,
+    },
+    /// A length prefix that cannot be honest: it overflows size arithmetic
+    /// or exceeds any plausible buffer. Checked *before* any allocation it
+    /// would size, so a hostile prefix cannot drive memory growth.
+    LengthOverflow {
+        /// Offset of the offending length prefix.
+        at: usize,
+        /// The claimed length.
+        len: u64,
+    },
+    /// Structurally well-formed bytes that violate a value invariant (e.g.
+    /// unsorted sparse indices).
+    Invalid {
+        /// Offset of the value whose invariant failed.
+        at: usize,
+        /// Which invariant failed.
+        what: &'static str,
+    },
+}
+
+impl DecodeError {
+    /// The offset where decoding failed.
+    pub fn at(&self) -> usize {
+        match *self {
+            DecodeError::Truncated { at, .. }
+            | DecodeError::BadTag { at, .. }
+            | DecodeError::LengthOverflow { at, .. }
+            | DecodeError::Invalid { at, .. } => at,
+        }
+    }
+
+    /// The same error re-based `base` bytes later — how composite decoders
+    /// keep child error positions meaningful in the parent's frame.
+    #[must_use]
+    pub fn shifted(self, base: usize) -> Self {
+        match self {
+            DecodeError::Truncated { at, needed } => DecodeError::Truncated {
+                at: at + base,
+                needed,
+            },
+            DecodeError::BadTag { at, tag } => DecodeError::BadTag { at: at + base, tag },
+            DecodeError::LengthOverflow { at, len } => {
+                DecodeError::LengthOverflow { at: at + base, len }
+            }
+            DecodeError::Invalid { at, what } => DecodeError::Invalid {
+                at: at + base,
+                what,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { at, needed } => {
+                write!(
+                    f,
+                    "truncated input at byte {at}: {needed} more bytes needed"
+                )
+            }
+            DecodeError::BadTag { at, tag } => write!(f, "bad tag {tag:#04x} at byte {at}"),
+            DecodeError::LengthOverflow { at, len } => {
+                write!(f, "implausible length {len} at byte {at}")
+            }
+            DecodeError::Invalid { at, what } => write!(f, "invalid value at byte {at}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode result: the value plus the bytes consumed.
+pub type DecodeResult<T> = Result<(T, usize), DecodeError>;
 
 /// Appends `xs` as little-endian `f64`s in one slice extend.
 fn put_f64s_le(buf: &mut BytesMut, xs: &[f64]) {
@@ -32,24 +132,35 @@ fn put_f64s_le(buf: &mut BytesMut, xs: &[f64]) {
     }
 }
 
-/// Reads `n` little-endian `f64`s from the front of `bytes`. The count is
-/// untrusted wire data: the length check uses checked arithmetic so a
-/// hostile prefix can neither wrap the bound nor drive an allocation.
-fn get_f64s_le(bytes: &[u8], n: usize) -> Option<Vec<f64>> {
-    let need = n.checked_mul(8)?;
-    if bytes.len() < need {
-        return None;
+/// Reads `n` little-endian `f64`s starting at offset `at` of `bytes`. The
+/// count is untrusted wire data: the length check uses checked arithmetic
+/// so a hostile prefix can neither wrap the bound nor drive an allocation.
+fn get_f64s_le(bytes: &[u8], at: usize, n: usize) -> Result<Vec<f64>, DecodeError> {
+    let need = n
+        .checked_mul(8)
+        .ok_or(DecodeError::LengthOverflow { at, len: n as u64 })?;
+    let body = bytes.get(at..).unwrap_or(&[]);
+    if body.len() < need {
+        return Err(DecodeError::Truncated {
+            at: at + body.len(),
+            needed: need - body.len(),
+        });
     }
-    Some(
-        bytes[..need]
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
-            .collect(),
-    )
+    Ok(body[..need]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect())
 }
 
-fn get_u64_le(bytes: &[u8]) -> Option<u64> {
-    Some(u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+fn get_u64_le(bytes: &[u8], at: usize) -> Result<u64, DecodeError> {
+    let body = bytes.get(at..).unwrap_or(&[]);
+    match body.get(..8) {
+        Some(b) => Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice"))),
+        None => Err(DecodeError::Truncated {
+            at: at + body.len(),
+            needed: 8 - body.len(),
+        }),
+    }
 }
 
 /// A value that can be broadcast: knows its wire size and representation.
@@ -61,15 +172,18 @@ pub trait Payload {
     fn encode(&self, buf: &mut BytesMut);
 
     /// Decodes one value from the front of `bytes`, returning it and the
-    /// number of bytes consumed. Returns `None` on truncated or malformed
-    /// input. The default implementation refuses (for payloads that are
+    /// number of bytes consumed. Errors carry the offset where decoding
+    /// failed. The default implementation refuses (for payloads that are
     /// size-accounted but never rematerialized driver-side).
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)>
+    fn decode(bytes: &[u8]) -> DecodeResult<Self>
     where
         Self: Sized,
     {
         let _ = bytes;
-        None
+        Err(DecodeError::Invalid {
+            at: 0,
+            what: "payload type does not support decoding",
+        })
     }
 }
 
@@ -80,8 +194,14 @@ impl Payload for f64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_f64_le(*self);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        Some((f64::from_le_bytes(bytes.get(..8)?.try_into().ok()?), 8))
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        match bytes.get(..8) {
+            Some(b) => Ok((f64::from_le_bytes(b.try_into().expect("8-byte slice")), 8)),
+            None => Err(DecodeError::Truncated {
+                at: bytes.len(),
+                needed: 8 - bytes.len(),
+            }),
+        }
     }
 }
 
@@ -92,8 +212,8 @@ impl Payload for u64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(*self);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        Some((get_u64_le(bytes)?, 8))
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        Ok((get_u64_le(bytes, 0)?, 8))
     }
 }
 
@@ -106,10 +226,10 @@ impl Payload for Vec<f64> {
         buf.put_u64_le(self.len() as u64);
         put_f64s_le(buf, self);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        let n = get_u64_le(bytes)? as usize;
-        let vals = get_f64s_le(&bytes[8..], n)?;
-        Some((vals, 8 + 8 * n))
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let n = get_u64_le(bytes, 0)? as usize;
+        let vals = get_f64s_le(bytes, 8, n)?;
+        Ok((vals, 8 + 8 * n))
     }
 }
 
@@ -136,9 +256,9 @@ impl<T: Payload> Payload for Arc<T> {
     fn encode(&self, buf: &mut BytesMut) {
         (**self).encode(buf);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
         let (v, n) = T::decode(bytes)?;
-        Some((Arc::new(v), n))
+        Ok((Arc::new(v), n))
     }
 }
 
@@ -151,9 +271,9 @@ impl Payload for Arc<[f64]> {
     fn encode(&self, buf: &mut BytesMut) {
         (**self).encode(buf);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
         let (v, n) = Vec::<f64>::decode(bytes)?;
-        Some((v.into(), n))
+        Ok((v.into(), n))
     }
 }
 
@@ -171,23 +291,31 @@ impl Payload for SparseVec {
             buf.put_f64_le(*v);
         }
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        let nnz = get_u64_le(bytes)? as usize;
-        let dim = get_u64_le(&bytes[8..])? as usize;
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let nnz64 = get_u64_le(bytes, 0)?;
+        let nnz = nnz64 as usize;
+        let dim = get_u64_le(bytes, 8)? as usize;
         // Validate the untrusted count against the available bytes (with
         // checked arithmetic) before any allocation sized by it.
-        let body = nnz.checked_mul(12)?;
-        let total = body.checked_add(16)?;
-        let mut rest = bytes.get(16..total)?;
+        let overflow = DecodeError::LengthOverflow { at: 0, len: nnz64 };
+        let body = nnz.checked_mul(12).ok_or(overflow)?;
+        let total = body.checked_add(16).ok_or(overflow)?;
+        let mut rest = bytes.get(16..total).ok_or_else(|| DecodeError::Truncated {
+            at: bytes.len(),
+            needed: total.saturating_sub(bytes.len()),
+        })?;
         let mut indices = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
         for _ in 0..nnz {
-            indices.push(u32::from_le_bytes(rest.get(..4)?.try_into().ok()?));
-            values.push(f64::from_le_bytes(rest.get(4..12)?.try_into().ok()?));
+            indices.push(u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")));
+            values.push(f64::from_le_bytes(rest[4..12].try_into().expect("8 bytes")));
             rest = &rest[12..];
         }
-        let sv = SparseVec::new(indices, values, dim).ok()?;
-        Some((sv, total))
+        let sv = SparseVec::new(indices, values, dim).map_err(|_| DecodeError::Invalid {
+            at: 16,
+            what: "sparse indices not strictly increasing or out of dimension",
+        })?;
+        Ok((sv, total))
     }
 }
 
@@ -214,17 +342,20 @@ impl Payload for GradDelta {
             }
         }
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        match *bytes.first()? {
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let tag = *bytes
+            .first()
+            .ok_or(DecodeError::Truncated { at: 0, needed: 1 })?;
+        match tag {
             0 => {
-                let (v, n) = Vec::<f64>::decode(&bytes[1..])?;
-                Some((GradDelta::Dense(v), 1 + n))
+                let (v, n) = Vec::<f64>::decode(&bytes[1..]).map_err(|e| e.shifted(1))?;
+                Ok((GradDelta::Dense(v), 1 + n))
             }
             1 => {
-                let (s, n) = SparseVec::decode(&bytes[1..])?;
-                Some((GradDelta::Sparse(s), 1 + n))
+                let (s, n) = SparseVec::decode(&bytes[1..]).map_err(|e| e.shifted(1))?;
+                Ok((GradDelta::Sparse(s), 1 + n))
             }
-            _ => None,
+            tag => Err(DecodeError::BadTag { at: 0, tag }),
         }
     }
 }
@@ -237,10 +368,10 @@ impl<A: Payload, B: Payload> Payload for (A, B) {
         self.0.encode(buf);
         self.1.encode(buf);
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
         let (a, na) = A::decode(bytes)?;
-        let (b, nb) = B::decode(&bytes[na..])?;
-        Some(((a, b), na + nb))
+        let (b, nb) = B::decode(&bytes[na..]).map_err(|e| e.shifted(na))?;
+        Ok(((a, b), na + nb))
     }
 }
 
@@ -258,20 +389,25 @@ impl<T: Payload> Payload for Vec<(u64, T)> {
             v.encode(buf);
         }
     }
-    fn decode(bytes: &[u8]) -> Option<(Self, usize)> {
-        let n = get_u64_le(bytes)? as usize;
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let n64 = get_u64_le(bytes, 0)?;
+        let n = n64 as usize;
         // Every entry needs at least its 8-byte key, so the remaining
         // input bounds the plausible count — a corrupt prefix must not
         // size an allocation.
+        if n > bytes.len() {
+            return Err(DecodeError::LengthOverflow { at: 0, len: n64 });
+        }
         let mut out = Vec::with_capacity(n.min(bytes.len() / 8));
         let mut at = 8usize;
         for _ in 0..n {
-            let k = get_u64_le(bytes.get(at..)?)?;
-            let (v, nv) = T::decode(bytes.get(at + 8..)?)?;
+            let k = get_u64_le(bytes, at)?;
+            let body = bytes.get(at + 8..).unwrap_or(&[]);
+            let (v, nv) = T::decode(body).map_err(|e| e.shifted(at + 8))?;
             out.push((k, v));
             at += 8 + nv;
         }
-        Some((out, at))
+        Ok((out, at))
     }
 }
 
@@ -369,9 +505,18 @@ mod tests {
         let v: Vec<f64> = vec![1.0, 2.0, 3.0];
         let mut buf = BytesMut::new();
         v.encode(&mut buf);
-        assert!(Vec::<f64>::decode(&buf.as_slice()[..buf.len() - 1]).is_none());
-        assert!(f64::decode(&[0u8; 4]).is_none());
-        assert!(GradDelta::decode(&[9u8, 0, 0]).is_none());
+        assert!(matches!(
+            Vec::<f64>::decode(&buf.as_slice()[..buf.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert_eq!(
+            f64::decode(&[0u8; 4]),
+            Err(DecodeError::Truncated { at: 4, needed: 4 })
+        );
+        assert_eq!(
+            GradDelta::decode(&[9u8, 0, 0]),
+            Err(DecodeError::BadTag { at: 0, tag: 9 })
+        );
         // SparseVec decode re-validates invariants: unsorted indices fail.
         let mut bad = BytesMut::new();
         bad.put_u64_le(2);
@@ -380,7 +525,35 @@ mod tests {
         bad.put_f64_le(1.0);
         bad.put_u32_le(3);
         bad.put_f64_le(1.0);
-        assert!(SparseVec::decode(bad.as_slice()).is_none());
+        assert!(matches!(
+            SparseVec::decode(bad.as_slice()),
+            Err(DecodeError::Invalid { at: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_errors_carry_positions() {
+        // A truncated second tuple element reports a position past the
+        // first element's bytes, not a zero offset.
+        let p = (2.0f64, vec![1.0f64, 2.0, 3.0]);
+        let mut buf = BytesMut::new();
+        p.encode(&mut buf);
+        let cut = buf.len() - 3;
+        let err = <(f64, Vec<f64>)>::decode(&buf.as_slice()[..cut]).unwrap_err();
+        assert!(
+            err.at() >= 8,
+            "position {} not re-based past element 0",
+            err.at()
+        );
+        // A bad GradDelta arm inside a keyed table is positioned inside
+        // the table, past the length prefix and first key.
+        let table: Vec<(u64, GradDelta)> = vec![(7, GradDelta::Dense(vec![1.0]))];
+        let mut buf = BytesMut::new();
+        table.encode(&mut buf);
+        let mut bytes = buf.to_vec();
+        bytes[16] = 9; // corrupt entry 0's GradDelta tag byte
+        let err = Vec::<(u64, GradDelta)>::decode(&bytes).unwrap_err();
+        assert_eq!(err, DecodeError::BadTag { at: 16, tag: 9 });
     }
 
     #[test]
@@ -392,18 +565,21 @@ mod tests {
             let mut buf = BytesMut::new();
             buf.put_u64_le(n);
             buf.put_f64_le(1.0);
-            assert!(Vec::<f64>::decode(buf.as_slice()).is_none(), "n={n}");
+            assert!(Vec::<f64>::decode(buf.as_slice()).is_err(), "n={n}");
             let mut table = BytesMut::new();
             table.put_u64_le(n);
             table.put_u64_le(7);
             assert!(
-                Vec::<(u64, f64)>::decode(table.as_slice()).is_none(),
+                matches!(
+                    Vec::<(u64, f64)>::decode(table.as_slice()),
+                    Err(DecodeError::LengthOverflow { at: 0, .. })
+                ),
                 "n={n}"
             );
             let mut sv = BytesMut::new();
             sv.put_u64_le(n);
             sv.put_u64_le(10);
-            assert!(SparseVec::decode(sv.as_slice()).is_none(), "n={n}");
+            assert!(SparseVec::decode(sv.as_slice()).is_err(), "n={n}");
         }
     }
 }

@@ -1,0 +1,1139 @@
+//! Remote engine: workers as separate OS processes over TCP.
+//!
+//! The third [`Engine`] backend. Where the simulator models a cluster and
+//! the threaded engine runs one in-process thread per worker, this engine
+//! makes "cloud engine" literal: each worker is its own process, connected
+//! to the driver over a length-prefixed TCP framing ([`crate::frame`]), and
+//! every task, gradient delta, and broadcast patch actually crosses a
+//! socket in the same [`Payload`] encodings the in-process engines merely
+//! account.
+//!
+//! ## Shipping tasks without shipping closures
+//!
+//! A [`Task`]'s closure cannot cross a process boundary, so the remote
+//! engine is driven through [`Engine::submit_wired`]: alongside the (never
+//! executed) closure it receives a [`WireTask`] — a routine id the worker
+//! dispatches on, a `build` function producing the request bytes, and a
+//! `decode` function for the response. `build` runs **driver-side at
+//! submission** against a per-worker *mirror* [`WorkerCtx`] tracking
+//! exactly which broadcast versions that worker incarnation holds; this is
+//! the same instant the simulator runs task closures, so version
+//! resolution, history reads, and byte accounting agree with the
+//! deterministic oracle. The mirror's fetch charges (model snapshots,
+//! patches, shipped partitions) fold into the task's `bytes_in` just as a
+//! worker-side cache miss would on the simulator.
+//!
+//! ## Failures are real
+//!
+//! The epoch-guard + chaos machinery maps onto real connection drops:
+//!
+//! * [`Engine::kill_worker`] kills the worker *process* (socket shutdown +
+//!   SIGKILL) and surfaces the in-flight task as [`Completion::Lost`];
+//! * a spontaneously dropped socket is detected by the per-connection
+//!   reader thread and handled identically — lost task, dead worker;
+//! * [`Engine::revive_worker`] / [`Engine::add_worker`] spawn a fresh
+//!   process at a bumped epoch; any result a dying incarnation managed to
+//!   flush is dropped by the same epoch check the threaded engine uses;
+//! * a [`ChaosSchedule`](async_cluster::ChaosSchedule) installed through
+//!   the driver therefore drives actual process kills and respawns.
+//!
+//! Straggler delays are computed driver-side from the cluster spec
+//! (modelled cost + communication time, scaled by `time_scale` and the
+//! worker's delay factor) and shipped in the submission; the worker sleeps
+//! them after computing, plus the factor-stretch of its measured compute
+//! time — the threaded engine's formula, across a socket.
+//!
+//! [`Payload`]: crate::payload::Payload
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use async_cluster::straggler::DelayAssignment;
+use async_cluster::{ClusterSpec, CommModel, VTime, WorkerId, WorkerProfile};
+
+use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskOutput, WireTask};
+use crate::frame::{read_frame, write_frame, Msg};
+use crate::payload::DecodeError;
+use crate::worker::WorkerCtx;
+
+/// How long to wait for a freshly spawned worker process to connect and
+/// greet before declaring the spawn failed.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a [`RemoteEngine`] starts worker incarnations.
+pub enum WorkerLauncher {
+    /// Spawn `program args.. --connect <addr> --worker <id> --epoch <e>`
+    /// as a child process. The program is expected to call
+    /// [`worker_main`] (or [`run_worker`]) with its routine registry.
+    Process {
+        /// Worker executable.
+        program: PathBuf,
+        /// Extra arguments placed before the `--connect ..` triple.
+        args: Vec<String>,
+    },
+    /// Run [`run_worker`] on an in-process thread — still a real TCP
+    /// connection through the loopback interface, just without the
+    /// process-management half. Used by tests that exercise the wire
+    /// protocol, epoch guard, and disconnect handling in isolation.
+    Loopback(Arc<dyn Fn() -> RoutineRegistry + Send + Sync>),
+}
+
+/// Configuration for [`RemoteEngine::new`].
+pub struct RemoteConfig {
+    /// Address the driver listens on; workers connect back to it.
+    /// `127.0.0.1:0` (any free loopback port) by default.
+    pub addr: String,
+    /// How worker processes are started.
+    pub launcher: WorkerLauncher,
+}
+
+impl RemoteConfig {
+    /// Process-launching config using `program` as the worker binary.
+    pub fn process(program: PathBuf) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            launcher: WorkerLauncher::Process {
+                program,
+                args: Vec::new(),
+            },
+        }
+    }
+
+    /// Loopback-thread config (tests); `registry` builds each worker
+    /// incarnation's routine table.
+    pub fn loopback(registry: Arc<dyn Fn() -> RoutineRegistry + Send + Sync>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            launcher: WorkerLauncher::Loopback(registry),
+        }
+    }
+}
+
+/// Locates the conventional worker binary (`async_worker`): the
+/// `ASYNC_WORKER_BIN` environment variable if set, otherwise a file named
+/// `async_worker` next to (or in an ancestor target directory of) the
+/// current executable — which finds `target/<profile>/async_worker` from
+/// test binaries, benches, and examples alike.
+pub fn default_worker_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("ASYNC_WORKER_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    for dir in exe.ancestors().skip(1) {
+        let candidate = dir.join("async_worker");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// One worker incarnation's driver-side connection state.
+struct WorkerConn {
+    /// Write half (a dup of the reader thread's stream).
+    stream: TcpStream,
+    /// The child process, when launched as one.
+    child: Option<Child>,
+}
+
+/// What the per-connection reader threads report.
+enum WireEvent {
+    /// A completion frame arrived.
+    Done {
+        worker: WorkerId,
+        epoch: u64,
+        tag: u64,
+        response: Vec<u8>,
+    },
+    /// The connection dropped (EOF, reset, or a malformed frame).
+    Gone { worker: WorkerId, epoch: u64 },
+}
+
+/// Response decoding + accounting for one in-flight wired task.
+struct Inflight {
+    #[allow(clippy::type_complexity)]
+    decode: Box<dyn Fn(&[u8]) -> Result<TaskOutput, DecodeError> + Send>,
+    bytes_in: u64,
+}
+
+/// A membership change scheduled against elapsed engine time.
+enum PendingChaos {
+    Fail(WorkerId),
+    Revive(WorkerId),
+    Join,
+}
+
+/// The remote multi-process engine. See the module docs.
+pub struct RemoteEngine {
+    spec: ClusterSpec,
+    assignment: Arc<DelayAssignment>,
+    comm: CommModel,
+    time_scale: f64,
+    start: Instant,
+    listener: TcpListener,
+    local_addr: String,
+    launcher: WorkerLauncher,
+    conns: Vec<Option<WorkerConn>>,
+    readers: Vec<Option<std::thread::JoinHandle<()>>>,
+    results_tx: Sender<WireEvent>,
+    results_rx: Receiver<WireEvent>,
+    /// Driver-side mirror of each worker incarnation's cache: which
+    /// `(broadcast, version)` keys (and shipped partitions) it holds.
+    /// Reset to empty on revive/join, exactly like the real cache.
+    mirrors: Vec<WorkerCtx>,
+    busy: Vec<bool>,
+    dead: Vec<bool>,
+    /// Worker incarnation counters; bumped on kill so orphaned completions
+    /// and a revived executor can never be confused.
+    epoch: Vec<u64>,
+    inflight_tag: Vec<Option<u64>>,
+    inflight: Vec<Option<Inflight>>,
+    issued_at: Vec<VTime>,
+    task_seq: Vec<u64>,
+    pending: usize,
+    queued: VecDeque<Completion>,
+    chaos: VecDeque<(VTime, PendingChaos)>,
+}
+
+impl RemoteEngine {
+    /// Binds the driver listener and spawns one worker process (or
+    /// loopback thread) per cluster worker, waiting for each to connect
+    /// and greet.
+    ///
+    /// # Panics
+    /// Panics if the spec fails validation or `time_scale` is negative.
+    /// Transport failures (bind, spawn, handshake) return
+    /// [`EngineError::Io`].
+    pub fn new(spec: ClusterSpec, time_scale: f64, cfg: RemoteConfig) -> Result<Self, EngineError> {
+        spec.validate().expect("invalid cluster spec");
+        assert!(time_scale >= 0.0, "time_scale must be nonnegative");
+        let n = spec.workers;
+        let assignment = Arc::new(spec.delay.assign(n));
+        let comm = spec.comm.clone();
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| EngineError::Io(e.kind()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| EngineError::Io(e.kind()))?
+            .to_string();
+        let (res_tx, res_rx) = unbounded::<WireEvent>();
+        let mut engine = Self {
+            spec,
+            assignment,
+            comm,
+            time_scale,
+            start: Instant::now(),
+            listener,
+            local_addr,
+            launcher: cfg.launcher,
+            conns: Vec::with_capacity(n),
+            readers: Vec::with_capacity(n),
+            results_tx: res_tx,
+            results_rx: res_rx,
+            mirrors: (0..n).map(WorkerCtx::new).collect(),
+            busy: vec![false; n],
+            dead: vec![false; n],
+            epoch: vec![0; n],
+            inflight_tag: vec![None; n],
+            inflight: Vec::new(),
+            issued_at: vec![VTime::ZERO; n],
+            task_seq: vec![0; n],
+            pending: 0,
+            queued: VecDeque::new(),
+            chaos: VecDeque::new(),
+        };
+        engine.inflight = (0..n).map(|_| None).collect();
+        for w in 0..n {
+            engine.conns.push(None);
+            engine.readers.push(None);
+            engine
+                .spawn_worker(w)
+                .map_err(|e| EngineError::Io(e.kind()))?;
+        }
+        Ok(engine)
+    }
+
+    /// The address workers connect back to (useful when binding port 0).
+    pub fn addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Launches incarnation `self.epoch[w]` of worker `w` and completes
+    /// the connection handshake.
+    fn spawn_worker(&mut self, w: WorkerId) -> io::Result<()> {
+        let epoch = self.epoch[w];
+        let mut child = match &self.launcher {
+            WorkerLauncher::Process { program, args } => Some(
+                Command::new(program)
+                    .args(args)
+                    .arg("--connect")
+                    .arg(&self.local_addr)
+                    .arg("--worker")
+                    .arg(w.to_string())
+                    .arg("--epoch")
+                    .arg(epoch.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()?,
+            ),
+            WorkerLauncher::Loopback(factory) => {
+                let addr = self.local_addr.clone();
+                let factory = Arc::clone(factory);
+                std::thread::Builder::new()
+                    .name(format!("remote-loopback-{w}-e{epoch}"))
+                    .spawn(move || {
+                        let _ = run_worker(&addr, w as u32, epoch, factory());
+                    })?;
+                None
+            }
+        };
+        let stream = match self.await_hello(w, epoch, child.as_mut()) {
+            Ok(s) => s,
+            Err(e) => {
+                if let Some(mut c) = child {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        };
+        let reader_stream = stream.try_clone()?;
+        self.conns[w] = Some(WorkerConn { stream, child });
+        let tx = self.results_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("remote-reader-{w}-e{epoch}"))
+            .spawn(move || reader_loop(w, epoch, reader_stream, tx))?;
+        if let Some(old) = self.readers[w].replace(handle) {
+            let _ = old.join();
+        }
+        Ok(())
+    }
+
+    /// Accepts connections until incarnation `epoch` of worker `w` greets,
+    /// dropping stale or foreign greetings, with a deadline.
+    fn await_hello(
+        &self,
+        w: WorkerId,
+        epoch: u64,
+        mut child: Option<&mut Child>,
+    ) -> io::Result<TcpStream> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                    match read_frame(&mut stream) {
+                        Ok(Msg::WorkerUp {
+                            worker,
+                            epoch: greeted,
+                        }) if worker as WorkerId == w && greeted == epoch => {
+                            stream.set_read_timeout(None)?;
+                            stream.set_nodelay(true)?;
+                            return Ok(stream);
+                        }
+                        // A greeting from a stale incarnation or unexpected
+                        // worker: close it and keep waiting for ours.
+                        _ => {
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some(c) = child.as_deref_mut() {
+                        if let Some(status) = c.try_wait()? {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionRefused,
+                                format!("worker {w} exited before connecting: {status}"),
+                            ));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("worker {w} did not connect within {HANDSHAKE_TIMEOUT:?}"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn elapsed(&self) -> VTime {
+        VTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Tears down worker `w`'s current incarnation: socket shutdown, child
+    /// kill + reap. The reader thread exits on the dropped connection and
+    /// its `Gone` event is epoch-filtered.
+    fn teardown_conn(&mut self, w: WorkerId) {
+        if let Some(mut conn) = self.conns[w].take() {
+            let _ = write_frame(&mut conn.stream, &Msg::Shutdown);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            if let Some(mut child) = conn.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    /// Marks `w` dead at a bumped epoch and queues the loss notification —
+    /// shared by explicit kills and detected disconnects.
+    fn mark_dead(&mut self, w: WorkerId) {
+        self.dead[w] = true;
+        self.epoch[w] += 1;
+        if self.busy[w] {
+            self.busy[w] = false;
+            self.pending -= 1;
+            self.inflight[w] = None;
+            let tag = self.inflight_tag[w].take().expect("busy worker has a tag");
+            self.queued.push_back(Completion::Lost { worker: w, tag });
+        } else {
+            self.queued.push_back(Completion::WorkerDown { worker: w });
+        }
+    }
+
+    /// Applies scheduled membership events whose instant has passed.
+    fn apply_due_chaos(&mut self) {
+        while let Some(&(at, _)) = self.chaos.front() {
+            if at > self.elapsed() {
+                break;
+            }
+            let (_, ev) = self.chaos.pop_front().expect("checked front");
+            match ev {
+                PendingChaos::Fail(w) => self.kill_worker(w),
+                PendingChaos::Revive(w) => {
+                    let _ = self.revive_worker(w); // no-op if already alive
+                }
+                PendingChaos::Join => {
+                    self.add_worker();
+                }
+            }
+        }
+    }
+
+    /// Inserts a scheduled event keeping the list time-sorted (stable).
+    fn push_chaos(&mut self, at: VTime, ev: PendingChaos) {
+        let pos = self.chaos.iter().position(|&(t, _)| t > at);
+        match pos {
+            Some(i) => self.chaos.insert(i, (at, ev)),
+            None => self.chaos.push_back((at, ev)),
+        }
+    }
+
+    fn accept(&mut self, ev: WireEvent) -> Option<Completion> {
+        match ev {
+            WireEvent::Done {
+                worker,
+                epoch,
+                tag,
+                response,
+            } => {
+                if self.dead[worker] || epoch != self.epoch[worker] {
+                    // Orphaned result flushed by a killed incarnation
+                    // before its socket died: its loss was already
+                    // reported.
+                    return None;
+                }
+                let finished_at = self.elapsed();
+                let Some(inflight) = self.inflight[worker].take() else {
+                    // An unsolicited completion: protocol violation, but
+                    // nothing is owed for it — drop it.
+                    return None;
+                };
+                match (inflight.decode)(&response) {
+                    Ok(output) => {
+                        self.busy[worker] = false;
+                        self.inflight_tag[worker] = None;
+                        self.pending -= 1;
+                        let issued_at = self.issued_at[worker];
+                        Some(Completion::Done(TaskDone {
+                            worker,
+                            tag,
+                            output,
+                            issued_at,
+                            finished_at,
+                            service_time: finished_at.saturating_since(issued_at),
+                            bytes_in: inflight.bytes_in,
+                        }))
+                    }
+                    Err(_) => {
+                        // A response this driver cannot decode means the
+                        // incarnation is not speaking the protocol — treat
+                        // it like a crashed worker: tear down, report the
+                        // task lost.
+                        self.teardown_conn(worker);
+                        self.mark_dead(worker);
+                        self.queued.pop_back()
+                    }
+                }
+            }
+            WireEvent::Gone { worker, epoch } => {
+                if self.dead[worker] || epoch != self.epoch[worker] {
+                    return None; // expected: we tore this connection down
+                }
+                // A real, uncommanded connection drop: dropped socket →
+                // lost task, dead worker (revivable like any other death).
+                self.teardown_conn(worker);
+                self.mark_dead(worker);
+                self.queued.pop_back()
+            }
+        }
+    }
+}
+
+fn reader_loop(w: WorkerId, epoch: u64, mut stream: TcpStream, tx: Sender<WireEvent>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Msg::Completion {
+                tag,
+                epoch: e,
+                response,
+            }) => {
+                if tx
+                    .send(WireEvent::Done {
+                        worker: w,
+                        epoch: e,
+                        tag,
+                        response,
+                    })
+                    .is_err()
+                {
+                    break; // engine dropped
+                }
+            }
+            Ok(_) => continue,
+            Err(_) => {
+                let _ = tx.send(WireEvent::Gone { worker: w, epoch });
+                break;
+            }
+        }
+    }
+}
+
+impl Engine for RemoteEngine {
+    fn workers(&self) -> usize {
+        self.spec.workers
+    }
+
+    fn now(&self) -> VTime {
+        self.elapsed()
+    }
+
+    fn available(&self, w: WorkerId) -> bool {
+        !self.dead[w] && !self.busy[w]
+    }
+
+    fn alive(&self, w: WorkerId) -> bool {
+        !self.dead[w]
+    }
+
+    /// Closure-only submissions cannot cross a process boundary; the
+    /// remote engine accepts work only through [`Engine::submit_wired`].
+    fn submit(&mut self, _w: WorkerId, _task: Task) -> Result<(), EngineError> {
+        Err(EngineError::Io(io::ErrorKind::Unsupported))
+    }
+
+    fn submit_wired(&mut self, w: WorkerId, task: Task, wire: WireTask) -> Result<(), EngineError> {
+        if self.dead[w] {
+            return Err(EngineError::WorkerDead(w));
+        }
+        if self.busy[w] {
+            return Err(EngineError::WorkerBusy(w));
+        }
+        let seq = self.task_seq[w];
+        self.task_seq[w] += 1;
+        // Build the request against the worker's mirrored cache — the
+        // remote analogue of the simulator running the closure at
+        // submission. Fetch charges (snapshots, patches, shipped blocks)
+        // fold into the task's bytes exactly as worker-side misses would.
+        let request = (wire.build)(&mut self.mirrors[w]);
+        let (extra_bytes, extra_time) = self.mirrors[w].take_charges();
+        let total_bytes = task.bytes_in + extra_bytes;
+        let factor = self.assignment.factor(w, seq);
+        let modelled = self.spec.profiles[w].exec_time(task.cost)
+            + self.comm.transfer_time(total_bytes)
+            + extra_time;
+        let sleep_us = (modelled.as_micros() as f64 * self.time_scale * factor) as u64;
+        let msg = Msg::Submit {
+            tag: task.tag,
+            epoch: self.epoch[w],
+            routine: wire.routine,
+            sleep_us,
+            slow_factor: (factor - 1.0).max(0.0),
+            request,
+        };
+        let conn = self.conns[w]
+            .as_mut()
+            .expect("alive worker has a connection");
+        if write_frame(&mut conn.stream, &msg).is_err() {
+            // The process died under us between completions: surface the
+            // death now. The task was never accepted (not busy), so
+            // `mark_dead` queues WorkerDown, not Lost.
+            self.teardown_conn(w);
+            self.mark_dead(w);
+            return Err(EngineError::Disconnected(w));
+        }
+        self.busy[w] = true;
+        self.inflight_tag[w] = Some(task.tag);
+        self.inflight[w] = Some(Inflight {
+            decode: wire.decode,
+            bytes_in: total_bytes,
+        });
+        self.issued_at[w] = self.elapsed();
+        self.pending += 1;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<Completion> {
+        loop {
+            self.apply_due_chaos();
+            if let Some(c) = self.queued.pop_front() {
+                return Some(c);
+            }
+            if self.pending == 0 {
+                // Nothing in flight: return rather than block real time
+                // until a *future* scheduled membership event (same
+                // divergence from the simulator as the threaded backend —
+                // see `ThreadedEngine::next`).
+                return None;
+            }
+            match self.results_rx.recv_timeout(Duration::from_micros(500)) {
+                Ok(ev) => {
+                    if let Some(c) = self.accept(ev) {
+                        return Some(c);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Option<Completion> {
+        loop {
+            self.apply_due_chaos();
+            if let Some(c) = self.queued.pop_front() {
+                return Some(c);
+            }
+            match self.results_rx.try_recv() {
+                Ok(ev) => {
+                    if let Some(c) = self.accept(ev) {
+                        return Some(c);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn kill_worker(&mut self, w: WorkerId) {
+        if self.dead[w] {
+            return;
+        }
+        self.teardown_conn(w);
+        self.mark_dead(w);
+    }
+
+    fn revive_worker(&mut self, w: WorkerId) -> Result<(), EngineError> {
+        if !self.dead[w] {
+            return Err(EngineError::WorkerAlive(w));
+        }
+        // A fresh incarnation: new process, new connection, and an empty
+        // mirror — the next wired submission re-ships whatever it needs.
+        self.mirrors[w] = WorkerCtx::new(w);
+        self.spawn_worker(w)
+            .map_err(|e| EngineError::Io(e.kind()))?;
+        self.dead[w] = false;
+        self.busy[w] = false;
+        self.inflight_tag[w] = None;
+        self.inflight[w] = None;
+        self.queued.push_back(Completion::WorkerUp { worker: w });
+        Ok(())
+    }
+
+    fn add_worker(&mut self) -> WorkerId {
+        let w = self.spec.workers;
+        self.spec.workers += 1;
+        self.spec.profiles.push(WorkerProfile::default_speed());
+        self.mirrors.push(WorkerCtx::new(w));
+        self.busy.push(false);
+        self.dead.push(false);
+        self.epoch.push(0);
+        self.inflight_tag.push(None);
+        self.inflight.push(None);
+        self.issued_at.push(VTime::ZERO);
+        self.task_seq.push(0);
+        self.conns.push(None);
+        self.readers.push(None);
+        if let Err(e) = self.spawn_worker(w) {
+            // The join happened (ids are dense and allocated), but the
+            // worker is unusable: record it dead so the engine stays
+            // consistent. Chaos-driven joins tolerate this.
+            eprintln!("remote engine: failed to spawn joined worker {w}: {e}");
+            self.dead[w] = true;
+            self.queued.push_back(Completion::WorkerDown { worker: w });
+            return w;
+        }
+        self.queued.push_back(Completion::WorkerUp { worker: w });
+        w
+    }
+
+    fn schedule_failure(&mut self, w: WorkerId, at: VTime) {
+        self.push_chaos(at, PendingChaos::Fail(w));
+    }
+
+    fn schedule_revival(&mut self, w: WorkerId, at: VTime) {
+        self.push_chaos(at, PendingChaos::Revive(w));
+    }
+
+    fn schedule_join(&mut self, at: VTime) {
+        self.push_chaos(at, PendingChaos::Join);
+    }
+}
+
+impl Drop for RemoteEngine {
+    fn drop(&mut self) {
+        for w in 0..self.conns.len() {
+            self.teardown_conn(w);
+        }
+        for h in self.readers.iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-process side
+// ---------------------------------------------------------------------------
+
+/// A worker-side request handler: decode the request bytes, compute
+/// against the worker's local cache, encode the response bytes.
+pub type RoutineFn = Box<dyn Fn(&mut WorkerCtx, &[u8]) -> Result<Vec<u8>, DecodeError>>;
+
+/// Maps routine ids to handlers; each worker incarnation owns one.
+#[derive(Default)]
+pub struct RoutineRegistry {
+    handlers: HashMap<u32, RoutineFn>,
+}
+
+impl RoutineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `f` as routine `id`, replacing any previous handler.
+    pub fn register(
+        &mut self,
+        id: u32,
+        f: impl Fn(&mut WorkerCtx, &[u8]) -> Result<Vec<u8>, DecodeError> + 'static,
+    ) {
+        self.handlers.insert(id, Box::new(f));
+    }
+}
+
+/// The generic worker-process loop: connect back to the driver, greet,
+/// then serve submissions until shutdown or disconnect.
+///
+/// A request naming an unregistered routine, or one whose handler reports
+/// a decode error, terminates the worker with an error — the driver
+/// observes the dropped connection and reports the in-flight task lost,
+/// which is exactly the fault model for a crashed executor.
+pub fn run_worker(
+    addr: &str,
+    worker: u32,
+    epoch: u64,
+    registry: RoutineRegistry,
+) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &Msg::WorkerUp { worker, epoch })?;
+    let mut ctx = WorkerCtx::new(worker as WorkerId);
+    loop {
+        match read_frame(&mut stream)? {
+            Msg::Submit {
+                tag,
+                epoch: e,
+                routine,
+                sleep_us,
+                slow_factor,
+                request,
+            } => {
+                let handler = registry.handlers.get(&routine).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("unregistered routine {routine}"),
+                    )
+                })?;
+                let t0 = Instant::now();
+                let response = handler(&mut ctx, &request)
+                    .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+                let measured = t0.elapsed();
+                // Byte charges are accounted by the driver-side mirror;
+                // drain the local ones so they never accumulate.
+                let _ = ctx.take_charges();
+                // The modelled (pre-scaled) delay shipped by the driver,
+                // plus the straggler stretch of real compute time — the
+                // threaded engine's sleep, across a socket.
+                let sleep = sleep_us as f64 + measured.as_secs_f64() * 1e6 * slow_factor;
+                if sleep >= 1.0 {
+                    std::thread::sleep(Duration::from_micros(sleep as u64));
+                }
+                write_frame(
+                    &mut stream,
+                    &Msg::Completion {
+                        tag,
+                        epoch: e,
+                        response,
+                    },
+                )?;
+            }
+            Msg::Shutdown => return Ok(()),
+            // Nothing else is driver→worker; ignore rather than die.
+            Msg::WorkerUp { .. } | Msg::Completion { .. } => continue,
+        }
+    }
+}
+
+/// Entry point for worker binaries: parses `--connect <addr> --worker <id>
+/// --epoch <e>` from `std::env::args` and runs [`run_worker`]. A worker
+/// binary is three lines: build a registry, call this, exit.
+pub fn worker_main(registry: RoutineRegistry) -> io::Result<()> {
+    let mut addr = None;
+    let mut worker = None;
+    let mut epoch = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => addr = args.next(),
+            "--worker" => worker = args.next().and_then(|v| v.parse::<u32>().ok()),
+            "--epoch" => epoch = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            _ => {}
+        }
+    }
+    let (addr, worker) = match (addr, worker) {
+        (Some(a), Some(w)) => (a, w),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "usage: --connect <addr> --worker <id> [--epoch <e>]",
+            ))
+        }
+    };
+    run_worker(&addr, worker, epoch, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use async_cluster::{CommModel, DelayModel, VDur};
+    use bytes::BytesMut;
+
+    use crate::payload::Payload;
+
+    fn spec(workers: usize) -> ClusterSpec {
+        ClusterSpec::homogeneous(workers, DelayModel::None)
+            .with_comm(CommModel::free())
+            .with_sched_overhead(VDur::ZERO)
+    }
+
+    /// Routine 1: interpret the request as a `u64`, return it doubled.
+    fn doubling_registry() -> RoutineRegistry {
+        let mut reg = RoutineRegistry::new();
+        reg.register(1, |_ctx, req| {
+            let (x, _) = u64::decode(req)?;
+            let mut buf = BytesMut::new();
+            (2 * x).encode(&mut buf);
+            Ok(buf.into_vec())
+        });
+        reg
+    }
+
+    fn loopback_engine(workers: usize) -> RemoteEngine {
+        RemoteEngine::new(
+            spec(workers),
+            0.0,
+            RemoteConfig::loopback(Arc::new(doubling_registry)),
+        )
+        .expect("engine starts")
+    }
+
+    fn wired(tag: u64, x: u64) -> (Task, WireTask) {
+        let task = Task {
+            tag,
+            cost: 0.0,
+            bytes_in: 0,
+            run: Box::new(|_| Box::new(())),
+        };
+        let wire = WireTask {
+            routine: 1,
+            build: Box::new(move |_mirror| {
+                let mut buf = BytesMut::new();
+                x.encode(&mut buf);
+                buf.into_vec()
+            }),
+            decode: Box::new(|resp| {
+                let (y, _) = u64::decode(resp)?;
+                Ok(Box::new(y) as TaskOutput)
+            }),
+        };
+        (task, wire)
+    }
+
+    #[test]
+    fn round_trips_tasks_across_real_sockets() {
+        let mut e = loopback_engine(3);
+        for w in 0..3 {
+            let (task, wire) = wired(w as u64, 100 + w as u64);
+            e.submit_wired(w, task, wire).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        while let Some(c) = e.next() {
+            match c {
+                Completion::Done(d) => {
+                    seen.insert(d.tag, *d.output.downcast::<u64>().unwrap());
+                }
+                other => panic!("unexpected completion: {:?}", completion_kind(&other)),
+            }
+        }
+        assert_eq!(seen.len(), 3);
+        for w in 0..3u64 {
+            assert_eq!(seen[&w], 2 * (100 + w));
+        }
+        assert_eq!(e.pending(), 0);
+    }
+
+    fn completion_kind(c: &Completion) -> &'static str {
+        match c {
+            Completion::Done(_) => "Done",
+            Completion::Lost { .. } => "Lost",
+            Completion::WorkerDown { .. } => "WorkerDown",
+            Completion::WorkerUp { .. } => "WorkerUp",
+        }
+    }
+
+    #[test]
+    fn plain_submit_is_rejected() {
+        let mut e = loopback_engine(1);
+        let err = e
+            .submit(
+                0,
+                Task {
+                    tag: 0,
+                    cost: 0.0,
+                    bytes_in: 0,
+                    run: Box::new(|_| Box::new(())),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, EngineError::Io(io::ErrorKind::Unsupported));
+    }
+
+    #[test]
+    fn kill_closes_the_connection_and_reports_lost() {
+        let mut e = loopback_engine(2);
+        let (task, wire) = wired(9, 1);
+        e.submit_wired(0, task, wire).unwrap();
+        e.kill_worker(0);
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 9 }) => {}
+            other => panic!(
+                "expected Lost, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(!e.alive(0));
+        let (task, wire) = wired(1, 1);
+        assert_eq!(
+            e.submit_wired(0, task, wire).unwrap_err(),
+            EngineError::WorkerDead(0)
+        );
+        // The orphaned completion (if the worker flushed one before the
+        // socket died) must never surface.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(e.try_next().is_none());
+        assert!(e.next().is_none());
+    }
+
+    #[test]
+    fn revival_spawns_a_fresh_incarnation_with_an_empty_mirror() {
+        let mut e = loopback_engine(1);
+        let (task, wire) = wired(1, 5);
+        e.submit_wired(0, task, wire).unwrap();
+        while matches!(e.next(), Some(Completion::Done(_))) {}
+        // Seed the mirror, then kill: the revived incarnation must not
+        // remember the key.
+        e.mirrors[0].cache_put_local((7, 0), Arc::new(()));
+        e.kill_worker(0);
+        assert!(matches!(
+            e.next(),
+            Some(Completion::WorkerDown { worker: 0 })
+        ));
+        e.revive_worker(0).unwrap();
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        assert_eq!(e.mirrors[0].cache_len(), 0);
+        let (task, wire) = wired(2, 21);
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => {
+                assert_eq!(d.tag, 2);
+                assert_eq!(*d.output.downcast::<u64>().unwrap(), 42);
+            }
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+    }
+
+    #[test]
+    fn worker_crash_surfaces_as_lost_via_connection_drop() {
+        // Routine 2 aborts the worker mid-task: the driver must observe
+        // the dropped socket and report the task lost.
+        let registry = Arc::new(|| {
+            let mut reg = doubling_registry();
+            reg.register(2, |_ctx, _req| {
+                Err(DecodeError::Invalid {
+                    at: 0,
+                    what: "simulated worker crash",
+                })
+            });
+            reg
+        });
+        let mut e = RemoteEngine::new(spec(1), 0.0, RemoteConfig::loopback(registry))
+            .expect("engine starts");
+        let task = Task {
+            tag: 3,
+            cost: 0.0,
+            bytes_in: 0,
+            run: Box::new(|_| Box::new(())),
+        };
+        let wire = WireTask {
+            routine: 2,
+            build: Box::new(|_| Vec::new()),
+            decode: Box::new(|_| Ok(Box::new(()) as TaskOutput)),
+        };
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 3 }) => {}
+            other => panic!(
+                "expected Lost, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(!e.alive(0));
+        // And the worker is revivable after a real crash.
+        e.revive_worker(0).unwrap();
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        let (task, wire) = wired(4, 8);
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(*d.output.downcast::<u64>().unwrap(), 16),
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+    }
+
+    #[test]
+    fn add_worker_joins_over_the_wire() {
+        let mut e = loopback_engine(1);
+        let w = e.add_worker();
+        assert_eq!(w, 1);
+        assert_eq!(e.workers(), 2);
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        let (task, wire) = wired(7, 35);
+        e.submit_wired(1, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => {
+                assert_eq!((d.worker, d.tag), (1, 7));
+                assert_eq!(*d.output.downcast::<u64>().unwrap(), 70);
+            }
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+    }
+
+    #[test]
+    fn mirror_charges_fold_into_task_bytes() {
+        let mut e = loopback_engine(1);
+        let task = Task {
+            tag: 0,
+            cost: 0.0,
+            bytes_in: 10,
+            run: Box::new(|_| Box::new(())),
+        };
+        let wire = WireTask {
+            routine: 1,
+            build: Box::new(|mirror| {
+                // A build that ships 90 bytes of model state.
+                mirror.cache_put_fetched((1, 0), Arc::new(()), 90);
+                let mut buf = BytesMut::new();
+                4u64.encode(&mut buf);
+                buf.into_vec()
+            }),
+            decode: Box::new(|resp| {
+                let (y, _) = u64::decode(resp)?;
+                Ok(Box::new(y) as TaskOutput)
+            }),
+        };
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(d.bytes_in, 100),
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+    }
+
+    #[test]
+    fn scheduled_chaos_kills_and_respawns_real_connections() {
+        let mut e = loopback_engine(2);
+        e.schedule_failure(1, VTime::from_micros(1_000));
+        e.schedule_revival(1, VTime::from_micros(5_000));
+        e.schedule_join(VTime::from_micros(8_000));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(matches!(
+            e.next(),
+            Some(Completion::WorkerDown { worker: 1 })
+        ));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 1 })));
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 2 })));
+        assert!(e.next().is_none());
+        assert_eq!(e.workers(), 3);
+        assert!((0..3).all(|w| e.alive(w)));
+        // All three (re)spawned workers serve tasks.
+        for w in 0..3 {
+            let (task, wire) = wired(w as u64, w as u64);
+            e.submit_wired(w, task, wire).unwrap();
+        }
+        let mut done = 0;
+        while let Some(Completion::Done(_)) = e.next() {
+            done += 1;
+        }
+        assert_eq!(done, 3);
+    }
+}

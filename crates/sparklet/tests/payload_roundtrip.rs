@@ -19,8 +19,8 @@ fn assert_roundtrip<P: Payload + PartialEq + std::fmt::Debug>(p: &P) -> Result<(
     p.encode(&mut buf);
     prop_assert_eq!(buf.len() as u64, p.encoded_len());
     let (back, used) = match P::decode(buf.as_slice()) {
-        Some(ok) => ok,
-        None => return Err(format!("decode failed for {p:?}")),
+        Ok(ok) => ok,
+        Err(e) => return Err(format!("decode failed for {p:?}: {e}")),
     };
     prop_assert_eq!(&back, p);
     prop_assert_eq!(used, buf.len());
@@ -29,8 +29,8 @@ fn assert_roundtrip<P: Payload + PartialEq + std::fmt::Debug>(p: &P) -> Result<(
     let mut longer = buf.into_vec();
     longer.extend_from_slice(&[0xAB; 7]);
     let (back2, used2) = match P::decode(&longer) {
-        Some(ok) => ok,
-        None => return Err("decode failed with trailing bytes".to_string()),
+        Ok(ok) => ok,
+        Err(e) => return Err(format!("decode failed with trailing bytes: {e}")),
     };
     prop_assert_eq!(&back2, p);
     prop_assert_eq!(used2, used);
@@ -87,7 +87,13 @@ proptest! {
         let mut buf = BytesMut::new();
         vals.encode(&mut buf);
         for cut in 0..buf.len() {
-            prop_assert!(Vec::<f64>::decode(&buf.as_slice()[..cut]).is_none());
+            let err = Vec::<f64>::decode(&buf.as_slice()[..cut]).unwrap_err();
+            // Positioned truncation: the reported offset is inside the cut.
+            let truncated_in_range = matches!(
+                err,
+                sparklet::DecodeError::Truncated { at, needed } if at <= cut && needed > 0
+            );
+            prop_assert!(truncated_in_range, "cut {}: unexpected error {}", cut, err);
         }
     }
 }

@@ -88,6 +88,12 @@ impl std::ops::Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

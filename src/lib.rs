@@ -49,10 +49,10 @@ pub mod prelude {
     pub use async_data::{Block, Dataset, SynthSpec};
     pub use async_linalg::{GradDelta, Matrix, ParallelismCfg, SparseVec};
     pub use async_optim::{
-        Asaga, Asgd, AsyncMsgd, AsyncSolver, Checkpoint, CheckpointError, Objective, RunReport,
-        SolverCfg, SolverHistory,
+        worker_registry, Asaga, Asgd, AsyncMsgd, AsyncSolver, Checkpoint, CheckpointError,
+        Objective, RunReport, SolverCfg, SolverCfgBuilder, SolverCfgError, SolverHistory,
     };
-    pub use sparklet::{Driver, Rdd};
+    pub use sparklet::{Driver, EngineBuilder, EngineKind, Rdd};
 }
 
 #[cfg(test)]
