@@ -1,0 +1,30 @@
+//! Records the compressed-communication datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_comm_compress
+//! [output.json]` (default `BENCH_comm_compress.json` in the current
+//! directory). Keys prefixed `wc_` are host wall-clock observations and
+//! vary run to run; everything else — byte counts, ratios, loss-tolerance
+//! verdicts — is deterministic for the default configuration, and CI
+//! gates the file with `grep -v wc_` on both sides of the diff.
+
+use async_bench::comm_compress::{run_comm_compress, CommCompressCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_comm_compress.json".to_string());
+    let b = run_comm_compress(CommCompressCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "comm_compress: {:.1}x (topk) / {:.1}x (topk+i8) fewer result bytes (modeled, verdicts topk={} i8={}); {:.0} vs {:.0} steps/s real ({:.2}x) -> {}",
+        b.result_bytes_ratio_topk,
+        b.result_bytes_ratio_topk_i8,
+        b.topk_within_loss_tolerance,
+        b.topk_i8_within_loss_tolerance,
+        b.wc_topk_i8.steps_per_sec,
+        b.wc_off.steps_per_sec,
+        b.wc_speedup,
+        out,
+    );
+}

@@ -17,6 +17,7 @@ use async_data::{Dataset, SynthSpec};
 use async_linalg::ParallelismCfg;
 use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
+pub mod comm_compress;
 pub mod elastic_chaos;
 pub mod hotpath;
 pub mod remote_engine;

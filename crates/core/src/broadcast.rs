@@ -41,7 +41,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use async_linalg::{sparse, GradDelta};
+use async_linalg::{compress, sparse, GradDelta, Quant};
 use parking_lot::RwLock;
 use sparklet::{Payload, WorkerCtx};
 
@@ -66,6 +66,12 @@ pub struct HistoryStats {
     /// [`AsyncBcast::push_snapshot`] (a steady-state push performs a copy,
     /// not an allocation).
     pub recycled_buffers: u64,
+    /// Patches shipped with quantized (int8/f16) values instead of full
+    /// `f64`s (a subset of `incremental_fetches`).
+    pub quantized_patches: u64,
+    /// Bytes shipped for those quantized patches (included in both
+    /// `fetched_bytes` and `incremental_bytes`).
+    pub quantized_patch_bytes: u64,
 }
 
 struct Entry<T> {
@@ -100,6 +106,9 @@ struct VersionTable<T> {
     /// ring / zero capacity means incremental resolution is disabled.
     ring: VecDeque<(u64, ChangeSupport)>,
     ring_capacity: usize,
+    /// Value quantization applied to shipped patches (`Exact` = today's
+    /// bit-exact full-precision patches).
+    patch_quant: Quant,
     /// Recycled storage: snapshot buffers reclaimed from pruned versions
     /// and support buffers reclaimed from evicted ring slots.
     free_snapshots: Vec<T>,
@@ -196,6 +205,8 @@ struct Counters {
     pushed: AtomicU64,
     incremental_fetches: AtomicU64,
     incremental_bytes: AtomicU64,
+    quantized_patches: AtomicU64,
+    quantized_patch_bytes: AtomicU64,
 }
 
 /// Reusable scratch for assembling version-diff patches. Scratches live in
@@ -265,6 +276,7 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             live_bytes: bytes,
             ring: VecDeque::new(),
             ring_capacity: 0,
+            patch_quant: Quant::Exact,
             free_snapshots: Vec::new(),
             free_supports: Vec::new(),
             recycled: 0,
@@ -278,6 +290,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
                 pushed: AtomicU64::new(1),
                 incremental_fetches: AtomicU64::new(0),
                 incremental_bytes: AtomicU64::new(0),
+                quantized_patches: AtomicU64::new(0),
+                quantized_patch_bytes: AtomicU64::new(0),
             }),
             patch_scratch: Arc::new(ScratchStore::default()),
         }
@@ -288,6 +302,20 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// docs; with capacity 0 the broadcast behaves exactly as before.
     pub fn enable_incremental(&self, ring_capacity: usize) {
         self.table.write().ring_capacity = ring_capacity;
+    }
+
+    /// Quantizes shipped patch values to `quant` codes (int8 or IEEE half)
+    /// against a per-patch scale. The codes carry the **difference**
+    /// between the target version and the worker's cached base at each
+    /// changed coordinate, so the scale is update-sized and the
+    /// per-coordinate error is bounded by one quantization step of that
+    /// difference — never a fraction of the model's largest weight — and
+    /// re-quantizing against the fresh base on the next patch keeps it
+    /// from accumulating. `Quant::Exact` (the default) restores today's
+    /// bit-exact patches. Only meaningful together with
+    /// [`AsyncBcast::enable_incremental`].
+    pub fn set_patch_quant(&self, quant: Quant) {
+        self.table.write().patch_quant = quant;
     }
 
     /// This broadcast's id (unique within one context).
@@ -431,6 +459,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             incremental_fetches: self.counters.incremental_fetches.load(Ordering::Relaxed),
             incremental_bytes: self.counters.incremental_bytes.load(Ordering::Relaxed),
             recycled_buffers: t.recycled,
+            quantized_patches: self.counters.quantized_patches.load(Ordering::Relaxed),
+            quantized_patch_bytes: self.counters.quantized_patch_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -664,6 +694,28 @@ fn patch_wire_bytes(nnz: usize) -> u64 {
     16 + 12 * nnz as u64
 }
 
+/// Wire size of a patch whose values ship as `quant` codes: the `(len,
+/// dim)` header, plus a scale and 1- or 2-byte codes for the quantized
+/// forms (a 4-byte index per entry in every form).
+fn qpatch_wire_bytes(quant: Quant, nnz: usize) -> u64 {
+    match quant {
+        Quant::Exact => patch_wire_bytes(nnz),
+        Quant::I8 => 24 + 5 * nnz as u64,
+        Quant::F16 => 24 + 6 * nnz as u64,
+    }
+}
+
+/// Quantize-dequantize one patch diff `d` against `scale` (callers never
+/// pass `Quant::Exact`).
+#[inline]
+fn quantize_diff(d: f64, scale: f64, quant: Quant) -> f64 {
+    match quant {
+        Quant::I8 => compress::dequantize_i8(compress::quantize_i8(d, scale), scale),
+        Quant::F16 => compress::dequantize_f16(compress::quantize_f16(d, scale), scale),
+        Quant::Exact => d,
+    }
+}
+
 impl HistoryHandle<Vec<f64>> {
     /// Resolves the handle's version like [`HistoryHandle::value`], but —
     /// when the broadcast has incremental resolution enabled and the
@@ -709,7 +761,7 @@ impl HistoryHandle<Vec<f64>> {
         // assembly), so concurrent fetches on other workers proceed.
         let mut scratch = self.patch_scratch.checkout();
         let PatchScratch { union, tmp, values } = &mut scratch;
-        let patch_bytes = {
+        let (patch_bytes, patch_quant) = {
             let t = self.table.read();
             let Some(supports) = t.ring_supports(base_version + 1, version) else {
                 drop(t);
@@ -728,7 +780,7 @@ impl HistoryHandle<Vec<f64>> {
             let entry = t.versions[version as usize]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
-            let bytes = patch_wire_bytes(union.len());
+            let bytes = qpatch_wire_bytes(t.patch_quant, union.len());
             if bytes >= entry.bytes {
                 drop(t);
                 self.patch_scratch.give_back(scratch);
@@ -739,7 +791,7 @@ impl HistoryHandle<Vec<f64>> {
             let target = &entry.value;
             values.clear();
             values.extend(union.iter().map(|&i| target[i as usize]));
-            bytes
+            (bytes, t.patch_quant)
         };
         // Take the base out of the worker cache and patch it forward —
         // in place when the worker is the only owner, else via one copy.
@@ -753,7 +805,29 @@ impl HistoryHandle<Vec<f64>> {
             Ok(owned) => owned,
             Err(shared) => shared.as_ref().clone(),
         };
-        sparse::scatter_assign(union, values, &mut w);
+        if patch_quant == Quant::Exact {
+            sparse::scatter_assign(union, values, &mut w);
+        } else {
+            // Quantized patch: each changed coordinate moves by the
+            // dequantized code of its target−base difference, against a
+            // per-patch scale of the largest such difference — exactly
+            // the value a remote worker reconstructs from the shipped
+            // codes (`WirePlan::QPatch`).
+            let mut scale = 0.0f64;
+            for (&i, &tv) in union.iter().zip(values.iter()) {
+                scale = scale.max((tv - w[i as usize]).abs());
+            }
+            for (&i, &tv) in union.iter().zip(values.iter()) {
+                let wi = &mut w[i as usize];
+                *wi += quantize_diff(tv - *wi, scale, patch_quant);
+            }
+            self.counters
+                .quantized_patches
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .quantized_patch_bytes
+                .fetch_add(patch_bytes, Ordering::Relaxed);
+        }
         self.patch_scratch.give_back(scratch);
         let value = Arc::new(w);
         self.counters.fetches.fetch_add(1, Ordering::Relaxed);
@@ -813,7 +887,7 @@ impl HistoryHandle<Vec<f64>> {
         };
         let mut scratch = self.patch_scratch.checkout();
         let PatchScratch { union, tmp, values } = &mut scratch;
-        let (patch_bytes, target) = {
+        let (patch_bytes, patch_quant, target) = {
             let t = self.table.read();
             let Some(supports) = t.ring_supports(base_version + 1, version) else {
                 drop(t);
@@ -832,7 +906,7 @@ impl HistoryHandle<Vec<f64>> {
             let entry = t.versions[version as usize]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
-            let bytes = patch_wire_bytes(union.len());
+            let bytes = qpatch_wire_bytes(t.patch_quant, union.len());
             if bytes >= entry.bytes {
                 drop(t);
                 self.patch_scratch.give_back(scratch);
@@ -841,14 +915,12 @@ impl HistoryHandle<Vec<f64>> {
             let target = Arc::clone(&entry.value);
             values.clear();
             values.extend(union.iter().map(|&i| target[i as usize]));
-            (bytes, target)
+            (bytes, t.patch_quant, target)
         };
         let indices = union.clone();
         let patch_values = values.clone();
         self.patch_scratch.give_back(scratch);
-        // The patched result *is* the target version: mirror it directly
-        // instead of re-running the scatter driver-side.
-        mirror
+        let base_any = mirror
             .cache_remove((self.bcast_id, base_version))
             .expect("newest cached version is present");
         self.counters.fetches.fetch_add(1, Ordering::Relaxed);
@@ -861,16 +933,78 @@ impl HistoryHandle<Vec<f64>> {
         self.counters
             .incremental_bytes
             .fetch_add(patch_bytes, Ordering::Relaxed);
+        if patch_quant == Quant::Exact {
+            // The patched result *is* the target version: mirror it directly
+            // instead of re-running the scatter driver-side.
+            mirror.cache_put_fetched(
+                key,
+                target as Arc<dyn std::any::Any + Send + Sync>,
+                patch_bytes,
+            );
+            return WirePlan::Patch {
+                base: base_version,
+                version,
+                indices,
+                values: patch_values,
+                evict_below,
+            };
+        }
+        // Quantized patch: codes are computed against the *mirror's* cached
+        // base (which carries the worker's accumulated quantization error,
+        // not the exact history), so the worker's dequantized apply lands on
+        // exactly the vector cached here — driver and worker stay bitwise in
+        // lockstep even though neither holds the exact target.
+        let base_vec = base_any
+            .downcast::<Vec<f64>>()
+            .expect("history cache type mismatch");
+        let mut w = match Arc::try_unwrap(base_vec) {
+            Ok(owned) => owned,
+            Err(shared) => shared.as_ref().clone(),
+        };
+        let mut scale = 0.0f64;
+        for (&i, &tv) in indices.iter().zip(patch_values.iter()) {
+            scale = scale.max((tv - w[i as usize]).abs());
+        }
+        let codes = match patch_quant {
+            Quant::I8 => {
+                let mut codes = Vec::with_capacity(indices.len());
+                for (&i, &tv) in indices.iter().zip(patch_values.iter()) {
+                    let wi = &mut w[i as usize];
+                    let code = compress::quantize_i8(tv - *wi, scale);
+                    *wi += compress::dequantize_i8(code, scale);
+                    codes.push(code);
+                }
+                PatchCodes::I8(codes)
+            }
+            Quant::F16 => {
+                let mut codes = Vec::with_capacity(indices.len());
+                for (&i, &tv) in indices.iter().zip(patch_values.iter()) {
+                    let wi = &mut w[i as usize];
+                    let code = compress::quantize_f16(tv - *wi, scale);
+                    *wi += compress::dequantize_f16(code, scale);
+                    codes.push(code);
+                }
+                PatchCodes::F16(codes)
+            }
+            Quant::Exact => unreachable!("exact patches returned above"),
+        };
+        self.counters
+            .quantized_patches
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .quantized_patch_bytes
+            .fetch_add(patch_bytes, Ordering::Relaxed);
         mirror.cache_put_fetched(
             key,
-            target as Arc<dyn std::any::Any + Send + Sync>,
+            Arc::new(w) as Arc<dyn std::any::Any + Send + Sync>,
             patch_bytes,
         );
-        WirePlan::Patch {
+        WirePlan::QPatch {
             base: base_version,
             version,
             indices,
-            values: patch_values,
+            scale,
+            codes,
             evict_below,
         }
     }
@@ -956,6 +1090,58 @@ pub enum WirePlan {
         /// Evict cached versions below this before patching.
         evict_below: u64,
     },
+    /// Quantized version-diff patch (see [`AsyncBcast::set_patch_quant`]):
+    /// each changed coordinate moves by the dequantized `code · scale`
+    /// difference instead of jumping to its exact target value. The driver
+    /// computed the codes against its mirror of this worker's cache, so the
+    /// apply reproduces the driver-side mirror entry bit-exactly.
+    QPatch {
+        /// Cached version the patch applies on top of.
+        base: u64,
+        /// Version the patched vector becomes.
+        version: u64,
+        /// Changed coordinates (strictly increasing).
+        indices: Vec<u32>,
+        /// Per-patch normalization: the largest `|target − base|` diff.
+        scale: f64,
+        /// Quantized diff codes, one per index.
+        codes: PatchCodes,
+        /// Evict cached versions below this before patching.
+        evict_below: u64,
+    },
+}
+
+/// The quantized diff codes carried by a [`WirePlan::QPatch`], in the wire
+/// format chosen via [`AsyncBcast::set_patch_quant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchCodes {
+    /// 1-byte codes: `diff ≈ code · scale / 127`.
+    I8(Vec<i8>),
+    /// IEEE-754 half-precision bit patterns: `diff ≈ f16(code) · scale`.
+    F16(Vec<u16>),
+}
+
+impl PatchCodes {
+    /// Number of codes (equals the patch's index count).
+    pub fn len(&self) -> usize {
+        match self {
+            PatchCodes::I8(c) => c.len(),
+            PatchCodes::F16(c) => c.len(),
+        }
+    }
+
+    /// True when the patch carries no codes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The wire format these codes use.
+    pub fn quant(&self) -> Quant {
+        match self {
+            PatchCodes::I8(_) => Quant::I8,
+            PatchCodes::F16(_) => Quant::F16,
+        }
+    }
 }
 
 impl WirePlan {
@@ -964,7 +1150,8 @@ impl WirePlan {
         match *self {
             WirePlan::Cached { version, .. }
             | WirePlan::Snapshot { version, .. }
-            | WirePlan::Patch { version, .. } => version,
+            | WirePlan::Patch { version, .. }
+            | WirePlan::QPatch { version, .. } => version,
         }
     }
 
@@ -1028,6 +1215,46 @@ impl WirePlan {
                     (bcast_id, version),
                     value.clone() as Arc<dyn std::any::Any + Send + Sync>,
                     patch_wire_bytes(indices.len()),
+                );
+                value
+            }
+            WirePlan::QPatch {
+                base,
+                version,
+                indices,
+                scale,
+                codes,
+                evict_below,
+            } => {
+                ctx.cache_evict_below(bcast_id, evict_below);
+                let base_any = ctx.cache_remove((bcast_id, base)).unwrap_or_else(|| {
+                    panic!("wire plan expected patch base {base} cached on the worker")
+                });
+                let base_vec = base_any
+                    .downcast::<Vec<f64>>()
+                    .expect("history cache type mismatch");
+                let mut w = match Arc::try_unwrap(base_vec) {
+                    Ok(owned) => owned,
+                    Err(shared) => shared.as_ref().clone(),
+                };
+                let bytes = qpatch_wire_bytes(codes.quant(), indices.len());
+                match &codes {
+                    PatchCodes::I8(c) => {
+                        for (&i, &code) in indices.iter().zip(c.iter()) {
+                            w[i as usize] += compress::dequantize_i8(code, scale);
+                        }
+                    }
+                    PatchCodes::F16(c) => {
+                        for (&i, &code) in indices.iter().zip(c.iter()) {
+                            w[i as usize] += compress::dequantize_f16(code, scale);
+                        }
+                    }
+                }
+                let value = Arc::new(w);
+                ctx.cache_put_fetched(
+                    (bcast_id, version),
+                    value.clone() as Arc<dyn std::any::Any + Send + Sync>,
+                    bytes,
                 );
                 value
             }
@@ -1439,6 +1666,7 @@ mod tests {
                 WirePlan::Patch { .. } => saw_patch = true,
                 WirePlan::Snapshot { .. } => saw_snapshot = true,
                 WirePlan::Cached { .. } => {}
+                WirePlan::QPatch { .. } => panic!("quantization is off"),
             }
             let got = plan.apply(&mut remote, wired.id());
             assert_eq!(got.as_slice(), expect.as_slice(), "push {k}");
@@ -1460,6 +1688,97 @@ mod tests {
         assert_eq!(a.incremental_bytes, b.incremental_bytes);
         // The mirror charged the same wire bytes the in-process worker did.
         assert_eq!(ctx.take_charges().0, mirror.take_charges().0);
+    }
+
+    #[test]
+    fn quantized_patches_track_wire_plans_bitwise_and_stay_near_target() {
+        // Same twin-broadcast drill as above, but with diff-quantized
+        // patches: the in-process resolution, the driver mirror, and the
+        // remote apply must still agree bitwise (on the *quantized*
+        // trajectory), the quantized counters must advance, and the
+        // reconstruction must stay within the per-patch error bound of the
+        // exact model.
+        for quant in [Quant::I8, Quant::F16] {
+            let dim = 120;
+            let local: AsyncBcast<Vec<f64>> = AsyncBcast::new(7, vec![0.0; dim], 0);
+            let wired: AsyncBcast<Vec<f64>> = AsyncBcast::new(7, vec![0.0; dim], 0);
+            local.enable_incremental(4);
+            wired.enable_incremental(4);
+            local.set_patch_quant(quant);
+            wired.set_patch_quant(quant);
+            let mut ctx = WorkerCtx::new(0);
+            let mut mirror = WorkerCtx::new(0);
+            let mut remote = WorkerCtx::new(0);
+            let mut w = vec![0.0; dim];
+            let mut saw_qpatch = false;
+            for k in 0..10u32 {
+                let u = sparse_delta(
+                    &[
+                        (k % dim as u32, 1.0 + f64::from(k)),
+                        (k * 7 % dim as u32, -0.5),
+                    ],
+                    dim,
+                );
+                u.axpy_into(1.0, &mut w);
+                local.push_snapshot_diff(&w, &u);
+                wired.push_snapshot_diff(&w, &u);
+                let expect = local.handle().value_incremental(&mut ctx);
+                let plan = wired.handle().wire_plan(&mut mirror);
+                if let WirePlan::QPatch {
+                    scale,
+                    ref codes,
+                    ref indices,
+                    ..
+                } = plan
+                {
+                    saw_qpatch = true;
+                    assert!(scale.is_finite() && scale >= 0.0);
+                    assert_eq!(codes.len(), indices.len());
+                    assert_eq!(codes.quant(), quant);
+                }
+                let got = plan.apply(&mut remote, wired.id());
+                assert_eq!(got.as_slice(), expect.as_slice(), "{quant:?} push {k}");
+                // Per-coordinate error of the quantized trajectory vs the
+                // exact model: bounded by the format's relative error times
+                // each patch's scale; with these O(10) magnitudes a loose
+                // absolute bound suffices and catches scale/code mixups.
+                let tol = match quant {
+                    Quant::I8 => 0.5,
+                    _ => 0.05,
+                };
+                for (gi, wi) in got.iter().zip(w.iter()) {
+                    assert!((gi - wi).abs() <= tol, "{quant:?} push {k}: {gi} vs {wi}");
+                }
+            }
+            assert!(saw_qpatch, "{quant:?}: quantized patches exercised");
+            let (a, b) = (local.stats(), wired.stats());
+            assert_eq!(a.quantized_patches, b.quantized_patches);
+            assert_eq!(a.quantized_patch_bytes, b.quantized_patch_bytes);
+            assert!(a.quantized_patches > 0);
+            // Quantized patches are cheaper on the wire than exact ones
+            // would have been: bytes per patch < exact patch formula.
+            assert!(a.quantized_patch_bytes < a.quantized_patches * patch_wire_bytes(2));
+            assert_eq!(a.fetched_bytes, b.fetched_bytes);
+        }
+    }
+
+    #[test]
+    fn exact_patch_quant_is_the_default_and_changes_nothing() {
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new(1, vec![0.0; 8], 0);
+        b.enable_incremental(4);
+        let mut ctx = WorkerCtx::new(0);
+        let mut w = vec![0.0; 8];
+        for k in 0..4u32 {
+            let u = sparse_delta(&[(k % 8, 2.0)], 8);
+            u.axpy_into(1.0, &mut w);
+            b.push_snapshot_diff(&w, &u);
+            let got = b.handle().value_incremental(&mut ctx);
+            assert_eq!(got.as_slice(), w.as_slice());
+        }
+        let s = b.stats();
+        assert!(s.incremental_fetches > 0);
+        assert_eq!(s.quantized_patches, 0);
+        assert_eq!(s.quantized_patch_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! Gradient compression: top-k sparsification with error feedback, plus
+//! scale-normalized int8 / IEEE-half value quantization.
+//!
+//! The compressor keeps the k largest-magnitude coordinates of each delta
+//! and folds everything it drops into a per-partition residual
+//! ([`EfState`]) that is added back into the *next* delta before
+//! selection — the error-feedback scheme ASAP-style approximate
+//! communication relies on. Shipped values can additionally be quantized
+//! to 8-bit codes or half-precision against a per-message scale, and the
+//! residual absorbs the quantization error too: the telescoping identity
+//!
+//! ```text
+//! Σₜ shippedₜ + residual_T = Σₜ rawₜ        (per coordinate, residual₀ = 0)
+//! ```
+//!
+//! holds to floating-point accumulation error, so nothing the compressor
+//! drops is ever lost — only delayed.
+//!
+//! Everything here is deterministic: selection uses a total order
+//! (magnitude descending, index ascending on ties), quantization is pure
+//! per-value arithmetic against an `f64` scale, and dequantization of a
+//! code vector reproduces the exact same bits whether it runs in the
+//! simulator's task closure or in a remote worker process. That is what
+//! lets compressed runs stay byte-gated on the simulated engine.
+
+use crate::delta::GradDelta;
+use crate::sparse::{merge_union_u32, SparseVec};
+
+/// Value quantization applied to shipped (top-k selected) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Quant {
+    /// Ship full `f64` values (sparsification only).
+    #[default]
+    Exact,
+    /// Scale-normalized IEEE 754 half precision: `v ≈ f16(v/s)·s` with
+    /// per-message scale `s = max|v|`; error ≤ `s · 2⁻¹⁰` per value.
+    F16,
+    /// Scale-normalized 8-bit codes: `v ≈ round(v·127/s)·s/127`; error ≤
+    /// `s / 254` per value.
+    I8,
+}
+
+/// Wire bytes of a compressed sparse delta with `nnz` shipped entries, as
+/// both the simulator's modeled accounting and the remote frame layer
+/// charge it. Single source of truth: the `sparklet` payload codec for
+/// [`CompressedDelta`] produces exactly this many bytes.
+///
+/// * `Exact`: compressed-delta tag + sparse `GradDelta` encoding
+///   (tag + nnz + dim headers + 12 bytes/entry).
+/// * `I8`: tag + nnz + dim + scale headers + 5 bytes/entry.
+/// * `F16`: tag + nnz + dim + scale headers + 6 bytes/entry.
+pub fn quant_wire_bytes(quant: Quant, nnz: usize) -> u64 {
+    match quant {
+        Quant::Exact => 18 + 12 * nnz as u64,
+        Quant::I8 => 25 + 5 * nnz as u64,
+        Quant::F16 => 25 + 6 * nnz as u64,
+    }
+}
+
+/// Converts an `f32` to IEEE 754 half-precision bits, rounding to nearest
+/// even. Overflow saturates to ±∞; subnormal halves are produced below
+/// 2⁻¹⁴ and magnitudes under 2⁻²⁵ flush to (signed) zero.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Infinity or NaN (keep a quiet-NaN mantissa bit set).
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let e = exp - 127;
+    if e >= 16 {
+        return sign | 0x7c00;
+    }
+    if e >= -14 {
+        // Normal half: drop 13 mantissa bits with round-to-nearest-even.
+        let half = 1u32 << 12;
+        let mut m = man >> 13;
+        let rem = man & 0x1fff;
+        let mut he = (e + 15) as u32;
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1;
+            if m == 0x400 {
+                m = 0;
+                he += 1;
+                if he >= 31 {
+                    return sign | 0x7c00;
+                }
+            }
+        }
+        return sign | ((he as u16) << 10) | m as u16;
+    }
+    if e >= -25 {
+        // Subnormal half: shift the full (implicit-bit) mantissa into the
+        // 10-bit field; a round-up to 0x400 lands exactly on the smallest
+        // normal encoding.
+        let shift = 13 + (-14 - e) as u32;
+        let man_full = man | 0x0080_0000;
+        let m = man_full >> shift;
+        let rem = man_full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut m16 = m as u16;
+        if rem > half || (rem == half && (m16 & 1) == 1) {
+            m16 += 1;
+        }
+        return sign | m16;
+    }
+    sign
+}
+
+/// Expands IEEE 754 half-precision bits to `f64` (exactly — every half is
+/// representable in double precision).
+pub fn f16_bits_to_f64(bits: u16) -> f64 {
+    let sign = if bits & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((bits >> 10) & 0x1f) as i32;
+    let man = (bits & 0x3ff) as f64;
+    match exp {
+        0 => sign * man * (2.0f64).powi(-24),
+        31 => {
+            if man == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        e => sign * (1.0 + man / 1024.0) * (2.0f64).powi(e - 15),
+    }
+}
+
+/// Quantizes `v` against `scale` to a half-precision code of `v/scale`.
+/// Callers guarantee `|v| ≤ scale` (the compressor uses `scale = max|v|`),
+/// so the normalized value is in `[-1, 1]` and never overflows.
+#[inline]
+pub fn quantize_f16(v: f64, scale: f64) -> u16 {
+    if scale == 0.0 {
+        0
+    } else {
+        f32_to_f16_bits((v / scale) as f32)
+    }
+}
+
+/// Dequantizes a half-precision code produced by [`quantize_f16`].
+#[inline]
+pub fn dequantize_f16(code: u16, scale: f64) -> f64 {
+    f16_bits_to_f64(code) * scale
+}
+
+/// Quantizes `v` against `scale` to a signed 8-bit code in `[-127, 127]`.
+#[inline]
+pub fn quantize_i8(v: f64, scale: f64) -> i8 {
+    if scale == 0.0 {
+        0
+    } else {
+        (v / scale * 127.0).round().clamp(-127.0, 127.0) as i8
+    }
+}
+
+/// Dequantizes an 8-bit code produced by [`quantize_i8`].
+#[inline]
+pub fn dequantize_i8(code: i8, scale: f64) -> f64 {
+    code as f64 * scale / 127.0
+}
+
+/// Selects the `k` largest-magnitude entries of a sparse pairing under a
+/// deterministic total order (magnitude descending, index ascending on
+/// ties) and appends them to `out_idx`/`out_val` **sorted by index**.
+/// `order` is position scratch reused across calls; with `k ≥ idx.len()`
+/// every entry is kept. Allocation-free once the scratch and output
+/// capacities cover the inputs.
+pub fn select_top_k(
+    idx: &[u32],
+    val: &[f64],
+    k: usize,
+    order: &mut Vec<u32>,
+    out_idx: &mut Vec<u32>,
+    out_val: &mut Vec<f64>,
+) {
+    debug_assert_eq!(idx.len(), val.len());
+    if k == 0 {
+        return;
+    }
+    if idx.len() <= k {
+        out_idx.extend_from_slice(idx);
+        out_val.extend_from_slice(val);
+        return;
+    }
+    order.clear();
+    order.extend(0..idx.len() as u32);
+    let by_magnitude = |&a: &u32, &b: &u32| {
+        val[b as usize]
+            .abs()
+            .total_cmp(&val[a as usize].abs())
+            .then(a.cmp(&b))
+    };
+    order.select_nth_unstable_by(k - 1, by_magnitude);
+    order.truncate(k);
+    // Positions ascend together with indices, so sorting positions sorts
+    // the selection by coordinate.
+    order.sort_unstable();
+    for &p in order.iter() {
+        out_idx.push(idx[p as usize]);
+        out_val.push(val[p as usize]);
+    }
+}
+
+/// A compressed gradient delta in wire form: the shipped support plus
+/// either exact values or quantization codes with their scale. This is
+/// what remote workers actually put on the TCP socket (via the `sparklet`
+/// payload codec); the simulator models the identical byte count via
+/// [`quant_wire_bytes`] without materializing codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressedDelta {
+    /// Unquantized (sparsification-only) passthrough.
+    Exact(GradDelta),
+    /// 8-bit codes against a per-message scale.
+    I8 {
+        /// Embedding dimension.
+        dim: usize,
+        /// Per-message scale (`max|v|` over shipped values).
+        scale: f64,
+        /// Shipped support, strictly increasing.
+        indices: Vec<u32>,
+        /// Codes parallel to `indices`.
+        codes: Vec<i8>,
+    },
+    /// Half-precision codes against a per-message scale.
+    F16 {
+        /// Embedding dimension.
+        dim: usize,
+        /// Per-message scale (`max|v|` over shipped values).
+        scale: f64,
+        /// Shipped support, strictly increasing.
+        indices: Vec<u32>,
+        /// Codes parallel to `indices`.
+        codes: Vec<u16>,
+    },
+}
+
+impl CompressedDelta {
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            CompressedDelta::Exact(g) => g.dim(),
+            CompressedDelta::I8 { dim, .. } | CompressedDelta::F16 { dim, .. } => *dim,
+        }
+    }
+
+    /// Shipped entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            CompressedDelta::Exact(g) => g.nnz(),
+            CompressedDelta::I8 { indices, .. } | CompressedDelta::F16 { indices, .. } => {
+                indices.len()
+            }
+        }
+    }
+
+    /// Exact wire size in bytes (what the payload codec emits and what the
+    /// simulator charges). Matches [`quant_wire_bytes`] on sparse deltas.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            // Tag byte + the GradDelta payload encoding (itself tagged).
+            CompressedDelta::Exact(g) => {
+                1 + 1
+                    + match g {
+                        GradDelta::Dense(v) => 8 + 8 * v.len() as u64,
+                        GradDelta::Sparse(s) => 16 + 12 * s.nnz() as u64,
+                    }
+            }
+            CompressedDelta::I8 { indices, .. } => quant_wire_bytes(Quant::I8, indices.len()),
+            CompressedDelta::F16 { indices, .. } => quant_wire_bytes(Quant::F16, indices.len()),
+        }
+    }
+
+    /// Dequantizes into caller-provided buffers (cleared first) and builds
+    /// the sparse [`GradDelta`] the server applies — bit-identical to the
+    /// values the compressing side recorded in its residual update.
+    ///
+    /// # Panics
+    /// Panics if the stored indices violate the sparse invariant (cannot
+    /// happen for values produced by [`EfState`] or the validated decoder).
+    pub fn into_delta_buffers(self, mut idx: Vec<u32>, mut val: Vec<f64>) -> GradDelta {
+        idx.clear();
+        val.clear();
+        match self {
+            CompressedDelta::Exact(g) => g,
+            CompressedDelta::I8 {
+                dim,
+                scale,
+                indices,
+                codes,
+            } => {
+                idx.extend_from_slice(&indices);
+                val.extend(codes.iter().map(|&c| dequantize_i8(c, scale)));
+                GradDelta::Sparse(
+                    SparseVec::new(idx, val, dim).expect("compressed support is sorted"),
+                )
+            }
+            CompressedDelta::F16 {
+                dim,
+                scale,
+                indices,
+                codes,
+            } => {
+                idx.extend_from_slice(&indices);
+                val.extend(codes.iter().map(|&c| dequantize_f16(c, scale)));
+                GradDelta::Sparse(
+                    SparseVec::new(idx, val, dim).expect("compressed support is sorted"),
+                )
+            }
+        }
+    }
+
+    /// Dequantizes to an owned [`GradDelta`] (allocates; cold paths).
+    pub fn to_delta(&self) -> GradDelta {
+        self.clone().into_delta_buffers(Vec::new(), Vec::new())
+    }
+}
+
+/// Per-coordinate raw/shipped running sums for the telescoping-identity
+/// test rig.
+#[derive(Debug, Clone)]
+struct TrackSums {
+    raw: Vec<f64>,
+    shipped: Vec<f64>,
+}
+
+/// Per-partition error-feedback compressor state.
+///
+/// One `EfState` lives wherever one partition's gradient stream is
+/// produced — keyed by partition in the driver-side bank for simulated and
+/// threaded runs, or in the worker-process cache for remote runs. Each
+/// [`EfState::compress`] call accumulates the raw delta into the residual,
+/// selects the top-k coordinates of the *accumulated* vector, quantizes
+/// them, and subtracts the **dequantized** shipped values back out — so
+/// the residual carries both the sparsification and the quantization
+/// error forward. All buffers are retained across calls; once warm the
+/// per-step work performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct EfState {
+    dim: usize,
+    residual: Vec<f64>,
+    /// Sorted coordinates where `residual` may be nonzero (sparse mode).
+    support: Vec<u32>,
+    /// Once any dense delta arrives, candidate gathering scans the full
+    /// dimension instead of the support set.
+    dense: bool,
+    merge_tmp: Vec<u32>,
+    cand_idx: Vec<u32>,
+    cand_val: Vec<f64>,
+    order: Vec<u32>,
+    sel_idx: Vec<u32>,
+    sel_val: Vec<f64>,
+    codes_i8: Vec<i8>,
+    codes_f16: Vec<u16>,
+    scale: f64,
+    quant: Quant,
+    track: Option<Box<TrackSums>>,
+}
+
+impl EfState {
+    /// Fresh (zero-residual) state for deltas of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            residual: vec![0.0; dim],
+            support: Vec::new(),
+            dense: false,
+            merge_tmp: Vec::new(),
+            cand_idx: Vec::new(),
+            cand_val: Vec::new(),
+            order: Vec::new(),
+            sel_idx: Vec::new(),
+            sel_val: Vec::new(),
+            codes_i8: Vec::new(),
+            codes_f16: Vec::new(),
+            scale: 0.0,
+            quant: Quant::Exact,
+            track: None,
+        }
+    }
+
+    /// Enables per-coordinate raw/shipped sum tracking (test rig for the
+    /// telescoping identity; costs two dense vectors).
+    #[must_use]
+    pub fn with_tracking(mut self) -> Self {
+        self.track = Some(Box::new(TrackSums {
+            raw: vec![0.0; self.dim],
+            shipped: vec![0.0; self.dim],
+        }));
+        self
+    }
+
+    /// The embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One compression step: accumulate `g` into the residual, select the
+    /// top-`k` magnitudes of the accumulated vector, quantize, and leave
+    /// the un-shipped remainder (plus quantization error) in the residual.
+    /// The shipped message is exposed through the accessors until the next
+    /// call.
+    ///
+    /// # Panics
+    /// Panics if `g.dim() != self.dim()` or `k == 0`.
+    pub fn compress(&mut self, g: &GradDelta, k: usize, quant: Quant) {
+        assert_eq!(g.dim(), self.dim, "EfState: delta dimension mismatch");
+        assert!(k > 0, "EfState: top-k needs k >= 1");
+        if let Some(t) = self.track.as_deref_mut() {
+            g.axpy_into(1.0, &mut t.raw);
+        }
+        // Residual += g, tracking the support while everything is sparse.
+        match g {
+            GradDelta::Sparse(s) if !self.dense => {
+                s.axpy_into_dense(1.0, &mut self.residual);
+                self.merge_tmp.clear();
+                merge_union_u32(&self.support, s.indices(), &mut self.merge_tmp);
+                std::mem::swap(&mut self.support, &mut self.merge_tmp);
+            }
+            _ => {
+                g.axpy_into(1.0, &mut self.residual);
+                self.dense = true;
+            }
+        }
+        // Gather nonzero candidates; the rebuilt support drops coordinates
+        // that cancelled to exactly zero so it cannot grow stale entries.
+        self.cand_idx.clear();
+        self.cand_val.clear();
+        if self.dense {
+            for (i, &v) in self.residual.iter().enumerate() {
+                if v != 0.0 {
+                    self.cand_idx.push(i as u32);
+                    self.cand_val.push(v);
+                }
+            }
+        } else {
+            for &i in self.support.iter() {
+                let v = self.residual[i as usize];
+                if v != 0.0 {
+                    self.cand_idx.push(i);
+                    self.cand_val.push(v);
+                }
+            }
+            self.support.clear();
+            self.support.extend_from_slice(&self.cand_idx);
+        }
+        self.sel_idx.clear();
+        self.sel_val.clear();
+        select_top_k(
+            &self.cand_idx,
+            &self.cand_val,
+            k,
+            &mut self.order,
+            &mut self.sel_idx,
+            &mut self.sel_val,
+        );
+        // Quantize in place: sel_val becomes the *dequantized* shipped
+        // values, the code buffers hold the wire form.
+        self.quant = quant;
+        self.scale = self.sel_val.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        self.codes_i8.clear();
+        self.codes_f16.clear();
+        match quant {
+            Quant::Exact => {}
+            Quant::I8 => {
+                for v in self.sel_val.iter_mut() {
+                    let c = quantize_i8(*v, self.scale);
+                    self.codes_i8.push(c);
+                    *v = dequantize_i8(c, self.scale);
+                }
+            }
+            Quant::F16 => {
+                for v in self.sel_val.iter_mut() {
+                    let c = quantize_f16(*v, self.scale);
+                    self.codes_f16.push(c);
+                    *v = dequantize_f16(c, self.scale);
+                }
+            }
+        }
+        // Residual -= shipped (dequantized), so it carries exactly what
+        // the wire did not.
+        for (&i, &v) in self.sel_idx.iter().zip(self.sel_val.iter()) {
+            self.residual[i as usize] -= v;
+        }
+        if let Some(t) = self.track.as_deref_mut() {
+            for (&i, &v) in self.sel_idx.iter().zip(self.sel_val.iter()) {
+                t.shipped[i as usize] += v;
+            }
+        }
+    }
+
+    /// Shipped support of the last [`EfState::compress`] call.
+    pub fn shipped_indices(&self) -> &[u32] {
+        &self.sel_idx
+    }
+
+    /// Shipped (dequantized) values, parallel to
+    /// [`EfState::shipped_indices`].
+    pub fn shipped_values(&self) -> &[f64] {
+        &self.sel_val
+    }
+
+    /// Per-message quantization scale of the last call.
+    pub fn shipped_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Modeled/actual wire bytes of the last shipped message.
+    pub fn wire_bytes(&self) -> u64 {
+        quant_wire_bytes(self.quant, self.sel_idx.len())
+    }
+
+    /// Materializes the last shipped message as an owned wire value (the
+    /// remote worker's response body; allocates).
+    pub fn to_compressed(&self) -> CompressedDelta {
+        match self.quant {
+            Quant::Exact => CompressedDelta::Exact(GradDelta::Sparse(
+                SparseVec::new(self.sel_idx.clone(), self.sel_val.clone(), self.dim)
+                    .expect("selection keeps indices sorted"),
+            )),
+            Quant::I8 => CompressedDelta::I8 {
+                dim: self.dim,
+                scale: self.scale,
+                indices: self.sel_idx.clone(),
+                codes: self.codes_i8.clone(),
+            },
+            Quant::F16 => CompressedDelta::F16 {
+                dim: self.dim,
+                scale: self.scale,
+                indices: self.sel_idx.clone(),
+                codes: self.codes_f16.clone(),
+            },
+        }
+    }
+
+    /// The current residual (what has been dropped so far and will be
+    /// added back before the next selection).
+    pub fn residual(&self) -> &[f64] {
+        &self.residual
+    }
+
+    /// Per-coordinate `(Σ raw, Σ shipped)` sums when tracking is enabled —
+    /// the telescoping identity is `raw[i] = shipped[i] + residual[i]` up
+    /// to floating-point accumulation error.
+    pub fn tracking(&self) -> Option<(&[f64], &[f64])> {
+        self.track
+            .as_deref()
+            .map(|t| (t.raw.as_slice(), t.shipped.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(pairs: &[(u32, f64)], dim: usize) -> GradDelta {
+        GradDelta::Sparse(SparseVec::from_pairs(pairs.to_vec(), dim).unwrap())
+    }
+
+    #[test]
+    fn f16_roundtrips_representable_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.25, 0.75, 1.0 / 1024.0] {
+            let bits = f32_to_f16_bits(v as f32);
+            assert_eq!(f16_bits_to_f64(bits), v, "v={v}");
+        }
+        // Signed zero and saturation.
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f16_bits_to_f64(f32_to_f16_bits(1e9)), f64::INFINITY);
+        assert!(f16_bits_to_f64(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_error_stays_within_half_ulp_bound() {
+        let mut x = -1.0f64;
+        while x <= 1.0 {
+            let dq = f16_bits_to_f64(f32_to_f16_bits(x as f32));
+            assert!(
+                (dq - x).abs() <= (2.0f64).powi(-10) * x.abs().max(2.0f64.powi(-14)) + 1e-12,
+                "x={x} dq={dq}"
+            );
+            x += 0.000_137;
+        }
+    }
+
+    #[test]
+    fn i8_codes_are_exact_on_their_own_grid_and_bounded_elsewhere() {
+        let scale = 3.0;
+        for c in -127i32..=127 {
+            let v = dequantize_i8(c as i8, scale);
+            assert_eq!(quantize_i8(v, scale), c as i8);
+        }
+        let mut x = -3.0f64;
+        while x <= 3.0 {
+            let dq = dequantize_i8(quantize_i8(x, scale), scale);
+            assert!((dq - x).abs() <= scale / 254.0 + 1e-12, "x={x}");
+            x += 0.000_739;
+        }
+        assert_eq!(quantize_i8(1.0, 0.0), 0);
+    }
+
+    #[test]
+    fn top_k_matches_naive_sort_oracle() {
+        let idx: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        let val: Vec<f64> = (0..200)
+            .map(|i| ((i * 2_654_435_761u64 % 1_000) as f64 - 500.0) / 97.0)
+            .collect();
+        for k in [1usize, 5, 50, 199, 200, 500] {
+            let mut order = Vec::new();
+            let (mut oi, mut ov) = (Vec::new(), Vec::new());
+            select_top_k(&idx, &val, k, &mut order, &mut oi, &mut ov);
+            // Oracle: full sort by (|v| desc, idx asc), take k, re-sort by index.
+            let mut all: Vec<(u32, f64)> = idx.iter().copied().zip(val.iter().copied()).collect();
+            all.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            all.sort_by_key(|e| e.0);
+            assert_eq!(oi, all.iter().map(|e| e.0).collect::<Vec<_>>(), "k={k}");
+            assert_eq!(ov, all.iter().map(|e| e.1).collect::<Vec<_>>(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn error_feedback_telescopes_per_coordinate() {
+        let dim = 40;
+        let mut ef = EfState::new(dim).with_tracking();
+        let mut state = 1u64;
+        for step in 0..50 {
+            let pairs: Vec<(u32, f64)> = (0..dim as u32)
+                .filter_map(|i| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    ((state >> 60) < 6)
+                        .then(|| (i, ((state >> 20) as f64 / (1u64 << 43) as f64) - 1.0))
+                })
+                .collect();
+            if pairs.is_empty() {
+                continue;
+            }
+            let g = sparse(&pairs, dim);
+            let quant = [Quant::Exact, Quant::I8, Quant::F16][step % 3];
+            ef.compress(&g, 3, quant);
+        }
+        let (raw, shipped) = ef.tracking().unwrap();
+        for i in 0..dim {
+            let drift = (raw[i] - shipped[i] - ef.residual()[i]).abs();
+            assert!(drift <= 1e-9, "coordinate {i} drifts by {drift}");
+        }
+    }
+
+    #[test]
+    fn exact_unbounded_k_is_a_passthrough_with_zero_residual() {
+        let dim = 16;
+        let mut ef = EfState::new(dim);
+        let g = sparse(&[(1, 0.5), (7, -2.0), (15, 1.25)], dim);
+        ef.compress(&g, usize::MAX, Quant::Exact);
+        assert_eq!(ef.shipped_indices(), &[1, 7, 15]);
+        assert_eq!(ef.shipped_values(), &[0.5, -2.0, 1.25]);
+        assert!(ef.residual().iter().all(|&r| r == 0.0));
+        // And again: the residual stayed exactly zero, so the next ship is
+        // again exactly the raw delta.
+        ef.compress(&g, usize::MAX, Quant::Exact);
+        assert_eq!(ef.shipped_values(), &[0.5, -2.0, 1.25]);
+    }
+
+    #[test]
+    fn dropped_mass_returns_on_later_steps() {
+        let dim = 8;
+        let mut ef = EfState::new(dim);
+        ef.compress(
+            &sparse(&[(0, 1.0), (1, 0.4), (2, 0.3)], dim),
+            1,
+            Quant::Exact,
+        );
+        assert_eq!(ef.shipped_indices(), &[0]);
+        assert_eq!(ef.residual()[1], 0.4);
+        // Next step ships the accumulated coordinate 1 (0.4 + 0.4 = 0.8
+        // beats the fresh 0.5 at coordinate 3).
+        ef.compress(&sparse(&[(1, 0.4), (3, 0.5)], dim), 1, Quant::Exact);
+        assert_eq!(ef.shipped_indices(), &[1]);
+        assert_eq!(ef.shipped_values(), &[0.8]);
+        assert_eq!(ef.residual()[3], 0.5);
+    }
+
+    #[test]
+    fn dense_deltas_switch_to_dense_candidate_scan() {
+        let dim = 6;
+        let mut ef = EfState::new(dim);
+        ef.compress(
+            &GradDelta::Dense(vec![0.1, -0.9, 0.0, 0.4, 0.0, 0.2]),
+            2,
+            Quant::Exact,
+        );
+        assert_eq!(ef.shipped_indices(), &[1, 3]);
+        ef.compress(&sparse(&[(2, 0.05)], dim), 2, Quant::Exact);
+        // Residual 0.2 at index 5 still wins over the fresh 0.05.
+        assert_eq!(ef.shipped_indices(), &[0, 5]);
+    }
+
+    #[test]
+    fn wire_bytes_beat_exact_encoding() {
+        let dim = 1000;
+        let pairs: Vec<(u32, f64)> = (0..200).map(|i| (i, 1.0 + i as f64)).collect();
+        let mut ef = EfState::new(dim);
+        ef.compress(&sparse(&pairs, dim), 32, Quant::I8);
+        assert_eq!(ef.wire_bytes(), 25 + 5 * 32);
+        let cd = ef.to_compressed();
+        assert_eq!(cd.wire_bytes(), ef.wire_bytes());
+        assert_eq!(cd.nnz(), 32);
+        // >5x smaller than the exact sparse wire for the same support.
+        assert!(quant_wire_bytes(Quant::Exact, 200) > 5 * ef.wire_bytes());
+    }
+
+    #[test]
+    fn compressed_delta_dequantizes_to_shipped_values_bitwise() {
+        let dim = 64;
+        let pairs: Vec<(u32, f64)> = (0..40).map(|i| (i, (i as f64 - 20.0) / 7.0)).collect();
+        for quant in [Quant::Exact, Quant::I8, Quant::F16] {
+            let mut ef = EfState::new(dim);
+            ef.compress(&sparse(&pairs, dim), 10, quant);
+            let g = ef
+                .to_compressed()
+                .into_delta_buffers(Vec::new(), Vec::new());
+            match &g {
+                GradDelta::Sparse(s) => {
+                    assert_eq!(s.indices(), ef.shipped_indices());
+                    assert_eq!(s.values(), ef.shipped_values(), "{quant:?}");
+                }
+                GradDelta::Dense(_) => panic!("compressed deltas are sparse"),
+            }
+        }
+    }
+
+    #[test]
+    fn compress_is_allocation_stable_once_warm() {
+        let dim = 128;
+        let mut ef = EfState::new(dim);
+        let a = sparse(
+            &(0..60)
+                .map(|i| (i * 2, i as f64 - 30.0))
+                .collect::<Vec<_>>(),
+            dim,
+        );
+        let b = sparse(
+            &(0..50)
+                .map(|i| (i * 2 + 1, 25.0 - i as f64))
+                .collect::<Vec<_>>(),
+            dim,
+        );
+        // Two full rounds warm the support/merge ping-pong pair (their
+        // capacities alternate by swap parity until both cover the union).
+        for _ in 0..2 {
+            ef.compress(&a, 8, Quant::I8);
+            ef.compress(&b, 8, Quant::I8);
+        }
+        let caps = (
+            ef.support.capacity(),
+            ef.merge_tmp.capacity(),
+            ef.cand_idx.capacity(),
+            ef.order.capacity(),
+            ef.sel_idx.capacity(),
+            ef.codes_i8.capacity(),
+        );
+        for _ in 0..20 {
+            ef.compress(&a, 8, Quant::I8);
+            ef.compress(&b, 8, Quant::I8);
+        }
+        let after = (
+            ef.support.capacity(),
+            ef.merge_tmp.capacity(),
+            ef.cand_idx.capacity(),
+            ef.order.capacity(),
+            ef.sel_idx.capacity(),
+            ef.codes_i8.capacity(),
+        );
+        assert_eq!(caps, after);
+    }
+}

@@ -21,11 +21,15 @@
 //!   path ([`shard`]), with disjoint-range helpers and bit-identical
 //!   sharded kernels;
 //! * a conjugate-gradient least-squares solver ([`solve`]) used to compute
-//!   high-precision baseline optima for the paper's error metric.
+//!   high-precision baseline optima for the paper's error metric;
+//! * gradient compression kernels ([`compress`]): deterministic top-k
+//!   selection, a per-partition error-feedback residual ([`EfState`]), and
+//!   scale-normalized int8 / half-precision value quantization.
 //!
 //! All kernels are pure, allocation-conscious (callers pass output buffers
 //! where it matters), and deterministic.
 
+pub mod compress;
 pub mod csr;
 pub mod delta;
 pub mod dense;
@@ -36,6 +40,10 @@ pub mod shard;
 pub mod solve;
 pub mod sparse;
 
+pub use compress::{
+    dequantize_f16, dequantize_i8, f16_bits_to_f64, f32_to_f16_bits, quant_wire_bytes,
+    quantize_f16, quantize_i8, select_top_k, CompressedDelta, EfState, Quant,
+};
 pub use csr::CsrMatrix;
 pub use delta::{DeltaFold, GradDelta};
 pub use dense_mat::DenseMatrix;

@@ -35,6 +35,7 @@ use sparklet::{Payload, Rdd, WorkerCtx};
 
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
+use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunReport, SolverCfg};
@@ -45,12 +46,17 @@ use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunRepo
 pub(crate) struct DeltaMsg {
     /// `(1/b) Σⱼ (f'ⱼ(w_cur) − f'ⱼ(w_{φⱼ}))·xⱼ` over the batch, sparse
     /// over CSR partitions (the telescoping difference has the batch's
-    /// support, so it ships and applies without densifying).
+    /// support, so it ships and applies without densifying). With
+    /// compression on this is the dequantized top-k selection.
     pub(crate) delta: GradDelta,
-    /// Global row ids of the batch (for the server's table update).
+    /// Global row ids of the batch (for the server's table update) —
+    /// never compressed: the table must record every sampled row.
     pub(crate) indices: Vec<u64>,
     /// Stored feature entries the two gradient evaluations touched.
     pub(crate) entries: u64,
+    /// Modeled wire bytes of the delta: its own encoding when compression
+    /// is off, the compressed frame size otherwise.
+    pub(crate) wire_bytes: u64,
 }
 
 /// Asynchronous SAGA with server-side history.
@@ -59,6 +65,7 @@ pub struct Asaga {
     /// The objective being minimized.
     pub objective: Objective,
     resume: Option<Checkpoint>,
+    bank: Option<CompressorBank>,
 }
 
 impl Asaga {
@@ -67,7 +74,16 @@ impl Asaga {
         Self {
             objective,
             resume: None,
+            bank: None,
         }
+    }
+
+    /// Injects the [`CompressorBank`] the next run's tasks compress
+    /// through (only consulted when [`crate::SolverCfg::compress`] is on);
+    /// by default each run builds its own.
+    pub fn with_compressor_bank(mut self, bank: CompressorBank) -> Self {
+        self.bank = Some(bank);
+        self
     }
 
     /// Seeds the next [`AsyncSolver::run`] from a checkpoint. The server
@@ -84,6 +100,7 @@ impl Asaga {
         self
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_wave(
         &self,
         ctx: &mut AsyncContext,
@@ -92,13 +109,16 @@ impl Asaga {
         cfg: &SolverCfg,
         minibatch_hint: u64,
         pool: &ScratchPool,
+        bank: &CompressorBank,
     ) -> Vec<usize> {
         let handle = bcast.handle();
         let server_table = bcast.clone();
         let version = ctx.version();
         let obj = self.objective;
         let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+        let compress = cfg.compress;
         let pool = pool.clone();
+        let bank = bank.clone();
         let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
             let block = &data[0];
             let w_cur = handle.value(wctx);
@@ -156,10 +176,20 @@ impl Asaga {
             let entries = 2 * features.rows_nnz(&scratch.rows);
             let indices = std::mem::take(&mut scratch.ids);
             pool.give_back(scratch);
+            // The telescoping difference compresses like any other delta;
+            // the table-update row ids always travel exact.
+            let (delta, wire_bytes) = match compress {
+                CompressCfg::Off => {
+                    let wire = delta.encoded_len();
+                    (delta, wire)
+                }
+                CompressCfg::TopK { k, quant } => bank.compress(part, delta, k, quant, &pool),
+            };
             DeltaMsg {
                 delta,
                 indices,
                 entries,
+                wire_bytes,
             }
         };
         let opts = SubmitOpts {
@@ -174,7 +204,8 @@ impl Asaga {
         // lookup run driver-side in `build` (the submission instant — the
         // same moment the simulator runs the closure above), and the
         // worker replays the arithmetic. In-process engines ignore it.
-        let routine = crate::remote::asaga_routine(rdd, bcast, obj, seed, version, fraction);
+        let routine =
+            crate::remote::asaga_routine(rdd, bcast, obj, seed, version, fraction, compress);
         let submitted = ctx.async_reduce_wired(rdd, &cfg.barrier, opts, task, Some(&routine));
         // Pin the submission version once per in-flight task: `record_use`
         // at consumption must find it alive.
@@ -219,6 +250,7 @@ impl AsyncSolver for Asaga {
         let bcast = ctx.async_broadcast(w.clone(), n as u64);
         // Steady-state buffer recycling for the delta/ids result cycle.
         let pool = ScratchPool::new();
+        let bank = self.bank.take().unwrap_or_default();
         // ᾱ = mean table gradient, seeded at w₀ so it is exactly consistent
         // with the version table.
         let mut alpha_bar = vec![0.0; dcols];
@@ -237,7 +269,7 @@ impl AsyncSolver for Asaga {
         let mut checkpoints = Vec::new();
 
         let v0 = ctx.version();
-        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
+        let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool, &bank);
         pinned.record_wave(v0, &ws);
 
         // The sharded server: both the model step and the ᾱ table-mean
@@ -265,7 +297,7 @@ impl AsyncSolver for Asaga {
                 // Total stall (all in-flight tasks lost): restart with a
                 // fresh wave if revived/joined workers are available.
                 let v = ctx.version();
-                let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
+                let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool, &bank);
                 if ws.is_empty() {
                     break;
                 }
@@ -278,7 +310,7 @@ impl AsyncSolver for Asaga {
                 tasks_completed += 1;
                 max_staleness = max_staleness.max(t.attrs.staleness);
                 grad_entries += t.value.entries;
-                result_bytes += t.value.delta.encoded_len();
+                result_bytes += t.value.wire_bytes;
                 let task_version = t.attrs.issued_version;
                 // SAGA's table update: the batch is now recorded at the
                 // version the task computed against; then release the
@@ -349,7 +381,7 @@ impl AsyncSolver for Asaga {
                 });
             }
             let v = ctx.version();
-            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool);
+            let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool, &bank);
             pinned.record_wave(v, &ws);
         }
 

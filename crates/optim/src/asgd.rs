@@ -18,10 +18,10 @@ use async_cluster::ConvergenceTrace;
 use async_core::{AsyncContext, Tagged};
 use async_data::Dataset;
 use async_linalg::GradDelta;
-use sparklet::Payload;
 
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
+use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{
@@ -35,6 +35,7 @@ pub struct Asgd {
     /// The objective being minimized.
     pub objective: Objective,
     resume: Option<Checkpoint>,
+    bank: Option<CompressorBank>,
 }
 
 impl Asgd {
@@ -43,7 +44,17 @@ impl Asgd {
         Self {
             objective,
             resume: None,
+            bank: None,
         }
+    }
+
+    /// Injects the [`CompressorBank`] the next run's tasks compress
+    /// through (only consulted when [`crate::SolverCfg::compress`] is on).
+    /// Tests inject a tracked bank here and inspect the error-feedback
+    /// residuals after the run; by default each run builds its own.
+    pub fn with_compressor_bank(mut self, bank: CompressorBank) -> Self {
+        self.bank = Some(bank);
+        self
     }
 
     /// Seeds the next [`AsyncSolver::run`] from a checkpoint: the server
@@ -90,10 +101,17 @@ impl AsyncSolver for Asgd {
         let bcast = ctx.async_broadcast(w.clone(), 0);
         if cfg.bcast_ring > 0 {
             bcast.enable_incremental(cfg.bcast_ring);
+            // With compression on, the same wire format also applies to
+            // the driver → worker version-diff patches: codes carry the
+            // target−base difference per changed coordinate.
+            if let CompressCfg::TopK { quant, .. } = cfg.compress {
+                bcast.set_patch_quant(quant);
+            }
         }
         // Steady-state buffer recycling: gradients, sampling buffers, and
         // the result deltas all cycle through the pool.
         let pool = ScratchPool::new();
+        let bank = self.bank.take().unwrap_or_default();
 
         let mut trace = ConvergenceTrace::new();
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -113,6 +131,7 @@ impl AsyncSolver for Asgd {
             minibatch_hint,
             self.objective,
             &pool,
+            &bank,
         );
         pinned.record_wave(v0, &ws);
 
@@ -147,6 +166,7 @@ impl AsyncSolver for Asgd {
                     minibatch_hint,
                     self.objective,
                     &pool,
+                    &bank,
                 );
                 if ws.is_empty() {
                     break;
@@ -159,7 +179,7 @@ impl AsyncSolver for Asgd {
                 tasks_completed += 1;
                 max_staleness = max_staleness.max(t.attrs.staleness);
                 grad_entries += t.value.entries;
-                result_bytes += t.value.g.encoded_len();
+                result_bytes += t.value.wire_bytes;
                 bcast.unpin(t.attrs.issued_version);
                 pinned.consume(t.attrs.worker, t.attrs.issued_version);
                 damps.push(if cfg.staleness_damping {
@@ -226,6 +246,7 @@ impl AsyncSolver for Asgd {
                 minibatch_hint,
                 self.objective,
                 &pool,
+                &bank,
             );
             pinned.record_wave(v, &ws);
         }

@@ -1,0 +1,177 @@
+//! Gradient compression for the worker → server wire: configuration
+//! ([`CompressCfg`]) and the shared per-partition error-feedback state
+//! ([`CompressorBank`]) the solvers route their deltas through.
+//!
+//! With compression on, each task's raw gradient is folded into its
+//! partition's [`EfState`] residual, the top-k largest-magnitude
+//! coordinates of the accumulated signal are selected, their values are
+//! quantized to the configured wire format, and the **dequantized**
+//! selection ships as a sparse [`GradDelta`] — so the server applies
+//! exactly what a remote worker's decoded frame would reconstruct, and
+//! the unshipped remainder stays in the residual for the next round
+//! (error feedback). [`CompressCfg::Off`] bypasses all of it and is
+//! bit-identical to a build without this module.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use async_linalg::{EfState, GradDelta, Quant, SparseVec};
+
+use crate::scratch::ScratchPool;
+
+/// What the solvers do to a gradient delta before it ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressCfg {
+    /// Ship deltas uncompressed — bit-identical to builds predating the
+    /// compression layer (the default).
+    #[default]
+    Off,
+    /// Error-feedback top-k sparsification: accumulate each raw gradient
+    /// into the partition's residual, ship the `k` largest-magnitude
+    /// coordinates of the accumulated signal in the `quant` wire format,
+    /// and carry the rest forward.
+    TopK {
+        /// Coordinates shipped per delta (must be ≥ 1; `usize::MAX` with
+        /// [`Quant::Exact`] is a lossless passthrough).
+        k: usize,
+        /// Wire format of the shipped values.
+        quant: Quant,
+    },
+}
+
+impl CompressCfg {
+    /// True when deltas ship unmodified.
+    pub fn is_off(&self) -> bool {
+        matches!(self, CompressCfg::Off)
+    }
+}
+
+/// The per-partition error-feedback accumulators of one solver run,
+/// shared (`Arc`) between the driver and every task closure. Cheap to
+/// clone; clones address the same states, which is how tests inject a
+/// tracked bank and inspect residuals after the run.
+#[derive(Clone, Default)]
+pub struct CompressorBank {
+    inner: Arc<Mutex<HashMap<usize, EfState>>>,
+    track: bool,
+}
+
+impl std::fmt::Debug for CompressorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressorBank")
+            .field("track", &self.track)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompressorBank {
+    /// An empty bank; partition states materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bank whose states record the telescoping sums
+    /// (`Σ raw` and `Σ shipped` per coordinate) for invariant tests.
+    pub fn with_tracking() -> Self {
+        Self {
+            inner: Arc::default(),
+            track: true,
+        }
+    }
+
+    /// Compresses one task's raw delta for `part`: folds it into the
+    /// partition's residual, selects and quantizes the top `k`
+    /// coordinates, recycles the raw delta's buffers into `pool`, and
+    /// returns the dequantized selection as a sparse delta plus its
+    /// modeled wire bytes (the [`async_linalg::CompressedDelta`] frame
+    /// size a remote worker would ship).
+    pub fn compress(
+        &self,
+        part: usize,
+        g: GradDelta,
+        k: usize,
+        quant: Quant,
+        pool: &ScratchPool,
+    ) -> (GradDelta, u64) {
+        let dim = g.dim();
+        let mut map = self.inner.lock().expect("compressor bank poisoned");
+        let ef = map.entry(part).or_insert_with(|| {
+            let s = EfState::new(dim);
+            if self.track {
+                s.with_tracking()
+            } else {
+                s
+            }
+        });
+        ef.compress(&g, k, quant);
+        let (mut idx, mut val) = pool.checkout_sparse();
+        idx.clear();
+        val.clear();
+        idx.extend_from_slice(ef.shipped_indices());
+        val.extend_from_slice(ef.shipped_values());
+        let wire = ef.wire_bytes();
+        drop(map);
+        pool.recycle_delta(g);
+        let delta = GradDelta::Sparse(
+            SparseVec::new(idx, val, dim).expect("top-k selection is sorted and in range"),
+        );
+        (delta, wire)
+    }
+
+    /// Partitions with materialized state, ascending.
+    pub fn parts(&self) -> Vec<usize> {
+        let map = self.inner.lock().expect("compressor bank poisoned");
+        let mut parts: Vec<usize> = map.keys().copied().collect();
+        parts.sort_unstable();
+        parts
+    }
+
+    /// Runs `f` against `part`'s error-feedback state (residuals,
+    /// tracked sums), if the partition ever compressed a delta.
+    pub fn with_part<R>(&self, part: usize, f: impl FnOnce(&EfState) -> R) -> Option<R> {
+        let map = self.inner.lock().expect("compressor bank poisoned");
+        map.get(&part).map(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_default_and_reports_itself() {
+        assert!(CompressCfg::default().is_off());
+        assert!(!CompressCfg::TopK {
+            k: 4,
+            quant: Quant::Exact
+        }
+        .is_off());
+    }
+
+    #[test]
+    fn bank_compresses_per_partition_and_recycles_buffers() {
+        let bank = CompressorBank::with_tracking();
+        let pool = ScratchPool::new();
+        let g = GradDelta::Dense(vec![3.0, -0.5, 0.25, -4.0]);
+        let (d, wire) = bank.compress(0, g, 2, Quant::Exact, &pool);
+        match &d {
+            GradDelta::Sparse(s) => {
+                assert_eq!(s.indices(), &[0, 3]);
+                assert_eq!(s.values(), &[3.0, -4.0]);
+            }
+            GradDelta::Dense(_) => panic!("compressed deltas are sparse"),
+        }
+        assert_eq!(wire, async_linalg::quant_wire_bytes(Quant::Exact, 2));
+        // The raw delta's dense buffer went back to the pool.
+        assert_eq!(pool.depth().2, 1);
+        // The unshipped coordinates wait in the residual.
+        let resid = bank
+            .with_part(0, |ef| ef.residual().to_vec())
+            .expect("part 0 materialized");
+        assert_eq!(resid, vec![0.0, -0.5, 0.25, 0.0]);
+        assert_eq!(bank.parts(), vec![0]);
+        assert!(bank.with_part(7, |_| ()).is_none());
+        // A clone addresses the same states.
+        assert_eq!(bank.clone().parts(), vec![0]);
+    }
+}

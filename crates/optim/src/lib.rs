@@ -46,6 +46,7 @@ pub mod absorber;
 pub mod asaga;
 pub mod asgd;
 pub mod checkpoint;
+pub mod compression;
 pub mod msgd;
 pub mod objective;
 pub mod remote;
@@ -56,8 +57,9 @@ pub use absorber::ShardedAbsorber;
 pub use asaga::Asaga;
 pub use asgd::Asgd;
 pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};
+pub use compression::{CompressCfg, CompressorBank};
 pub use msgd::AsyncMsgd;
 pub use objective::Objective;
-pub use remote::{worker_registry, ROUTINE_ASAGA, ROUTINE_GRAD};
+pub use remote::{worker_registry, EF_NS, ROUTINE_ASAGA, ROUTINE_GRAD};
 pub use scratch::{ScratchPool, TaskScratch};
 pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg, SolverCfgBuilder, SolverCfgError};

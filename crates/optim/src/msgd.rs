@@ -29,10 +29,10 @@
 use async_cluster::ConvergenceTrace;
 use async_core::{AsyncContext, Tagged};
 use async_data::Dataset;
-use sparklet::Payload;
 
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
+use crate::compression::CompressorBank;
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::solver::{
@@ -49,6 +49,7 @@ pub struct AsyncMsgd {
     /// observed staleness and damped as `β₀/(1+s)` otherwise.
     pub momentum: f64,
     resume: Option<Checkpoint>,
+    bank: Option<CompressorBank>,
 }
 
 impl AsyncMsgd {
@@ -58,7 +59,16 @@ impl AsyncMsgd {
             objective,
             momentum: 0.9,
             resume: None,
+            bank: None,
         }
+    }
+
+    /// Injects the [`CompressorBank`] the next run's tasks compress
+    /// through (only consulted when [`crate::SolverCfg::compress`] is on);
+    /// by default each run builds its own.
+    pub fn with_compressor_bank(mut self, bank: CompressorBank) -> Self {
+        self.bank = Some(bank);
+        self
     }
 
     /// Overrides the base momentum β₀.
@@ -97,6 +107,7 @@ impl AsyncSolver for AsyncMsgd {
         // Buffer recycling for the gradient/result cycle; the velocity is
         // checked out of the same pool below.
         let pool = ScratchPool::new();
+        let bank = self.bank.take().unwrap_or_default();
         // Resume from a checkpoint when one is installed: both the server
         // model and the heavy-ball velocity restore bit-identically.
         let (mut w, mut u, base_updates) = match self.resume.take() {
@@ -133,6 +144,7 @@ impl AsyncSolver for AsyncMsgd {
             minibatch_hint,
             self.objective,
             &pool,
+            &bank,
         );
         pinned.record_wave(v0, &ws);
 
@@ -167,6 +179,7 @@ impl AsyncSolver for AsyncMsgd {
                     minibatch_hint,
                     self.objective,
                     &pool,
+                    &bank,
                 );
                 if ws.is_empty() {
                     break;
@@ -185,7 +198,7 @@ impl AsyncSolver for AsyncMsgd {
                 tasks_completed += 1;
                 max_staleness = max_staleness.max(t.attrs.staleness);
                 grad_entries += t.value.entries;
-                result_bytes += t.value.g.encoded_len();
+                result_bytes += t.value.wire_bytes;
                 bcast.unpin(t.attrs.issued_version);
                 pinned.consume(t.attrs.worker, t.attrs.issued_version);
                 let observed = t.attrs.staleness.max(snap.max_staleness());
@@ -253,6 +266,7 @@ impl AsyncSolver for AsyncMsgd {
                 minibatch_hint,
                 self.objective,
                 &pool,
+                &bank,
             );
             pinned.record_wave(v, &ws);
         }

@@ -32,15 +32,18 @@
 //! binary is `worker_main(worker_registry())`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use async_core::{AsyncBcast, RemoteRoutine, WirePlan};
+use async_core::{AsyncBcast, PatchCodes, RemoteRoutine, WirePlan};
 use async_data::{sampler, Block};
-use async_linalg::{CsrMatrix, DenseMatrix, GradDelta, Matrix, SparseVec};
+use async_linalg::{
+    CompressedDelta, CsrMatrix, DenseMatrix, EfState, GradDelta, Matrix, Quant, SparseVec,
+};
 use bytes::{BufMut, BytesMut};
 use sparklet::{DecodeError, Payload, Rdd, RoutineRegistry, WorkerCtx};
 
 use crate::asaga::DeltaMsg;
+use crate::compression::CompressCfg;
 use crate::objective::Objective;
 use crate::solver::GradMsg;
 
@@ -54,6 +57,12 @@ pub const ROUTINE_ASAGA: u32 = 2;
 /// `(BLOCKS_NS, partition)`. History broadcasts allocate ids from 0
 /// upward, so the top of the id space cannot collide.
 pub const BLOCKS_NS: u64 = u64::MAX - 1;
+
+/// Reserved worker-cache namespace for per-partition error-feedback
+/// compressor state, keyed `(EF_NS, partition)` — the worker-process twin
+/// of the driver's [`crate::CompressorBank`]. Lives (and dies) with the
+/// worker incarnation, exactly like its shipped blocks.
+pub const EF_NS: u64 = u64::MAX - 2;
 
 // ---------------------------------------------------------------------------
 // Positioned decoding
@@ -83,6 +92,20 @@ impl<'a> Reader<'a> {
         })?;
         self.at += 1;
         Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let rest = self.rest();
+        let b = rest.get(..2).ok_or_else(|| DecodeError::Truncated {
+            at: self.at + rest.len(),
+            needed: 2usize.saturating_sub(rest.len()),
+        })?;
+        self.at += 2;
+        Ok(u16::from_le_bytes(b.try_into().expect("2-byte slice")))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
@@ -186,6 +209,54 @@ fn decode_objective(r: &mut Reader) -> Result<Objective, DecodeError> {
     match kind {
         0 => Ok(Objective::LeastSquares { lambda }),
         1 => Ok(Objective::Logistic { lambda }),
+        tag => Err(DecodeError::BadTag { at, tag }),
+    }
+}
+
+fn quant_byte(q: Quant) -> u8 {
+    match q {
+        Quant::Exact => 0,
+        Quant::I8 => 1,
+        Quant::F16 => 2,
+    }
+}
+
+fn decode_quant(r: &mut Reader) -> Result<Quant, DecodeError> {
+    let at = r.at;
+    match r.u8()? {
+        0 => Ok(Quant::Exact),
+        1 => Ok(Quant::I8),
+        2 => Ok(Quant::F16),
+        tag => Err(DecodeError::BadTag { at, tag }),
+    }
+}
+
+fn encode_compress(c: &CompressCfg, buf: &mut BytesMut) {
+    match c {
+        CompressCfg::Off => buf.put_u8(0),
+        CompressCfg::TopK { k, quant } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*k as u64);
+            buf.put_u8(quant_byte(*quant));
+        }
+    }
+}
+
+fn decode_compress(r: &mut Reader) -> Result<CompressCfg, DecodeError> {
+    let at = r.at;
+    match r.u8()? {
+        0 => Ok(CompressCfg::Off),
+        1 => {
+            let k = r.u64()? as usize;
+            let quant = decode_quant(r)?;
+            if k == 0 {
+                return Err(DecodeError::Invalid {
+                    at,
+                    what: "top-k compression with k = 0",
+                });
+            }
+            Ok(CompressCfg::TopK { k, quant })
+        }
         tag => Err(DecodeError::BadTag { at, tag }),
     }
 }
@@ -318,6 +389,36 @@ fn encode_plan(p: &WirePlan, buf: &mut BytesMut) {
                 buf.put_f64_le(v);
             }
         }
+        WirePlan::QPatch {
+            base,
+            version,
+            indices,
+            scale,
+            codes,
+            evict_below,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*base);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*evict_below);
+            buf.put_f64_le(*scale);
+            buf.put_u8(quant_byte(codes.quant()));
+            buf.put_u64_le(indices.len() as u64);
+            match codes {
+                PatchCodes::I8(cs) => {
+                    for (&i, &c) in indices.iter().zip(cs.iter()) {
+                        buf.put_u32_le(i);
+                        buf.put_i8(c);
+                    }
+                }
+                PatchCodes::F16(cs) => {
+                    for (&i, &c) in indices.iter().zip(cs.iter()) {
+                        buf.put_u32_le(i);
+                        buf.put_u16_le(c);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -356,6 +457,58 @@ fn decode_plan(r: &mut Reader) -> Result<WirePlan, DecodeError> {
                 version,
                 indices,
                 values,
+                evict_below,
+            })
+        }
+        3 => {
+            let base = r.u64()?;
+            let version = r.u64()?;
+            let evict_below = r.u64()?;
+            let at_scale = r.at;
+            let scale = r.f64()?;
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(DecodeError::Invalid {
+                    at: at_scale,
+                    what: "quantized patch scale must be finite and non-negative",
+                });
+            }
+            let quant = decode_quant(r)?;
+            let n64 = r.u64()?;
+            let codes = match quant {
+                Quant::I8 => {
+                    let n = r.checked_count(n64, 5)?;
+                    let mut indices = Vec::with_capacity(n);
+                    let mut cs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        indices.push(r.u32()?);
+                        cs.push(r.i8()?);
+                    }
+                    (indices, PatchCodes::I8(cs))
+                }
+                Quant::F16 => {
+                    let n = r.checked_count(n64, 6)?;
+                    let mut indices = Vec::with_capacity(n);
+                    let mut cs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        indices.push(r.u32()?);
+                        cs.push(r.u16()?);
+                    }
+                    (indices, PatchCodes::F16(cs))
+                }
+                Quant::Exact => {
+                    return Err(DecodeError::Invalid {
+                        at: at_scale,
+                        what: "quantized patch with exact format (use tag 2)",
+                    })
+                }
+            };
+            let (indices, codes) = codes;
+            Ok(WirePlan::QPatch {
+                base,
+                version,
+                indices,
+                scale,
+                codes,
                 evict_below,
             })
         }
@@ -409,6 +562,67 @@ fn resolve_block(
 }
 
 // ---------------------------------------------------------------------------
+// Worker-side error-feedback state
+// ---------------------------------------------------------------------------
+
+/// Worker-side: the partition's error-feedback compressor, materialized on
+/// first use and cached under [`EF_NS`] for the rest of the incarnation. A
+/// revived worker starts with a zero residual — exactly like it starts
+/// without its blocks — which perturbs *which* coordinates ship, never the
+/// correctness of what the server applies.
+fn worker_ef(ctx: &mut WorkerCtx, part: usize, dim: usize) -> Arc<Mutex<EfState>> {
+    let key = (EF_NS, part as u64);
+    if let Some(cached) = ctx.cache_get(key) {
+        if let Ok(ef) = cached.downcast::<Mutex<EfState>>() {
+            return ef;
+        }
+    }
+    let ef = Arc::new(Mutex::new(EfState::new(dim)));
+    ctx.cache_put_local(key, ef.clone());
+    ef
+}
+
+/// Worker-side: compresses a computed delta per the request's
+/// [`CompressCfg`] and encodes the response's delta section — the plain
+/// [`GradDelta`] bytes when compression is off (bit-identical to builds
+/// predating compression), a [`CompressedDelta`] frame otherwise.
+fn encode_response_delta(
+    ctx: &mut WorkerCtx,
+    part: usize,
+    g: &GradDelta,
+    compress: CompressCfg,
+    buf: &mut BytesMut,
+) {
+    match compress {
+        CompressCfg::Off => g.encode(buf),
+        CompressCfg::TopK { k, quant } => {
+            let ef = worker_ef(ctx, part, g.dim());
+            let mut ef = ef.lock().expect("worker ef state poisoned");
+            ef.compress(g, k, quant);
+            ef.to_compressed().encode(buf);
+        }
+    }
+}
+
+/// Driver-side: decodes a response's delta section per the submission's
+/// [`CompressCfg`], returning the delta the server applies plus its
+/// modeled wire bytes.
+fn decode_response_delta(
+    r: &mut Reader,
+    compress: CompressCfg,
+) -> Result<(GradDelta, u64), DecodeError> {
+    if compress.is_off() {
+        let g: GradDelta = r.payload()?;
+        let wire = g.encoded_len();
+        Ok((g, wire))
+    } else {
+        let cd: CompressedDelta = r.payload()?;
+        let wire = cd.wire_bytes();
+        Ok((cd.to_delta(), wire))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Routine: mini-batch gradient (ASGD / MSGD)
 // ---------------------------------------------------------------------------
 
@@ -424,6 +638,7 @@ pub(crate) fn grad_routine(
     seed: u64,
     version: u64,
     fraction: f64,
+    compress: CompressCfg,
 ) -> RemoteRoutine {
     let ops = rdd.ops();
     let handle = bcast.handle();
@@ -442,16 +657,21 @@ pub(crate) fn grad_routine(
             buf.put_u64_le(version);
             buf.put_u64_le(bcast_id);
             buf.put_f64_le(fraction);
+            encode_compress(&compress, &mut buf);
             buf.put_u64_le(part as u64);
             ship_block_if_new(mirror, part, block, &mut buf);
             encode_plan(&plan, &mut buf);
             buf.into_vec()
         }),
-        decode: Arc::new(|bytes: &[u8]| {
+        decode: Arc::new(move |bytes: &[u8]| {
             let mut r = Reader::new(bytes);
-            let g: GradDelta = r.payload()?;
+            let (g, wire_bytes) = decode_response_delta(&mut r, compress)?;
             let entries = r.u64()?;
-            Ok(Box::new(GradMsg { g, entries }))
+            Ok(Box::new(GradMsg {
+                g,
+                entries,
+                wire_bytes,
+            }))
         }),
     }
 }
@@ -463,6 +683,7 @@ fn grad_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeEr
     let version = r.u64()?;
     let bcast_id = r.u64()?;
     let fraction = r.f64()?;
+    let compress = decode_compress(&mut r)?;
     let part = r.u64()? as usize;
     let block = resolve_block(ctx, part, &mut r)?;
     let plan = decode_plan(&mut r)?;
@@ -474,7 +695,7 @@ fn grad_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeEr
     let g = objective.minibatch_grad_delta(&block, &rows, &w);
     let entries = block.features().rows_nnz(&rows);
     let mut buf = BytesMut::new();
-    g.encode(&mut buf);
+    encode_response_delta(ctx, part, &g, compress, &mut buf);
     buf.put_u64_le(entries);
     Ok(buf.into_vec())
 }
@@ -496,6 +717,7 @@ pub(crate) fn asaga_routine(
     seed: u64,
     version: u64,
     fraction: f64,
+    compress: CompressCfg,
 ) -> RemoteRoutine {
     let ops = rdd.ops();
     let handle = bcast.handle();
@@ -529,6 +751,7 @@ pub(crate) fn asaga_routine(
             let mut buf = BytesMut::new();
             encode_objective(&objective, &mut buf);
             buf.put_u64_le(bcast_id);
+            encode_compress(&compress, &mut buf);
             buf.put_u64_le(part as u64);
             ship_block_if_new(mirror, part, block, &mut buf);
             encode_plan(&w_plan, &mut buf);
@@ -540,15 +763,16 @@ pub(crate) fn asaga_routine(
             }
             buf.into_vec()
         }),
-        decode: Arc::new(|bytes: &[u8]| {
+        decode: Arc::new(move |bytes: &[u8]| {
             let mut r = Reader::new(bytes);
-            let delta: GradDelta = r.payload()?;
+            let (delta, wire_bytes) = decode_response_delta(&mut r, compress)?;
             let indices = get_u64s(&mut r)?;
             let entries = r.u64()?;
             Ok(Box::new(DeltaMsg {
                 delta,
                 indices,
                 entries,
+                wire_bytes,
             }))
         }),
     }
@@ -558,6 +782,7 @@ fn asaga_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeE
     let mut r = Reader::new(request);
     let objective = decode_objective(&mut r)?;
     let bcast_id = r.u64()?;
+    let compress = decode_compress(&mut r)?;
     let part = r.u64()? as usize;
     let block = resolve_block(ctx, part, &mut r)?;
     let w_cur = decode_plan(&mut r)?.apply(ctx, bcast_id);
@@ -614,7 +839,7 @@ fn asaga_handler(ctx: &mut WorkerCtx, request: &[u8]) -> Result<Vec<u8>, DecodeE
     };
     let entries = 2 * features.rows_nnz(&rows);
     let mut buf = BytesMut::new();
-    delta.encode(&mut buf);
+    encode_response_delta(ctx, part, &delta, compress, &mut buf);
     put_u64s(&mut buf, &ids);
     buf.put_u64_le(entries);
     Ok(buf.into_vec())
@@ -769,5 +994,162 @@ mod tests {
         // A fresh incarnation without the shipment is a protocol error.
         let mut fresh = WorkerCtx::new(1);
         assert!(resolve_block(&mut fresh, 0, &mut Reader::new(&[0])).is_err());
+    }
+
+    #[test]
+    fn quantized_patch_plans_roundtrip() {
+        let plans = vec![
+            WirePlan::QPatch {
+                base: 11,
+                version: 13,
+                indices: vec![2, 9, 40],
+                scale: 3.5,
+                codes: PatchCodes::I8(vec![-127, 0, 64]),
+                evict_below: 11,
+            },
+            WirePlan::QPatch {
+                base: 5,
+                version: 6,
+                indices: vec![0, 1],
+                scale: 0.0,
+                codes: PatchCodes::F16(vec![0x3c00, 0xbc00]),
+                evict_below: 2,
+            },
+        ];
+        for p in &plans {
+            let mut buf = BytesMut::new();
+            encode_plan(p, &mut buf);
+            let bytes = buf.into_vec();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(&decode_plan(&mut r).expect("decodes"), p);
+            assert_eq!(r.at, bytes.len(), "plan decode consumed everything");
+        }
+    }
+
+    #[test]
+    fn hostile_quantized_patches_are_rejected_with_positions() {
+        // A well-formed frame truncated at every prefix fails with an
+        // error positioned at or before the cut.
+        let p = WirePlan::QPatch {
+            base: 1,
+            version: 2,
+            indices: vec![3, 4],
+            scale: 1.0,
+            codes: PatchCodes::F16(vec![0x3800, 0x4200]),
+            evict_below: 0,
+        };
+        let mut buf = BytesMut::new();
+        encode_plan(&p, &mut buf);
+        let bytes = buf.into_vec();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let err = decode_plan(&mut r).expect_err("truncation must fail");
+            assert!(err.at() <= cut, "error at {} past cut {cut}", err.at());
+        }
+
+        // Tag 3 with a non-finite scale is invalid.
+        let mut buf = BytesMut::new();
+        buf.put_u8(3);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u64_le(0);
+        buf.put_f64_le(f64::NAN);
+        buf.put_u8(1);
+        buf.put_u64_le(0);
+        let bytes = buf.into_vec();
+        assert!(matches!(
+            decode_plan(&mut Reader::new(&bytes)),
+            Err(DecodeError::Invalid { .. })
+        ));
+
+        // Tag 3 declaring the Exact quant is a protocol contradiction —
+        // exact diffs travel as tag-2 plain patches.
+        let mut buf = BytesMut::new();
+        buf.put_u8(3);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u64_le(0);
+        buf.put_f64_le(1.0);
+        buf.put_u8(0);
+        buf.put_u64_le(0);
+        let bytes = buf.into_vec();
+        assert!(matches!(
+            decode_plan(&mut Reader::new(&bytes)),
+            Err(DecodeError::Invalid { .. })
+        ));
+
+        // A hostile count cannot size the allocation.
+        let mut buf = BytesMut::new();
+        buf.put_u8(3);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u64_le(0);
+        buf.put_f64_le(1.0);
+        buf.put_u8(1);
+        buf.put_u64_le(u64::MAX);
+        let bytes = buf.into_vec();
+        assert!(matches!(
+            decode_plan(&mut Reader::new(&bytes)),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn compress_cfg_codec_roundtrips_and_rejects_k_zero() {
+        for c in [
+            CompressCfg::Off,
+            CompressCfg::TopK {
+                k: 16,
+                quant: Quant::Exact,
+            },
+            CompressCfg::TopK {
+                k: 1,
+                quant: Quant::I8,
+            },
+            CompressCfg::TopK {
+                k: 1 << 20,
+                quant: Quant::F16,
+            },
+        ] {
+            let mut buf = BytesMut::new();
+            encode_compress(&c, &mut buf);
+            let bytes = buf.into_vec();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(decode_compress(&mut r).expect("decodes"), c);
+            assert_eq!(r.at, bytes.len());
+        }
+
+        // k = 0 would ship empty deltas forever; the decoder refuses it
+        // so a hostile frame cannot wedge a worker.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u64_le(0);
+        buf.put_u8(1);
+        let bytes = buf.into_vec();
+        assert!(matches!(
+            decode_compress(&mut Reader::new(&bytes)),
+            Err(DecodeError::Invalid { .. })
+        ));
+
+        // Unknown cfg tags are rejected, not silently mapped to Off.
+        assert!(matches!(
+            decode_compress(&mut Reader::new(&[9])),
+            Err(DecodeError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn worker_ef_state_persists_per_incarnation() {
+        let mut ctx = WorkerCtx::new(0);
+        let ef = worker_ef(&mut ctx, 2, 4);
+        let g = GradDelta::Dense(vec![0.0, 0.5, 0.0, 2.0]);
+        ef.lock().unwrap().compress(&g, 1, Quant::Exact);
+        // Same incarnation, same partition: the residual survives across
+        // lookups (top-1 shipped coordinate 3; coordinate 1 stays behind).
+        let again = worker_ef(&mut ctx, 2, 4);
+        assert_eq!(again.lock().unwrap().residual()[1], 0.5);
+        // A different partition gets its own accumulator.
+        let other = worker_ef(&mut ctx, 3, 4);
+        assert_eq!(other.lock().unwrap().residual()[1], 0.0);
     }
 }

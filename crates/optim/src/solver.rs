@@ -10,9 +10,10 @@ use async_cluster::{ConvergenceTrace, VDur, VTime};
 use async_core::{AsyncBcast, AsyncContext, BarrierFilter, SubmitOpts};
 use async_data::{sampler, Block, Dataset};
 use async_linalg::{GradDelta, ParallelismCfg};
-use sparklet::{Rdd, WorkerCtx};
+use sparklet::{Payload, Rdd, WorkerCtx};
 
 use crate::checkpoint::Checkpoint;
+use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 
@@ -102,6 +103,17 @@ pub struct SolverCfg {
     /// assert_eq!(cfg.absorb_batch, 4);
     /// ```
     pub absorb_batch: usize,
+    /// Worker → server delta compression ([`CompressCfg::Off`], the
+    /// default, ships raw deltas bit-identically to builds predating the
+    /// compression layer). With [`CompressCfg::TopK`], every solver routes
+    /// its deltas through a per-partition error-feedback compressor
+    /// ([`CompressorBank`]): the shipped message carries only the `k`
+    /// largest-magnitude coordinates of the accumulated gradient signal in
+    /// the configured wire format, and [`RunReport::result_bytes`] counts
+    /// the compressed frame sizes. On ASGD with an incremental broadcast
+    /// ring, a non-exact `quant` also quantizes the driver → worker
+    /// version-diff patches (`async_core::AsyncBcast::set_patch_quant`).
+    pub compress: CompressCfg,
 }
 
 impl Default for SolverCfg {
@@ -121,6 +133,7 @@ impl Default for SolverCfg {
             bcast_ring: 0,
             server_threads: 1,
             absorb_batch: 1,
+            compress: CompressCfg::Off,
         }
     }
 }
@@ -138,6 +151,9 @@ pub enum SolverCfgError {
     /// `server_threads == 0` — the sharded absorber needs at least one
     /// shard.
     ZeroServerThreads,
+    /// `compress` is [`CompressCfg::TopK`] with `k == 0` — every shipped
+    /// delta would be empty and the residual would grow forever.
+    ZeroTopK,
 }
 
 impl std::fmt::Display for SolverCfgError {
@@ -148,6 +164,7 @@ impl std::fmt::Display for SolverCfgError {
             }
             SolverCfgError::ZeroAbsorbBatch => write!(f, "absorb_batch must be at least 1"),
             SolverCfgError::ZeroServerThreads => write!(f, "server_threads must be at least 1"),
+            SolverCfgError::ZeroTopK => write!(f, "top-k compression must keep at least 1 entry"),
         }
     }
 }
@@ -224,6 +241,8 @@ impl SolverCfgBuilder {
         server_threads: usize,
         /// Deltas folded per server wave ([`SolverCfg::absorb_batch`]).
         absorb_batch: usize,
+        /// Worker → server delta compression ([`SolverCfg::compress`]).
+        compress: CompressCfg,
     }
 
     /// Validates and produces the configuration.
@@ -238,6 +257,9 @@ impl SolverCfgBuilder {
         if cfg.server_threads == 0 {
             return Err(SolverCfgError::ZeroServerThreads);
         }
+        if matches!(cfg.compress, CompressCfg::TopK { k: 0, .. }) {
+            return Err(SolverCfgError::ZeroTopK);
+        }
         Ok(cfg)
     }
 }
@@ -251,11 +273,17 @@ impl SolverCfg {
     }
 
     /// Configuration smells that are legal but probably not what the
-    /// caller wants, given the objective the run will optimize. Currently
-    /// one: a positive [`SolverCfg::bcast_ring`] with a ridge term
-    /// (λ > 0), where every model update has a **dense** change support,
-    /// so incremental resolution falls back to full snapshots and the
-    /// ring buys nothing.
+    /// caller wants, given the objective the run will optimize:
+    ///
+    /// * a positive [`SolverCfg::bcast_ring`] with a ridge term (λ > 0),
+    ///   where every model update has a **dense** change support, so
+    ///   incremental resolution falls back to full snapshots and the ring
+    ///   buys nothing;
+    /// * [`CompressCfg::TopK`] with a ridge term (λ > 0), where the
+    ///   server's shrink touches every coordinate each update while the
+    ///   compressed delta restricts the gradient signal to `k` of them —
+    ///   the dense-support ridge dynamics dominate and the sparsified
+    ///   messages mostly buy residual lag.
     pub fn lint(&self, objective: &Objective) -> Vec<String> {
         let mut warnings = Vec::new();
         if self.bcast_ring > 0 && objective.lambda() > 0.0 {
@@ -266,6 +294,17 @@ impl SolverCfg {
                 self.bcast_ring,
                 objective.lambda()
             ));
+        }
+        if let CompressCfg::TopK { k, .. } = self.compress {
+            if objective.lambda() > 0.0 {
+                warnings.push(format!(
+                    "compress = top-{k} with λ = {}: the ridge term gives every \
+                     update a dense support, so sparsifying the gradient messages \
+                     mostly defers signal into the error-feedback residual instead \
+                     of saving convergence-relevant bytes",
+                    objective.lambda()
+                ));
+            }
         }
         warnings
     }
@@ -322,10 +361,14 @@ pub trait AsyncSolver {
 /// by the plain-SGD-family solvers ([`crate::Asgd`], [`crate::AsyncMsgd`]).
 pub(crate) struct GradMsg {
     /// `(1/b) Σ f'(xᵢᵀw, yᵢ)·xᵢ` over the sampled rows (no ridge term),
-    /// sparse over CSR partitions.
+    /// sparse over CSR partitions. With compression on this is the
+    /// dequantized top-k selection, not the raw gradient.
     pub g: GradDelta,
     /// Stored feature entries the gradient kernel touched.
     pub entries: u64,
+    /// Modeled wire bytes of this message: the delta's own encoding when
+    /// compression is off, the compressed frame size otherwise.
+    pub wire_bytes: u64,
 }
 
 /// Submits one [`GradMsg`] gradient wave: a mini-batch gradient task per
@@ -339,6 +382,7 @@ pub(crate) struct GradMsg {
 /// through the incremental path (`value_incremental`, which is exactly the
 /// plain fetch when the broadcast's ring is disabled); results are
 /// bit-identical to the pre-pool implementation.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn submit_grad_wave(
     ctx: &mut AsyncContext,
     rdd: &Rdd<Block>,
@@ -347,11 +391,14 @@ pub(crate) fn submit_grad_wave(
     minibatch_hint: u64,
     objective: Objective,
     pool: &ScratchPool,
+    bank: &CompressorBank,
 ) -> Vec<usize> {
     let handle = bcast.handle();
     let version = ctx.version();
     let (seed, fraction) = (cfg.seed, cfg.batch_fraction);
+    let compress = cfg.compress;
     let pool = pool.clone();
+    let bank = bank.clone();
     let task = move |wctx: &mut WorkerCtx, data: Vec<Block>, part: usize| {
         let block = &data[0];
         let w = handle.value_incremental(wctx);
@@ -361,7 +408,18 @@ pub(crate) fn submit_grad_wave(
         let g = objective.minibatch_grad_delta_pooled(block, &w, &mut scratch, &pool);
         let entries = block.features().rows_nnz(&scratch.rows);
         pool.give_back(scratch);
-        GradMsg { g, entries }
+        let (g, wire_bytes) = match compress {
+            CompressCfg::Off => {
+                let wire = g.encoded_len();
+                (g, wire)
+            }
+            CompressCfg::TopK { k, quant } => bank.compress(part, g, k, quant, &pool),
+        };
+        GradMsg {
+            g,
+            entries,
+            wire_bytes,
+        }
     };
     let opts = SubmitOpts {
         extra_bytes: AsyncBcast::<Vec<f64>>::id_ship_bytes(0),
@@ -373,7 +431,8 @@ pub(crate) fn submit_grad_wave(
     // wire plan plus the pure sampling inputs, and the worker re-derives
     // the identical batch (`derive_rng` is a pure function of seed,
     // version, and partition). In-process engines ignore it.
-    let routine = crate::remote::grad_routine(rdd, bcast, objective, seed, version, fraction);
+    let routine =
+        crate::remote::grad_routine(rdd, bcast, objective, seed, version, fraction, compress);
     let submitted = ctx.async_reduce_wired(rdd, &cfg.barrier, opts, task, Some(&routine));
     // Pin the submission version per in-flight task so a queued task on
     // the threaded backend can never see its model version pruned.
@@ -540,6 +599,15 @@ mod tests {
             SolverCfg::builder().server_threads(0).build(),
             Err(SolverCfgError::ZeroServerThreads)
         ));
+        assert!(matches!(
+            SolverCfg::builder()
+                .compress(CompressCfg::TopK {
+                    k: 0,
+                    quant: async_linalg::Quant::I8
+                })
+                .build(),
+            Err(SolverCfgError::ZeroTopK)
+        ));
     }
 
     #[test]
@@ -554,6 +622,38 @@ mod tests {
         assert!(no_ring
             .lint(&Objective::LeastSquares { lambda: 1e-3 })
             .is_empty());
+    }
+
+    #[test]
+    fn lint_flags_top_k_with_dense_ridge_support() {
+        let compressed = SolverCfg::builder()
+            .compress(CompressCfg::TopK {
+                k: 16,
+                quant: async_linalg::Quant::Exact,
+            })
+            .build()
+            .unwrap();
+        // λ > 0 makes every update dense-support: one warning, naming k.
+        let warnings = compressed.lint(&Objective::LeastSquares { lambda: 1e-3 });
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("top-16"));
+        // λ = 0 (sparse supports) is the intended regime: silent.
+        assert!(compressed
+            .lint(&Objective::Logistic { lambda: 0.0 })
+            .is_empty());
+        // Both smells at once stack: ring + compression against a ridge.
+        let both = SolverCfg::builder()
+            .bcast_ring(8)
+            .compress(CompressCfg::TopK {
+                k: 16,
+                quant: async_linalg::Quant::Exact,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            both.lint(&Objective::LeastSquares { lambda: 1e-3 }).len(),
+            2
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use async_linalg::{GradDelta, SparseVec};
+use async_linalg::{CompressedDelta, GradDelta, SparseVec};
 use bytes::{BufMut, BytesMut};
 
 /// Why a wire decode failed, with the byte offset where it did.
@@ -360,6 +360,152 @@ impl Payload for GradDelta {
     }
 }
 
+/// Decodes one quantized-sparse body (`nnz`, `dim`, `scale` headers after
+/// a 1-byte tag, then `code_bytes`-wide codes interleaved with 4-byte
+/// indices). Returns `(dim, scale, indices, raw code bytes)`; positions
+/// are relative to the start of the tagged value.
+#[allow(clippy::type_complexity)]
+fn decode_quant_body(
+    bytes: &[u8],
+    code_bytes: usize,
+) -> Result<(usize, f64, Vec<u32>, Vec<u8>, usize), DecodeError> {
+    let nnz64 = get_u64_le(bytes, 1)?;
+    let nnz = nnz64 as usize;
+    let dim = get_u64_le(bytes, 9)? as usize;
+    let scale = f64::from_le_bytes(
+        bytes
+            .get(17..25)
+            .ok_or_else(|| DecodeError::Truncated {
+                at: bytes.len(),
+                needed: 25usize.saturating_sub(bytes.len()),
+            })?
+            .try_into()
+            .expect("8-byte slice"),
+    );
+    if !scale.is_finite() || scale < 0.0 {
+        return Err(DecodeError::Invalid {
+            at: 17,
+            what: "quantization scale not finite and non-negative",
+        });
+    }
+    // Validate the untrusted count with checked arithmetic before any
+    // allocation it would size.
+    let overflow = DecodeError::LengthOverflow { at: 1, len: nnz64 };
+    let body = nnz.checked_mul(4 + code_bytes).ok_or(overflow)?;
+    let total = body.checked_add(25).ok_or(overflow)?;
+    let mut rest = bytes.get(25..total).ok_or_else(|| DecodeError::Truncated {
+        at: bytes.len(),
+        needed: total.saturating_sub(bytes.len()),
+    })?;
+    let mut indices = Vec::with_capacity(nnz);
+    let mut codes = Vec::with_capacity(nnz * code_bytes);
+    for _ in 0..nnz {
+        indices.push(u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")));
+        codes.extend_from_slice(&rest[4..4 + code_bytes]);
+        rest = &rest[4 + code_bytes..];
+    }
+    let sorted = indices.windows(2).all(|w| w[0] < w[1])
+        && indices.last().is_none_or(|&i| (i as usize) < dim);
+    if !sorted {
+        return Err(DecodeError::Invalid {
+            at: 25,
+            what: "compressed support not strictly increasing or out of dimension",
+        });
+    }
+    Ok((dim, scale, indices, codes, total))
+}
+
+impl Payload for CompressedDelta {
+    /// One tag byte plus either the exact `GradDelta` payload or a
+    /// quantized sparse body (`nnz`/`dim`/`scale` headers, then a 4-byte
+    /// index and a 1- or 2-byte code per entry). `encoded_len` equals
+    /// [`CompressedDelta::wire_bytes`] by construction — the simulator's
+    /// modeled accounting and the remote frame layer charge the same
+    /// bytes.
+    fn encoded_len(&self) -> u64 {
+        self.wire_bytes()
+    }
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CompressedDelta::Exact(g) => {
+                buf.put_u8(0);
+                g.encode(buf);
+            }
+            CompressedDelta::I8 {
+                dim,
+                scale,
+                indices,
+                codes,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64_le(indices.len() as u64);
+                buf.put_u64_le(*dim as u64);
+                buf.put_f64_le(*scale);
+                for (i, c) in indices.iter().zip(codes.iter()) {
+                    buf.put_u32_le(*i);
+                    buf.put_i8(*c);
+                }
+            }
+            CompressedDelta::F16 {
+                dim,
+                scale,
+                indices,
+                codes,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64_le(indices.len() as u64);
+                buf.put_u64_le(*dim as u64);
+                buf.put_f64_le(*scale);
+                for (i, c) in indices.iter().zip(codes.iter()) {
+                    buf.put_u32_le(*i);
+                    buf.put_u16_le(*c);
+                }
+            }
+        }
+    }
+    fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let tag = *bytes
+            .first()
+            .ok_or(DecodeError::Truncated { at: 0, needed: 1 })?;
+        match tag {
+            0 => {
+                let (g, n) = GradDelta::decode(&bytes[1..]).map_err(|e| e.shifted(1))?;
+                Ok((CompressedDelta::Exact(g), 1 + n))
+            }
+            1 => {
+                let (dim, scale, indices, codes, total) = decode_quant_body(bytes, 1)?;
+                let codes = codes.iter().map(|&b| b as i8).collect();
+                Ok((
+                    CompressedDelta::I8 {
+                        dim,
+                        scale,
+                        indices,
+                        codes,
+                    },
+                    total,
+                ))
+            }
+            2 => {
+                let (dim, scale, indices, codes, total) = decode_quant_body(bytes, 2)?;
+                let codes = codes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().expect("2 bytes")))
+                    .collect();
+                Ok((
+                    CompressedDelta::F16 {
+                        dim,
+                        scale,
+                        indices,
+                        codes,
+                    },
+                    total,
+                ))
+            }
+            tag => Err(DecodeError::BadTag { at: 0, tag }),
+        }
+    }
+}
+
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn encoded_len(&self) -> u64 {
         self.0.encoded_len() + self.1.encoded_len()
@@ -490,6 +636,92 @@ mod tests {
         roundtrip(&dd);
         // The sparse arm is the cheaper wire shape at this density.
         assert!(gd.encoded_len() < dd.encoded_len() / 5);
+    }
+
+    #[test]
+    fn compressed_delta_sizes_match_encoding_and_roundtrip() {
+        let exact = CompressedDelta::Exact(GradDelta::Sparse(
+            SparseVec::from_pairs(vec![(3, 1.5), (9, -2.0)], 32).unwrap(),
+        ));
+        let i8d = CompressedDelta::I8 {
+            dim: 32,
+            scale: 2.0,
+            indices: vec![1, 5, 30],
+            codes: vec![-127, 64, 3],
+        };
+        let f16d = CompressedDelta::F16 {
+            dim: 32,
+            scale: 0.5,
+            indices: vec![0, 31],
+            codes: vec![0x3c00, 0xbc00],
+        };
+        assert_eq!(i8d.encoded_len(), 25 + 5 * 3);
+        assert_eq!(f16d.encoded_len(), 25 + 6 * 2);
+        for cd in [&exact, &i8d, &f16d] {
+            assert_eq!(encoded_bytes(cd) as u64, cd.encoded_len());
+            assert_eq!(cd.encoded_len(), cd.wire_bytes());
+            roundtrip(cd);
+        }
+        // Quantized forms undercut the exact sparse wire at equal support.
+        let exact3 = CompressedDelta::Exact(GradDelta::Sparse(
+            SparseVec::from_pairs(vec![(1, 1.0), (5, 1.0), (30, 1.0)], 32).unwrap(),
+        ));
+        assert!(i8d.encoded_len() < exact3.encoded_len());
+    }
+
+    #[test]
+    fn compressed_delta_decode_rejects_hostile_frames() {
+        // Unknown tag.
+        assert_eq!(
+            CompressedDelta::decode(&[7u8]),
+            Err(DecodeError::BadTag { at: 0, tag: 7 })
+        );
+        // Hostile count prefixes must not size an allocation.
+        for n in [u64::MAX, 1u64 << 61, 1u64 << 40] {
+            let mut buf = BytesMut::new();
+            buf.put_u8(1);
+            buf.put_u64_le(n);
+            buf.put_u64_le(10);
+            buf.put_f64_le(1.0);
+            assert!(CompressedDelta::decode(buf.as_slice()).is_err(), "n={n}");
+        }
+        // Non-finite scale is structurally valid bytes, semantically not.
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u64_le(0);
+        buf.put_u64_le(4);
+        buf.put_f64_le(f64::NAN);
+        assert!(matches!(
+            CompressedDelta::decode(buf.as_slice()),
+            Err(DecodeError::Invalid { at: 17, .. })
+        ));
+        // Unsorted support.
+        let mut buf = BytesMut::new();
+        buf.put_u8(1);
+        buf.put_u64_le(2);
+        buf.put_u64_le(10);
+        buf.put_f64_le(1.0);
+        buf.put_u32_le(5);
+        buf.put_i8(1);
+        buf.put_u32_le(3);
+        buf.put_i8(1);
+        assert!(matches!(
+            CompressedDelta::decode(buf.as_slice()),
+            Err(DecodeError::Invalid { at: 25, .. })
+        ));
+        // Truncation positions point at the cut.
+        let full = CompressedDelta::I8 {
+            dim: 16,
+            scale: 1.0,
+            indices: vec![2, 7],
+            codes: vec![10, -10],
+        };
+        let mut buf = BytesMut::new();
+        full.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let err = CompressedDelta::decode(&buf.as_slice()[..cut]).unwrap_err();
+            assert!(err.at() <= cut, "cut={cut} at={}", err.at());
+        }
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Compression-codec properties: quantization roundtrips stay within each
+//! wire format's error bound, the top-k selector agrees with a naive
+//! sort oracle, and [`CompressedDelta`] frames roundtrip bit-exactly while
+//! torn or hostile frames always decode to positioned errors — never
+//! panics, never wrong values. The remote engine trusts this codec with
+//! every compressed gradient that crosses a socket.
+
+use async_linalg::{
+    dequantize_f16, dequantize_i8, quantize_f16, quantize_i8, select_top_k, CompressedDelta,
+    GradDelta, SparseVec,
+};
+use bytes::BytesMut;
+use proptest::prelude::*;
+use sparklet::{DecodeError, Payload};
+
+/// Deduplicated, strictly increasing coordinate support paired with the
+/// generated values (truncated to the shorter of the two).
+fn support(raw_idx: Vec<u32>, vals: Vec<f64>) -> (Vec<u32>, Vec<f64>) {
+    let mut idx = raw_idx;
+    idx.sort_unstable();
+    idx.dedup();
+    let n = idx.len().min(vals.len());
+    (idx[..n].to_vec(), vals[..n].to_vec())
+}
+
+/// The per-message scale the compressor uses: `max|v|` over shipped values.
+fn scale_of(vals: &[f64]) -> f64 {
+    vals.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Builds one of the three wire variants from generated primitives.
+fn delta_from(kind: u8, idx: Vec<u32>, vals: Vec<f64>, dim: usize) -> CompressedDelta {
+    let scale = scale_of(&vals);
+    match kind % 3 {
+        0 => CompressedDelta::Exact(GradDelta::Sparse(
+            SparseVec::new(idx, vals, dim).expect("sorted support"),
+        )),
+        1 => {
+            let codes = vals.iter().map(|&v| quantize_i8(v, scale)).collect();
+            CompressedDelta::I8 {
+                dim,
+                scale,
+                indices: idx,
+                codes,
+            }
+        }
+        _ => {
+            let codes = vals.iter().map(|&v| quantize_f16(v, scale)).collect();
+            CompressedDelta::F16 {
+                dim,
+                scale,
+                indices: idx,
+                codes,
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn i8_roundtrip_stays_within_half_a_step(
+        vals in proptest::collection::vec(-1000.0..1000.0f64, 1..64usize),
+    ) {
+        // 127 signed levels against scale = max|v|: round-to-nearest can
+        // miss by at most half a step, scale/254.
+        let scale = scale_of(&vals);
+        let bound = scale / 254.0 * (1.0 + 1e-12);
+        for &v in &vals {
+            let back = dequantize_i8(quantize_i8(v, scale), scale);
+            prop_assert!(
+                (back - v).abs() <= bound,
+                "i8 roundtrip of {v} against {scale} came back {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_stays_within_the_half_precision_bound(
+        vals in proptest::collection::vec(-1000.0..1000.0f64, 1..64usize),
+    ) {
+        // The normalized value v/scale lies in [-1, 1], where half
+        // precision resolves at worst one part in 2¹⁰ absolutely (ulp at
+        // magnitude 1 is 2⁻¹⁰; round-to-nearest halves it, and the f64 →
+        // f32 pre-rounding is orders of magnitude finer).
+        let scale = scale_of(&vals);
+        let bound = scale * (2.0f64).powi(-10);
+        for &v in &vals {
+            let back = dequantize_f16(quantize_f16(v, scale), scale);
+            prop_assert!(
+                (back - v).abs() <= bound,
+                "f16 roundtrip of {v} against {scale} came back {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_matches_the_naive_sort_oracle(
+        raw_idx in proptest::collection::vec(0u32..10_000, 0..96usize),
+        raw_vals in proptest::collection::vec(-100.0..100.0f64, 0..96usize),
+        k in 0usize..96,
+    ) {
+        let (idx, vals) = support(raw_idx, raw_vals);
+
+        // The oracle: full sort by (magnitude desc, index asc), keep k,
+        // re-sort the survivors by coordinate.
+        let mut order: Vec<usize> = (0..idx.len()).collect();
+        order.sort_by(|&a, &b| {
+            vals[b].abs().total_cmp(&vals[a].abs()).then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order.sort_unstable();
+        let want_idx: Vec<u32> = order.iter().map(|&p| idx[p]).collect();
+        let want_val: Vec<f64> = order.iter().map(|&p| vals[p]).collect();
+
+        let mut scratch = Vec::new();
+        let mut got_idx = Vec::new();
+        let mut got_val = Vec::new();
+        select_top_k(&idx, &vals, k, &mut scratch, &mut got_idx, &mut got_val);
+        prop_assert_eq!(got_idx, want_idx);
+        // Values must match bit-for-bit — the selector moves entries, it
+        // never recomputes them.
+        prop_assert_eq!(
+            got_val.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want_val.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compressed_frames_roundtrip_and_charge_their_own_length(
+        kind in 0u8..3,
+        raw_idx in proptest::collection::vec(0u32..50_000, 0..64usize),
+        raw_vals in proptest::collection::vec(-100.0..100.0f64, 0..64usize),
+    ) {
+        let (idx, vals) = support(raw_idx, raw_vals);
+        let cd = delta_from(kind, idx, vals, 50_000);
+
+        let mut buf = BytesMut::new();
+        cd.encode(&mut buf);
+        // The simulator's modeled byte accounting is the encoder's actual
+        // output length — one source of truth.
+        prop_assert_eq!(buf.len() as u64, cd.encoded_len());
+        prop_assert_eq!(cd.encoded_len(), cd.wire_bytes());
+
+        let bytes = buf.into_vec();
+        let (back, used) = match CompressedDelta::decode(&bytes) {
+            Ok(ok) => ok,
+            Err(e) => return Err(format!("well-formed frame failed to decode: {e}")),
+        };
+        prop_assert_eq!(&back, &cd);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn torn_compressed_frames_report_positioned_truncation(
+        kind in 0u8..3,
+        raw_idx in proptest::collection::vec(0u32..50_000, 1..64usize),
+        raw_vals in proptest::collection::vec(-100.0..100.0f64, 1..64usize),
+        frac in 0.0..1.0f64,
+    ) {
+        let (mut idx, mut vals) = support(raw_idx, raw_vals);
+        if idx.is_empty() {
+            idx = vec![3];
+            vals = vec![1.5];
+        }
+        let cd = delta_from(kind, idx, vals, 50_000);
+        let mut buf = BytesMut::new();
+        cd.encode(&mut buf);
+        let cut = ((buf.len() as f64) * frac) as usize; // in [0, len)
+        let err = match CompressedDelta::decode(&buf.as_slice()[..cut]) {
+            Ok(_) => return Err("torn frame decoded".to_string()),
+            Err(e) => e,
+        };
+        prop_assert!(
+            err.at() <= cut,
+            "error position {} past the cut {cut}",
+            err.at()
+        );
+    }
+}
+
+/// A frame whose quantized body claims more entries than its bytes can
+/// hold must be rejected before any allocation is sized from the claim.
+#[test]
+fn hostile_counts_cannot_size_allocations() {
+    for tag in [1u8, 2u8] {
+        let mut buf = BytesMut::new();
+        bytes::BufMut::put_u8(&mut buf, tag);
+        bytes::BufMut::put_u64_le(&mut buf, u64::MAX); // claimed nnz
+        bytes::BufMut::put_u64_le(&mut buf, 8); // dim
+        bytes::BufMut::put_f64_le(&mut buf, 1.0); // scale
+        bytes::BufMut::put_u32_le(&mut buf, 0); // one lonely index
+        let bytes = buf.into_vec();
+        let err = CompressedDelta::decode(&bytes).expect_err("hostile count must fail");
+        assert!(
+            matches!(err, DecodeError::LengthOverflow { .. }),
+            "want LengthOverflow, got {err:?}"
+        );
+    }
+}
+
+/// Unknown variant tags are rejected with the position of the tag byte.
+#[test]
+fn unknown_tags_are_rejected_at_position_zero() {
+    let err = CompressedDelta::decode(&[7u8, 0, 0]).expect_err("bad tag must fail");
+    assert!(matches!(err, DecodeError::BadTag { at: 0, tag: 7 }));
+}
