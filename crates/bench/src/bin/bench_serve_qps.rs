@@ -1,0 +1,30 @@
+//! Records the serve-while-training datapoint.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_serve_qps
+//! [output.json]` (default `BENCH_serve_qps.json` in the current
+//! directory). Keys prefixed `wc_` are host wall-clock observations and
+//! vary run to run; everything else — the training report, the scripted
+//! serve counters, the prediction checksum — is deterministic for the
+//! default configuration, and CI gates the file with `grep -v '"wc_'` on
+//! both sides of the diff.
+
+use async_bench::serve_qps::{run_serve_qps, ServeQpsCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve_qps.json".to_string());
+    let b = run_serve_qps(ServeQpsCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!(
+        "serve_qps: {:.0} rows/s served ({} readers), trainer {:.0} -> {:.0} steps/s ({:.2}x slowdown), replay refreshes {} -> {}",
+        b.wc_serving.read_qps,
+        b.cfg.readers,
+        b.wc_solo.train_steps_per_sec,
+        b.wc_serving.train_steps_per_sec,
+        b.wc_training_slowdown,
+        b.sim.replay_refreshes,
+        out,
+    );
+}

@@ -21,6 +21,7 @@ pub mod comm_compress;
 pub mod elastic_chaos;
 pub mod hotpath;
 pub mod remote_engine;
+pub mod serve_qps;
 pub mod server_scaling;
 pub mod sparse_fastpath;
 

@@ -447,6 +447,50 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
         }
     }
 
+    /// Pins the **latest** version for a reader and returns a [`ReadPin`]
+    /// guard resolving to its value — the serving-side read primitive.
+    ///
+    /// Version resolution and the pin increment happen under one table
+    /// lock, so the returned version can never be pruned (nor its snapshot
+    /// buffer recycled) between "pick latest" and "pin it". Unlike
+    /// [`HistoryHandle::value_at`], this touches no worker cache and has no
+    /// eviction side effects: it is safe to call from reader threads that
+    /// are not part of the cluster at all. The pin is released when the
+    /// guard drops.
+    pub fn pin_read(&self) -> ReadPin<T> {
+        let mut t = self.table.write();
+        let version = t.latest();
+        let e = t.versions[version as usize]
+            .as_mut()
+            .expect("latest version is always live");
+        e.pins += 1;
+        let value = Some(Arc::clone(&e.value));
+        ReadPin {
+            version,
+            value,
+            table: Arc::clone(&self.table),
+        }
+    }
+
+    /// Pins a **specific** version for a reader, if it is still live.
+    /// Returns `None` when `version` is unknown or already pruned — the
+    /// non-panicking twin of [`AsyncBcast::pin`] for read paths that race
+    /// the pruner.
+    pub fn try_pin_read_at(&self, version: u64) -> Option<ReadPin<T>> {
+        let mut t = self.table.write();
+        if version as usize >= t.versions.len() {
+            return None;
+        }
+        let e = t.versions[version as usize].as_mut()?;
+        e.pins += 1;
+        let value = Some(Arc::clone(&e.value));
+        Some(ReadPin {
+            version,
+            value,
+            table: Arc::clone(&self.table),
+        })
+    }
+
     /// Current traffic/memory counters.
     pub fn stats(&self) -> HistoryStats {
         let t = self.table.read();
@@ -462,6 +506,71 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             quantized_patches: self.counters.quantized_patches.load(Ordering::Relaxed),
             quantized_patch_bytes: self.counters.quantized_patch_bytes.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// RAII read lease on one broadcast version, handed out by
+/// [`AsyncBcast::pin_read`] / [`AsyncBcast::try_pin_read_at`].
+///
+/// While the guard lives, the pinned version cannot be pruned (its `pins`
+/// count blocks the version table's prunability check) and its snapshot
+/// buffer cannot
+/// be recycled into the free pool (the guard's `Arc` clone keeps
+/// `Arc::try_unwrap` failing). Dropping the guard releases the pin and
+/// immediately re-attempts the prune, so an abandoned old version is
+/// reclaimed the moment its last reader leaves.
+///
+/// The guard derefs to the snapshot value itself; reads are lock-free
+/// after construction.
+pub struct ReadPin<T: Payload + Send + Sync + 'static> {
+    version: u64,
+    /// `Some` for the guard's whole life; taken in `drop` *before* the
+    /// prune attempt so the last reader's clone doesn't block snapshot
+    /// buffer recycling.
+    value: Option<Arc<T>>,
+    table: Arc<RwLock<VersionTable<T>>>,
+}
+
+impl<T: Payload + Send + Sync + 'static> ReadPin<T> {
+    /// The pinned version number.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The pinned snapshot value (same as `Deref`).
+    pub fn value(&self) -> &T {
+        self.value.as_ref().expect("ReadPin value lives until drop")
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> std::ops::Deref for ReadPin<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value()
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> std::fmt::Debug for ReadPin<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadPin")
+            .field("version", &self.version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Payload + Send + Sync + 'static> Drop for ReadPin<T> {
+    fn drop(&mut self) {
+        // Release our share of the snapshot first: if we are the last
+        // reader, the prune below can then reclaim the buffer into the
+        // free pool instead of merely freeing it.
+        drop(self.value.take());
+        let mut t = self.table.write();
+        if let Some(e) = t.versions[self.version as usize].as_mut() {
+            debug_assert!(e.pins > 0, "ReadPin drop without matching pin");
+            e.pins = e.pins.saturating_sub(1);
+        }
+        t.try_prune(self.version);
     }
 }
 
@@ -1391,6 +1500,87 @@ mod tests {
         assert_eq!(b.stats().versions_live, 2, "pinned v1 must survive");
         b.unpin(v1);
         assert_eq!(b.stats().versions_live, 1, "unpinning releases v1");
+    }
+
+    #[test]
+    fn read_pin_resolves_latest_without_fetch_side_effects() {
+        let b = bcast(1);
+        b.push(vec![1.0; 4]);
+        let pin = b.pin_read();
+        assert_eq!(pin.version(), 1);
+        assert_eq!(pin[0], 1.0, "guard derefs to the snapshot");
+        assert_eq!(pin.value()[3], 1.0);
+        let s = b.stats();
+        assert_eq!(
+            s.fetches, 0,
+            "pin_read is server-side: no worker fetch, no cache traffic"
+        );
+    }
+
+    #[test]
+    fn pinned_read_version_never_recycled_while_training_advances() {
+        // The serving contract: a reader pins a version, then training
+        // pushes many new versions and retires all sample references to
+        // the pinned one. The reader's snapshot must stay live and
+        // bit-identical until the guard drops.
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        let v1 = b.push(vec![1.0; 4]);
+        b.record_use(&[0], v1);
+        let pin = b.pin_read();
+        assert_eq!(pin.version(), v1);
+        for i in 2..30 {
+            let v = b.push(vec![i as f64; 4]);
+            b.record_use(&[0], v); // rc on v1 long gone; only the pin holds it
+            assert_eq!(
+                b.stats().versions_live,
+                2,
+                "pinned v1 + latest must both live at step {i}"
+            );
+            assert_eq!(*pin.value(), vec![1.0; 4], "snapshot bit-identical");
+        }
+        drop(pin);
+        assert_eq!(
+            b.stats().versions_live,
+            1,
+            "dropping the last reader reclaims the version at once"
+        );
+        // And the reclaimed buffer is recyclable: the next snapshot push
+        // reuses it instead of allocating.
+        let before = b.stats().recycled_buffers;
+        b.push_snapshot(&[9.0; 4]);
+        assert_eq!(b.stats().recycled_buffers, before + 1);
+    }
+
+    #[test]
+    fn try_pin_read_at_rejects_pruned_and_unknown_versions() {
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        let v1 = b.push(vec![1.0; 4]);
+        b.record_use(&[0], v1);
+        let v2 = b.push(vec![2.0; 4]);
+        b.record_use(&[0], v2); // v1 pruned
+        assert!(b.try_pin_read_at(v1).is_none(), "pruned version");
+        assert!(b.try_pin_read_at(99).is_none(), "unknown version");
+        let pin = b.try_pin_read_at(v2).expect("latest is live");
+        assert_eq!(pin[0], 2.0);
+    }
+
+    #[test]
+    fn concurrent_read_pins_share_a_version_safely() {
+        let b = bcast(1);
+        b.record_use(&[0], 0);
+        let v1 = b.push(vec![1.0; 4]);
+        b.record_use(&[0], v1);
+        let p1 = b.pin_read();
+        let p2 = b.try_pin_read_at(v1).expect("pinned version stays live");
+        let v2 = b.push(vec![2.0; 4]);
+        b.record_use(&[0], v2);
+        drop(p1);
+        assert_eq!(b.stats().versions_live, 2, "second pin still holds v1");
+        assert_eq!(p2[0], 1.0);
+        drop(p2);
+        assert_eq!(b.stats().versions_live, 1);
     }
 
     #[test]

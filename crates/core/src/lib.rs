@@ -40,6 +40,6 @@ pub mod context;
 pub mod stat;
 
 pub use barrier::BarrierFilter;
-pub use broadcast::{AsyncBcast, HistoryHandle, HistoryStats, PatchCodes, WirePlan};
+pub use broadcast::{AsyncBcast, HistoryHandle, HistoryStats, PatchCodes, ReadPin, WirePlan};
 pub use context::{AsyncContext, RemoteRoutine, SubmitOpts, Tagged, TaskAttrs};
 pub use stat::{StatSnapshot, WorkerStat};

@@ -130,10 +130,13 @@ pub fn f16_bits_to_f64(bits: u16) -> f64 {
 
 /// Quantizes `v` against `scale` to a half-precision code of `v/scale`.
 /// Callers guarantee `|v| ≤ scale` (the compressor uses `scale = max|v|`),
-/// so the normalized value is in `[-1, 1]` and never overflows.
+/// so the normalized value is in `[-1, 1]` and never overflows. A
+/// non-finite scale (the signature of a NaN/inf coordinate upstream)
+/// quantizes everything to the zero code rather than emitting a frame
+/// whose every decoded coordinate is NaN.
 #[inline]
 pub fn quantize_f16(v: f64, scale: f64) -> u16 {
-    if scale == 0.0 {
+    if scale == 0.0 || !scale.is_finite() {
         0
     } else {
         f32_to_f16_bits((v / scale) as f32)
@@ -147,9 +150,13 @@ pub fn dequantize_f16(code: u16, scale: f64) -> f64 {
 }
 
 /// Quantizes `v` against `scale` to a signed 8-bit code in `[-127, 127]`.
+/// As with [`quantize_f16`], a non-finite scale maps every value to the
+/// zero code instead of poisoning the whole frame (`NaN as i8` is 0, but
+/// `v / inf` silently flushing all magnitudes to zero *codes* while the
+/// header still advertised an infinite scale would decode to NaN/inf).
 #[inline]
 pub fn quantize_i8(v: f64, scale: f64) -> i8 {
-    if scale == 0.0 {
+    if scale == 0.0 || !scale.is_finite() {
         0
     } else {
         (v / scale * 127.0).round().clamp(-127.0, 127.0) as i8
@@ -318,6 +325,57 @@ impl CompressedDelta {
     }
 }
 
+/// A gradient delta carried a non-finite (NaN/±inf) coordinate.
+///
+/// Error feedback cannot absorb such a frame: `residual += g` would plant
+/// the poison, and because `NaN - NaN = NaN` no later subtraction can ever
+/// remove it — the telescoping identity is destroyed permanently, not
+/// delayed. [`EfState::try_compress`] therefore rejects the frame *before*
+/// touching any state, naming the first offending coordinate so the caller
+/// can log it and fall back to shipping the raw delta uncompressed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteDelta {
+    /// First coordinate (embedding index) holding a non-finite value.
+    pub coordinate: u32,
+    /// The offending value (NaN, `inf`, or `-inf`).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite gradient delta: coordinate {} is {}",
+            self.coordinate, self.value
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteDelta {}
+
+/// Scans a delta for its first non-finite coordinate.
+fn first_non_finite(g: &GradDelta) -> Option<NonFiniteDelta> {
+    match g {
+        GradDelta::Sparse(s) => s
+            .indices()
+            .iter()
+            .zip(s.values())
+            .find(|(_, v)| !v.is_finite())
+            .map(|(&i, &v)| NonFiniteDelta {
+                coordinate: i,
+                value: v,
+            }),
+        GradDelta::Dense(d) => d
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, &v)| NonFiniteDelta {
+                coordinate: i as u32,
+                value: v,
+            }),
+    }
+}
+
 /// Per-coordinate raw/shipped running sums for the telescoping-identity
 /// test rig.
 #[derive(Debug, Clone)]
@@ -404,10 +462,37 @@ impl EfState {
     /// call.
     ///
     /// # Panics
-    /// Panics if `g.dim() != self.dim()` or `k == 0`.
+    /// Panics if `g.dim() != self.dim()`, `k == 0`, or `g` carries a
+    /// non-finite coordinate (use [`EfState::try_compress`] to handle that
+    /// case as a recoverable, positioned error instead).
     pub fn compress(&mut self, g: &GradDelta, k: usize, quant: Quant) {
+        if let Err(e) = self.try_compress(g, k, quant) {
+            panic!("EfState::compress: {e}");
+        }
+    }
+
+    /// Fallible twin of [`EfState::compress`]: rejects a delta carrying a
+    /// NaN/inf coordinate with a positioned [`NonFiniteDelta`] **before
+    /// mutating anything** — the residual, support, tracking sums, and the
+    /// previously shipped message are all left exactly as they were, so
+    /// the caller can ship the raw frame uncompressed (or drop it) and
+    /// keep compressing subsequent finite deltas against intact state.
+    ///
+    /// # Panics
+    /// Panics if `g.dim() != self.dim()` or `k == 0`.
+    pub fn try_compress(
+        &mut self,
+        g: &GradDelta,
+        k: usize,
+        quant: Quant,
+    ) -> Result<(), NonFiniteDelta> {
         assert_eq!(g.dim(), self.dim, "EfState: delta dimension mismatch");
         assert!(k > 0, "EfState: top-k needs k >= 1");
+        // Poison check first: once `residual += g` runs with a NaN inside,
+        // `NaN - NaN = NaN` makes the state unrecoverable forever.
+        if let Some(e) = first_non_finite(g) {
+            return Err(e);
+        }
         if let Some(t) = self.track.as_deref_mut() {
             g.axpy_into(1.0, &mut t.raw);
         }
@@ -489,6 +574,7 @@ impl EfState {
                 t.shipped[i as usize] += v;
             }
         }
+        Ok(())
     }
 
     /// Shipped support of the last [`EfState::compress`] call.
@@ -775,5 +861,120 @@ mod tests {
             ef.codes_i8.capacity(),
         );
         assert_eq!(caps, after);
+    }
+
+    #[test]
+    fn non_finite_scale_quantizes_to_zero_codes() {
+        for scale in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0] {
+            assert_eq!(quantize_i8(1.0, scale), 0, "scale={scale}");
+            assert_eq!(quantize_i8(f64::NAN, scale), 0, "scale={scale}");
+            assert_eq!(quantize_f16(1.0, scale), 0, "scale={scale}");
+            assert_eq!(quantize_f16(f64::NAN, scale), 0, "scale={scale}");
+        }
+    }
+
+    #[test]
+    fn try_compress_rejects_non_finite_with_position_and_no_mutation() {
+        let mut ef = EfState::new(8).with_tracking();
+        ef.try_compress(&sparse(&[(1, 1.0), (5, -3.0)], 8), 1, Quant::I8)
+            .unwrap();
+        let residual_before = ef.residual().to_vec();
+        let shipped_before: Vec<u32> = ef.shipped_indices().to_vec();
+        let (raw_before, sh_before) = {
+            let (r, s) = ef.tracking().unwrap();
+            (r.to_vec(), s.to_vec())
+        };
+        // Sparse frame with a NaN mid-support.
+        let bad = sparse(&[(0, 2.0), (3, f64::NAN), (6, 1.0)], 8);
+        let err = ef.try_compress(&bad, 1, Quant::I8).unwrap_err();
+        assert_eq!(err.coordinate, 3);
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("coordinate 3"), "{err}");
+        // Dense frame with an inf names its index too.
+        let mut d = vec![0.0; 8];
+        d[5] = f64::INFINITY;
+        let err = ef
+            .try_compress(&GradDelta::Dense(d), 1, Quant::F16)
+            .unwrap_err();
+        assert_eq!((err.coordinate, err.value), (5, f64::INFINITY));
+        // Nothing moved: residual, last shipped message, tracking sums.
+        assert_eq!(ef.residual(), residual_before.as_slice());
+        assert_eq!(ef.shipped_indices(), shipped_before.as_slice());
+        let (raw_after, sh_after) = ef.tracking().unwrap();
+        assert_eq!(raw_after, raw_before.as_slice());
+        assert_eq!(sh_after, sh_before.as_slice());
+        assert!(
+            !ef.dense,
+            "a rejected dense frame must not flip the scan mode"
+        );
+    }
+
+    #[test]
+    fn telescoping_identity_stays_finite_across_rejected_frames() {
+        // A hostile stream: every third frame carries a NaN or inf. The
+        // caller's contract is to drop/ship-raw rejected frames; the
+        // identity Σraw = Σshipped + residual over the *accepted* frames
+        // must keep holding with entirely finite state.
+        let mut ef = EfState::new(6).with_tracking();
+        let mut rejected = 0;
+        for step in 0..30 {
+            let g = match step % 3 {
+                0 => sparse(&[(0, 1.0 + step as f64), (4, -0.5)], 6),
+                1 => sparse(&[(2, 0.25 * step as f64), (5, 3.0)], 6),
+                _ => {
+                    let v = if step % 2 == 0 {
+                        f64::NAN
+                    } else {
+                        f64::INFINITY
+                    };
+                    sparse(&[(1, v)], 6)
+                }
+            };
+            if ef.try_compress(&g, 1, Quant::I8).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 10);
+        let (raw, shipped) = ef.tracking().unwrap();
+        for i in 0..6 {
+            assert!(raw[i].is_finite() && shipped[i].is_finite());
+            assert!(ef.residual()[i].is_finite());
+            let drift = (raw[i] - shipped[i] - ef.residual()[i]).abs();
+            assert!(drift < 1e-9, "coordinate {i} telescopes: drift {drift}");
+        }
+    }
+
+    #[test]
+    fn compress_panics_on_non_finite_frames() {
+        let mut ef = EfState::new(4);
+        let bad = sparse(&[(2, f64::NAN)], 4);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ef.compress(&bad, 1, Quant::Exact)
+        }));
+        assert!(res.is_err(), "panicking wrapper surfaces the poison");
+    }
+
+    #[test]
+    fn select_top_k_is_total_under_nan_and_inf() {
+        // `total_cmp` orders NaN above +inf, so hostile magnitudes are
+        // picked deterministically and the comparator never violates the
+        // strict-weak-ordering contract `select_nth_unstable_by` needs.
+        let idx: Vec<u32> = (0..8).collect();
+        let val = vec![
+            1.0,
+            f64::NAN,
+            -2.0,
+            f64::INFINITY,
+            0.5,
+            -f64::NAN,
+            3.0,
+            f64::NEG_INFINITY,
+        ];
+        let mut order = Vec::new();
+        let (mut oi, mut ov) = (Vec::new(), Vec::new());
+        select_top_k(&idx, &val, 4, &mut order, &mut oi, &mut ov);
+        // NaNs (|·| = NaN sorts greatest) then the infinities.
+        assert_eq!(oi, vec![1, 3, 5, 7]);
+        assert_eq!(ov.len(), 4);
     }
 }

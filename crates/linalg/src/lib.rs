@@ -42,7 +42,7 @@ pub mod sparse;
 
 pub use compress::{
     dequantize_f16, dequantize_i8, f16_bits_to_f64, f32_to_f16_bits, quant_wire_bytes,
-    quantize_f16, quantize_i8, select_top_k, CompressedDelta, EfState, Quant,
+    quantize_f16, quantize_i8, select_top_k, CompressedDelta, EfState, NonFiniteDelta, Quant,
 };
 pub use csr::CsrMatrix;
 pub use delta::{DeltaFold, GradDelta};

@@ -61,6 +61,33 @@ impl Matrix {
         }
     }
 
+    /// Batched scoring: margins `⟨xᵣ, w⟩` for each row in `rows`, appended
+    /// into `out` after clearing it — the serving read path's kernel.
+    /// Allocation-free once `out`'s capacity covers the batch; dispatches
+    /// to the CSR fast path for sparse storage.
+    pub fn rows_dot_into(&self, rows: &[u32], w: &[f64], out: &mut Vec<f64>) {
+        match self {
+            Matrix::Dense(m) => {
+                out.clear();
+                out.extend(
+                    rows.iter()
+                        .map(|&r| crate::dense::dot(m.row(r as usize), w)),
+                );
+            }
+            Matrix::Sparse(m) => m.rows_dot_into(rows, w, out),
+        }
+    }
+
+    /// Full-matrix scoring: margins `⟨xᵢ, w⟩` for every row, written into
+    /// `out` after clearing and resizing it. The growable-buffer twin of
+    /// [`Matrix::matvec`] for callers that recycle one margin buffer
+    /// across batches of different sizes.
+    pub fn matvec_into(&self, w: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.nrows(), 0.0);
+        self.matvec(w, out);
+    }
+
     /// `out += a * xᵢ` for row `i`.
     #[inline]
     pub fn row_axpy(&self, i: usize, a: f64, out: &mut [f64]) {
@@ -209,6 +236,35 @@ mod tests {
             assert!((s2.row_dot(i, &w) - s.row_dot(i, &w)).abs() < 1e-15);
             assert!((d2.row_dot(i, &w) - d.row_dot(i, &w)).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn rows_dot_into_matches_row_dot_on_both_storages() {
+        let (s, d) = both();
+        let w = [1.0, 2.0, 3.0];
+        let mut out = Vec::new();
+        for m in [&s, &d] {
+            m.rows_dot_into(&[1, 0, 1], &w, &mut out);
+            assert_eq!(
+                out,
+                vec![m.row_dot(1, &w), m.row_dot(0, &w), m.row_dot(1, &w)],
+                "batch margins must equal per-row dots"
+            );
+        }
+        // The buffer is cleared, not appended to, across calls.
+        s.rows_dot_into(&[0], &w, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn matvec_into_resizes_and_matches_matvec() {
+        let (s, _) = both();
+        let w = [1.0, 2.0, 3.0];
+        let mut grown = vec![7.0; 9]; // wrong size + stale content
+        s.matvec_into(&w, &mut grown);
+        let mut exact = vec![0.0; s.nrows()];
+        s.matvec(&w, &mut exact);
+        assert_eq!(grown, exact);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
+use crate::serving::{PublishedModel, ServeCounters};
 use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunReport, SolverCfg};
 
 /// One task's SAGA contribution. Crate-visible so the remote wire codec
@@ -251,6 +252,15 @@ impl AsyncSolver for Asaga {
         // Steady-state buffer recycling for the delta/ids result cycle.
         let pool = ScratchPool::new();
         let bank = self.bank.take().unwrap_or_default();
+        // A bank reused across runs keeps only this run's partitions.
+        bank.retain_parts_below(blocks.len().max(1));
+        if let Some(feed) = cfg.serve_feed.as_ref() {
+            feed.publish(PublishedModel {
+                bcast: bcast.clone(),
+                objective: self.objective,
+                dim: dcols,
+            });
+        }
         // ᾱ = mean table gradient, seeded at w₀ so it is exactly consistent
         // with the version table.
         let mut alpha_bar = vec![0.0; dcols];
@@ -399,6 +409,14 @@ impl AsyncSolver for Asaga {
         // so the model versions they held can prune.
         pinned.release_leftovers(&bcast);
 
+        let serve = match cfg.serve_feed.as_ref() {
+            Some(feed) => {
+                feed.mark_done();
+                feed.counters()
+            }
+            None => ServeCounters::default(),
+        };
+
         RunReport {
             trace,
             updates,
@@ -413,6 +431,7 @@ impl AsyncSolver for Asaga {
             final_w: w,
             final_objective,
             checkpoints,
+            serve,
         }
     }
 }

@@ -24,6 +24,7 @@ use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
+use crate::serving::{PublishedModel, ServeCounters};
 use crate::solver::{
     block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
     GradMsg, PinLedger, RunReport, SolverCfg,
@@ -112,6 +113,16 @@ impl AsyncSolver for Asgd {
         // the result deltas all cycle through the pool.
         let pool = ScratchPool::new();
         let bank = self.bank.take().unwrap_or_default();
+        // A bank reused across runs (or re-keyed after churn) keeps only
+        // this run's partition universe — stale entries cannot accrete.
+        bank.retain_parts_below(blocks.len().max(1));
+        if let Some(feed) = cfg.serve_feed.as_ref() {
+            feed.publish(PublishedModel {
+                bcast: bcast.clone(),
+                objective: self.objective,
+                dim: dcols,
+            });
+        }
 
         let mut trace = ConvergenceTrace::new();
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -256,6 +267,14 @@ impl AsyncSolver for Asgd {
 
         drain_grad_tasks(ctx, &bcast, pinned);
 
+        let serve = match cfg.serve_feed.as_ref() {
+            Some(feed) => {
+                feed.mark_done();
+                feed.counters()
+            }
+            None => ServeCounters::default(),
+        };
+
         RunReport {
             trace,
             updates,
@@ -270,6 +289,7 @@ impl AsyncSolver for Asgd {
             final_w: w,
             final_objective,
             checkpoints,
+            serve,
         }
     }
 }

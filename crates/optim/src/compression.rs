@@ -13,9 +13,11 @@
 //! bit-identical to a build without this module.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use async_linalg::{EfState, GradDelta, Quant, SparseVec};
+use sparklet::Payload;
 
 use crate::scratch::ScratchPool;
 
@@ -53,6 +55,7 @@ impl CompressCfg {
 #[derive(Clone, Default)]
 pub struct CompressorBank {
     inner: Arc<Mutex<HashMap<usize, EfState>>>,
+    rejected: Arc<AtomicU64>,
     track: bool,
 }
 
@@ -60,6 +63,7 @@ impl std::fmt::Debug for CompressorBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompressorBank")
             .field("track", &self.track)
+            .field("rejected", &self.rejected.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -75,6 +79,7 @@ impl CompressorBank {
     pub fn with_tracking() -> Self {
         Self {
             inner: Arc::default(),
+            rejected: Arc::default(),
             track: true,
         }
     }
@@ -85,6 +90,13 @@ impl CompressorBank {
     /// returns the dequantized selection as a sparse delta plus its
     /// modeled wire bytes (the [`async_linalg::CompressedDelta`] frame
     /// size a remote worker would ship).
+    ///
+    /// A delta carrying a non-finite coordinate (a diverging task) is
+    /// rejected by [`EfState::try_compress`] **before** it can poison the
+    /// residual; the frame then falls back to shipping the raw delta
+    /// unmodified (charged as an `Exact` compressed frame) and bumps
+    /// [`CompressorBank::rejected_frames`], while the partition's
+    /// error-feedback state stays intact for subsequent finite deltas.
     pub fn compress(
         &self,
         part: usize,
@@ -103,7 +115,13 @@ impl CompressorBank {
                 s
             }
         });
-        ef.compress(&g, k, quant);
+        if ef.try_compress(&g, k, quant).is_err() {
+            drop(map);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            // Exact passthrough: compressed-frame tag + GradDelta payload.
+            let wire = 1 + g.encoded_len();
+            return (g, wire);
+        }
         let (mut idx, mut val) = pool.checkout_sparse();
         idx.clear();
         val.clear();
@@ -131,6 +149,46 @@ impl CompressorBank {
     pub fn with_part<R>(&self, part: usize, f: impl FnOnce(&EfState) -> R) -> Option<R> {
         let map = self.inner.lock().expect("compressor bank poisoned");
         map.get(&part).map(f)
+    }
+
+    /// Number of partitions with materialized error-feedback state.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("compressor bank poisoned").len()
+    }
+
+    /// True when no partition has compressed anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frames rejected (and shipped raw) because the delta carried a
+    /// non-finite coordinate.
+    pub fn rejected_frames(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Drops `part`'s error-feedback state (its un-shipped residual is
+    /// discarded). Call when a partition is permanently retired.
+    pub fn remove_part(&self, part: usize) -> bool {
+        self.inner
+            .lock()
+            .expect("compressor bank poisoned")
+            .remove(&part)
+            .is_some()
+    }
+
+    /// Keeps only partitions `< nparts`, dropping state for anything
+    /// beyond the run's partition universe. Solvers call this at run
+    /// start so a bank reused across runs (or a run with fewer
+    /// partitions after churn re-keying) cannot grow without bound —
+    /// within one run the key space is already bounded because dead
+    /// workers' partitions are re-dealt over the alive set, not
+    /// re-keyed.
+    pub fn retain_parts_below(&self, nparts: usize) {
+        self.inner
+            .lock()
+            .expect("compressor bank poisoned")
+            .retain(|&p, _| p < nparts);
     }
 }
 
@@ -173,5 +231,72 @@ mod tests {
         assert!(bank.with_part(7, |_| ()).is_none());
         // A clone addresses the same states.
         assert_eq!(bank.clone().parts(), vec![0]);
+    }
+
+    #[test]
+    fn non_finite_frames_fall_back_to_exact_and_spare_the_residual() {
+        let bank = CompressorBank::with_tracking();
+        let pool = ScratchPool::new();
+        bank.compress(
+            0,
+            GradDelta::Dense(vec![1.0, 0.0, 0.0, -2.0]),
+            1,
+            Quant::I8,
+            &pool,
+        );
+        let resid_before = bank.with_part(0, |ef| ef.residual().to_vec()).unwrap();
+        // A divergent task hands in a NaN: the frame ships raw (Exact)
+        // instead of poisoning partition 0's error-feedback state.
+        let bad = GradDelta::Dense(vec![0.5, f64::NAN, 0.0, 0.0]);
+        let bad_wire = 1 + sparklet::Payload::encoded_len(&bad);
+        let (d, wire) = bank.compress(0, bad, 1, Quant::I8, &pool);
+        match &d {
+            GradDelta::Dense(v) => assert!(v[1].is_nan(), "raw frame passes through"),
+            GradDelta::Sparse(_) => panic!("fallback ships the unmodified delta"),
+        }
+        assert_eq!(wire, bad_wire, "charged as an Exact compressed frame");
+        assert_eq!(bank.rejected_frames(), 1);
+        let resid_after = bank.with_part(0, |ef| ef.residual().to_vec()).unwrap();
+        assert_eq!(
+            resid_after, resid_before,
+            "residual untouched by the poison"
+        );
+        assert!(resid_after.iter().all(|v| v.is_finite()));
+        // Finite compression keeps working against intact state.
+        let (_, _) = bank.compress(
+            0,
+            GradDelta::Dense(vec![0.0, 1.0, 0.0, 0.0]),
+            1,
+            Quant::I8,
+            &pool,
+        );
+        assert!(bank
+            .with_part(0, |ef| ef.residual().iter().all(|v| v.is_finite()))
+            .unwrap());
+    }
+
+    #[test]
+    fn bank_prunes_retired_partitions() {
+        let bank = CompressorBank::new();
+        let pool = ScratchPool::new();
+        for part in [0usize, 1, 5, 9] {
+            bank.compress(
+                part,
+                GradDelta::Dense(vec![1.0, 2.0]),
+                1,
+                Quant::Exact,
+                &pool,
+            );
+        }
+        assert_eq!(bank.len(), 4);
+        assert!(!bank.is_empty());
+        // A rerun with a smaller partition universe drops the stragglers.
+        bank.retain_parts_below(2);
+        assert_eq!(bank.parts(), vec![0, 1]);
+        assert!(bank.remove_part(1));
+        assert!(!bank.remove_part(1), "already gone");
+        assert_eq!(bank.len(), 1);
+        bank.retain_parts_below(0);
+        assert!(bank.is_empty());
     }
 }

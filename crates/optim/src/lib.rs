@@ -51,6 +51,7 @@ pub mod msgd;
 pub mod objective;
 pub mod remote;
 pub mod scratch;
+pub mod serving;
 pub mod solver;
 
 pub use absorber::ShardedAbsorber;
@@ -62,4 +63,5 @@ pub use msgd::AsyncMsgd;
 pub use objective::Objective;
 pub use remote::{worker_registry, EF_NS, ROUTINE_ASAGA, ROUTINE_GRAD};
 pub use scratch::{ScratchPool, TaskScratch};
+pub use serving::{LoggedQuery, PublishedModel, ServeCounters, ServeFeed, ServeStats};
 pub use solver::{block_rdd, AsyncSolver, RunReport, SolverCfg, SolverCfgBuilder, SolverCfgError};

@@ -35,6 +35,7 @@ use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::CompressorBank;
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
+use crate::serving::{PublishedModel, ServeCounters};
 use crate::solver::{
     block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
     GradMsg, PinLedger, RunReport, SolverCfg,
@@ -127,6 +128,15 @@ impl AsyncSolver for AsyncMsgd {
             None => (vec![0.0; dcols], pool.checkout_dense(dcols), 0),
         };
         let bcast = ctx.async_broadcast(w.clone(), 0);
+        // A bank reused across runs keeps only this run's partitions.
+        bank.retain_parts_below(blocks.len().max(1));
+        if let Some(feed) = cfg.serve_feed.as_ref() {
+            feed.publish(PublishedModel {
+                bcast: bcast.clone(),
+                objective: self.objective,
+                dim: dcols,
+            });
+        }
 
         let mut trace = ConvergenceTrace::new();
         let f0 = self.objective.full_objective(cfg.eval_threads, dataset, &w);
@@ -276,6 +286,14 @@ impl AsyncSolver for AsyncMsgd {
 
         drain_grad_tasks(ctx, &bcast, pinned);
 
+        let serve = match cfg.serve_feed.as_ref() {
+            Some(feed) => {
+                feed.mark_done();
+                feed.counters()
+            }
+            None => ServeCounters::default(),
+        };
+
         RunReport {
             trace,
             updates,
@@ -290,6 +308,7 @@ impl AsyncSolver for AsyncMsgd {
             final_w: w,
             final_objective,
             checkpoints,
+            serve,
         }
     }
 }

@@ -52,6 +52,24 @@ impl Objective {
         }
     }
 
+    /// Maps a raw margin `z = xᵀw` to the quantity a serving layer hands
+    /// back to callers: the identity for regression, the positive-class
+    /// probability `σ(z)` for logistic classification (stable on both
+    /// tails).
+    pub fn predict(&self, z: f64) -> f64 {
+        match self {
+            Objective::LeastSquares { .. } => z,
+            Objective::Logistic { .. } => {
+                if z >= 0.0 {
+                    1.0 / (1.0 + (-z).exp())
+                } else {
+                    let e = z.exp();
+                    e / (1.0 + e)
+                }
+            }
+        }
+    }
+
     /// Derivative of the per-row loss with respect to the margin `z`.
     pub fn dloss(&self, z: f64, y: f64) -> f64 {
         match self {

@@ -586,6 +586,12 @@ fn worker_ef(ctx: &mut WorkerCtx, part: usize, dim: usize) -> Arc<Mutex<EfState>
 /// [`CompressCfg`] and encodes the response's delta section — the plain
 /// [`GradDelta`] bytes when compression is off (bit-identical to builds
 /// predating compression), a [`CompressedDelta`] frame otherwise.
+///
+/// A delta carrying a non-finite coordinate is rejected by
+/// [`EfState::try_compress`] before it can poison the incarnation's
+/// residual; the response then ships the raw delta as an
+/// [`CompressedDelta::Exact`] frame (cold path: one clone) so the server
+/// still sees exactly what the task computed.
 fn encode_response_delta(
     ctx: &mut WorkerCtx,
     part: usize,
@@ -598,8 +604,11 @@ fn encode_response_delta(
         CompressCfg::TopK { k, quant } => {
             let ef = worker_ef(ctx, part, g.dim());
             let mut ef = ef.lock().expect("worker ef state poisoned");
-            ef.compress(g, k, quant);
-            ef.to_compressed().encode(buf);
+            if ef.try_compress(g, k, quant).is_err() {
+                CompressedDelta::Exact(g.clone()).encode(buf);
+            } else {
+                ef.to_compressed().encode(buf);
+            }
         }
     }
 }

@@ -16,6 +16,7 @@ use crate::checkpoint::Checkpoint;
 use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
+use crate::serving::{ServeCounters, ServeFeed};
 
 /// Configuration shared by all solvers.
 #[derive(Debug, Clone)]
@@ -114,6 +115,13 @@ pub struct SolverCfg {
     /// ring, a non-exact `quant` also quantizes the driver → worker
     /// version-diff patches (`async_core::AsyncBcast::set_patch_quant`).
     pub compress: CompressCfg,
+    /// Serving rendezvous (`None`, the default, is bit-identical to builds
+    /// predating the serving layer). When set, the solver publishes its
+    /// live model broadcast through the feed right after creating it —
+    /// concurrent readers (`async-serve`) pin snapshot versions from the
+    /// same MVCC ring the training loop pushes into — and folds the feed's
+    /// serving counters into [`RunReport::serve`] at run end.
+    pub serve_feed: Option<ServeFeed>,
 }
 
 impl Default for SolverCfg {
@@ -134,6 +142,7 @@ impl Default for SolverCfg {
             server_threads: 1,
             absorb_batch: 1,
             compress: CompressCfg::Off,
+            serve_feed: None,
         }
     }
 }
@@ -245,6 +254,12 @@ impl SolverCfgBuilder {
         compress: CompressCfg,
     }
 
+    /// Attaches a serving rendezvous ([`SolverCfg::serve_feed`]).
+    pub fn serve_feed(mut self, feed: ServeFeed) -> Self {
+        self.cfg.serve_feed = Some(feed);
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<SolverCfg, SolverCfgError> {
         let cfg = self.cfg;
@@ -344,6 +359,9 @@ pub struct RunReport {
     /// Server-state checkpoints captured every
     /// [`SolverCfg::checkpoint_every`] updates (empty when disabled).
     pub checkpoints: Vec<Checkpoint>,
+    /// Serving counters accumulated by readers attached through
+    /// [`SolverCfg::serve_feed`] over the run (all zeros without one).
+    pub serve: ServeCounters,
 }
 
 /// An asynchronous optimization algorithm runnable on an [`AsyncContext`].

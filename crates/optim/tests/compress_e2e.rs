@@ -4,7 +4,7 @@
 //! bit-identity contract, and one remote arm proving quantized frames
 //! cross real process boundaries.
 
-use async_cluster::{ClusterSpec, CommModel, DelayModel, VDur};
+use async_cluster::{ChaosSchedule, ClusterSpec, CommModel, DelayModel, VDur, VTime};
 use async_core::{AsyncContext, BarrierFilter};
 use async_data::{Dataset, SynthSpec};
 use async_linalg::{ParallelismCfg, Quant};
@@ -277,5 +277,57 @@ fn quantized_frames_cross_real_process_boundaries() {
         rem.result_bytes < 150 * 97,
         "remote result bytes {} look uncompressed",
         rem.result_bytes
+    );
+}
+
+#[test]
+fn compressor_bank_stays_bounded_under_churn_and_prunes_on_reuse() {
+    // The churn leak regression: under a long kill/revive/join schedule,
+    // dead workers' partitions are re-dealt over the alive set and a
+    // joined worker (id past the starting cluster size) starts pulling
+    // tasks, yet every task is keyed by its rdd partition — so the bank's
+    // error-feedback map must never exceed the run's partition universe no
+    // matter how the membership thrashes. Partitions are pinned explicitly
+    // because the sim assigns join ids at scheduling time, which would
+    // otherwise grow the default (= worker count) universe.
+    let d = dataset();
+    let objective = Objective::LeastSquares { lambda: 0.0 };
+    let compress = CompressCfg::TopK {
+        k: 4,
+        quant: Quant::I8,
+    };
+    let bank = CompressorBank::new();
+    let mut ctx = AsyncContext::sim(quiet_spec());
+    let chaos = ChaosSchedule::pcs_churn(5, WORKERS, VTime::from_micros(150));
+    ctx.driver_mut().install_chaos(&chaos);
+    let mut churned = cfg(BarrierFilter::Asp, compress);
+    churned.partitions = WORKERS;
+    let r = Asgd::new(objective)
+        .with_compressor_bank(bank.clone())
+        .run(&mut ctx, &d, &churned);
+    assert_eq!(r.updates, 150, "churn run must spend the budget");
+    assert!(
+        bank.len() <= WORKERS,
+        "bank grew past the partition universe: {} parts for {} partitions",
+        bank.len(),
+        WORKERS
+    );
+    assert!(bank.parts().iter().all(|&p| p < WORKERS));
+    assert_eq!(bank.rejected_frames(), 0, "finite deltas never reject");
+
+    // Reusing the bank on a smaller partition universe prunes the
+    // stragglers at run start instead of accreting them forever.
+    let before = bank.len();
+    let mut ctx2 = AsyncContext::sim(quiet_spec());
+    let mut small = cfg(BarrierFilter::Asp, compress);
+    small.partitions = 2;
+    let r2 = Asgd::new(objective)
+        .with_compressor_bank(bank.clone())
+        .run(&mut ctx2, &d, &small);
+    assert_eq!(r2.updates, 150);
+    assert!(
+        bank.len() <= 2,
+        "rerun with 2 partitions must prune the {before}-part bank down, got {}",
+        bank.len()
     );
 }

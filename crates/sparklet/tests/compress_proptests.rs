@@ -126,6 +126,47 @@ proptest! {
     }
 
     #[test]
+    fn top_k_is_total_and_oracle_consistent_under_nan_and_inf(
+        raw_idx in proptest::collection::vec(0u32..10_000, 0..96usize),
+        raw_vals in proptest::collection::vec(
+            prop_oneof![
+                4 => -100.0..100.0f64,
+                1 => Just(f64::NAN),
+                1 => Just(f64::INFINITY),
+                1 => Just(f64::NEG_INFINITY),
+                1 => Just(-f64::NAN),
+            ],
+            0..96usize,
+        ),
+        k in 0usize..96,
+    ) {
+        // Hostile magnitudes: the comparator must stay a total order
+        // (`total_cmp` on |v| — NaN sorts above +inf), so selection
+        // neither panics nor diverges from the full-sort oracle.
+        let (idx, vals) = support(raw_idx, raw_vals);
+
+        let mut order: Vec<usize> = (0..idx.len()).collect();
+        order.sort_by(|&a, &b| {
+            vals[b].abs().total_cmp(&vals[a].abs()).then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order.sort_unstable();
+        let want_idx: Vec<u32> = order.iter().map(|&p| idx[p]).collect();
+        let want_val: Vec<f64> = order.iter().map(|&p| vals[p]).collect();
+
+        let mut scratch = Vec::new();
+        let mut got_idx = Vec::new();
+        let mut got_val = Vec::new();
+        select_top_k(&idx, &vals, k, &mut scratch, &mut got_idx, &mut got_val);
+        prop_assert_eq!(got_idx.len(), k.min(idx.len()));
+        prop_assert_eq!(got_idx, want_idx);
+        prop_assert_eq!(
+            got_val.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want_val.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn compressed_frames_roundtrip_and_charge_their_own_length(
         kind in 0u8..3,
         raw_idx in proptest::collection::vec(0u32..50_000, 0..64usize),

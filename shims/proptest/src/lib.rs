@@ -128,6 +128,71 @@ tuple_strategies!(
     (A, 0; B, 1; C, 2; D, 3),
 );
 
+/// Strategy that always yields a clone of one fixed value
+/// (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over boxed strategies of one value type — the expansion
+/// target of [`prop_oneof!`].
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds the union; total weight must be positive.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(
+            arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum covers every draw")
+    }
+}
+
+/// `proptest::prop_oneof!`: draws from one of several strategies, either
+/// uniformly (`prop_oneof![a, b, c]`) or by weight
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $(
+                (
+                    $weight as u32,
+                    ::std::boxed::Box::new($strat)
+                        as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+                ),
+            )+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -288,8 +353,8 @@ macro_rules! __proptest_fns {
 /// One-stop imports mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 #[cfg(test)]
@@ -329,6 +394,23 @@ mod tests {
         fn config_header_accepted(x in 0u64..10) {
             prop_assert!(x < 10);
         }
+    }
+
+    #[test]
+    fn oneof_honours_weights_and_just_is_constant() {
+        use crate::test_runner::TestRng;
+        let strat = prop_oneof![
+            3 => 0.0..1.0f64,
+            1 => Just(f64::NAN),
+        ];
+        let mut rng = TestRng::deterministic("oneof", 0);
+        let draws: Vec<f64> = (0..4000).map(|_| strat.generate(&mut rng)).collect();
+        let nans = draws.iter().filter(|v| v.is_nan()).count();
+        assert!(
+            (800..1200).contains(&nans),
+            "weight-1-of-4 arm drew {nans}/4000"
+        );
+        assert!(draws.iter().all(|v| v.is_nan() || (0.0..1.0).contains(v)));
     }
 
     #[test]

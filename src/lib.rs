@@ -22,6 +22,7 @@
 //! | Spark substrate (RDDs, engines, driver)    | [`sparklet`] |
 //! | datasets (Table 2 analogues)               | [`data`] |
 //! | BLAS slice + CGLS baselines                | [`linalg`] |
+//! | serving read path (pins, freshness, online learning) | [`serve`] |
 //! | experiment harnesses (Figures 3–4, fast path) | `async-bench` (`crates/bench`) |
 
 /// Cluster substrate: virtual time, stragglers, cost models, metrics.
@@ -34,6 +35,8 @@ pub use async_data as data;
 pub use async_linalg as linalg;
 /// Optimization algorithms: ASGD and history-enabled ASAGA.
 pub use async_optim as optim;
+/// The serve-while-training prediction read path.
+pub use async_serve as serve;
 /// The in-process Spark slice the engine builds on.
 pub use sparklet;
 
@@ -50,8 +53,10 @@ pub mod prelude {
     pub use async_linalg::{GradDelta, Matrix, ParallelismCfg, SparseVec};
     pub use async_optim::{
         worker_registry, Asaga, Asgd, AsyncMsgd, AsyncSolver, Checkpoint, CheckpointError,
-        Objective, RunReport, SolverCfg, SolverCfgBuilder, SolverCfgError, SolverHistory,
+        Objective, RunReport, ServeFeed, SolverCfg, SolverCfgBuilder, SolverCfgError,
+        SolverHistory,
     };
+    pub use async_serve::{Predictor, ServeCfg, Server};
     pub use sparklet::{Driver, EngineBuilder, EngineKind, Rdd};
 }
 
