@@ -1,0 +1,33 @@
+//! Records the fault-recovery datapoint: a one-way kill burst with no
+//! scripted revivals — only the supervisor's backed-off respawn and the
+//! retry layer stand between the run and permanent task loss.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_fault_recovery
+//! [output.json]` (default `BENCH_fault_recovery.json` in the current
+//! directory). Keys prefixed `wc_` are host wall-clock observations from
+//! the loopback-TCP arm and vary run to run; everything else is
+//! deterministic for the default configuration — CI gates the file with
+//! `grep -v '"wc_'` on both sides of the diff.
+
+use async_bench::fault_recovery::{run_fault_recovery, FaultRecoveryCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fault_recovery.json".to_string());
+    let b = run_fault_recovery(FaultRecoveryCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    let sup = &b.arms[2].report;
+    eprintln!(
+        "fault_recovery: supervised {}x slowdown, error ratio {:.3}, \
+         {} retried / {} lost; loopback recovered: {} ({:.0} steps/s) -> {}",
+        b.recovery_slowdown,
+        b.error_ratio,
+        sup.retried_tasks,
+        sup.lost_tasks,
+        b.wc_loopback.recovered,
+        b.wc_loopback.steps_per_sec,
+        out,
+    );
+}

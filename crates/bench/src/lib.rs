@@ -19,6 +19,7 @@ use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
 pub mod comm_compress;
 pub mod elastic_chaos;
+pub mod fault_recovery;
 pub mod hotpath;
 pub mod remote_engine;
 pub mod serve_qps;

@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 use async_cluster::{ClusterSpec, VDur, VTime, WorkerId};
 use sparklet::rdd::Data;
-use sparklet::{BcastCharge, Completion, DecodeError, Driver, Payload, Rdd, WireTask, WorkerCtx};
+use sparklet::{
+    BcastCharge, Completion, DecodeError, Driver, Payload, Rdd, TaskFn, WireTask, WorkerCtx,
+};
 
 use crate::barrier::BarrierFilter;
 use crate::broadcast::AsyncBcast;
@@ -120,6 +122,64 @@ pub struct RemoteRoutine {
     pub decode: Arc<dyn Fn(&[u8]) -> Result<Box<dyn Any + Send>, DecodeError> + Send + Sync>,
 }
 
+/// How the coordinator degrades when worker deaths shrink the alive set
+/// mid-run — the policy consulted (through
+/// [`AsyncContext::degrade_directive`]) wherever the pre-supervision code
+/// gave up unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DegradePolicy {
+    /// Any observed worker death halts the run at the next wave boundary.
+    FailFast,
+    /// Proceed while at least `ceil(frac × workers)` rows are alive
+    /// (clamped to `[1, workers]`); below quorum, wait for a scheduled
+    /// recovery when the engine has one, halt otherwise.
+    Quorum(f64),
+    /// Keep going with whoever is alive; only a fully dead cluster with no
+    /// scheduled recovery halts the run. The default — identical to the
+    /// pre-supervision behavior whenever at least one worker survives.
+    #[default]
+    BestEffort,
+}
+
+/// What a [`DegradePolicy`] tells the caller to do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaveDirective {
+    /// The alive set satisfies the policy: submit the next wave.
+    Proceed,
+    /// The policy is violated but the engine has a scheduled membership
+    /// event (e.g. a supervised respawn): wait for it
+    /// ([`AsyncContext::await_recovery`]) instead of giving up.
+    Wait,
+    /// The policy is violated and no recovery is scheduled: stop.
+    Halt,
+}
+
+/// Rebuilds a lost task's run closure for re-submission. Stored `Arc`'d so
+/// one ticket can be replayed on every retry attempt.
+type ReplayFn = Arc<dyn Fn() -> TaskFn + Send + Sync>;
+
+/// Everything needed to re-submit one in-flight task if its worker dies:
+/// captured at submission (only when retries are enabled), discarded on
+/// normal completion, moved to the retry queue on [`Completion::Lost`].
+struct RetryTicket {
+    /// Worker currently running (or last assigned) this task.
+    worker: WorkerId,
+    /// Engine tag — the partition index, echoed back in completions.
+    tag: u64,
+    cost: f64,
+    extra_bytes: u64,
+    uses: Vec<BcastCharge>,
+    minibatch: u64,
+    /// The model version of the *original* submission: retries keep it so
+    /// staleness stays honest and the pin taken at first submission is
+    /// consumed exactly once, by whichever incarnation finally lands.
+    issued_version: u64,
+    /// Re-submissions so far (bounded by the context's `retry_max`).
+    attempts: u32,
+    replay: ReplayFn,
+    wire: Option<RemoteRoutine>,
+}
+
 /// The ASYNC coordinator. See the module docs.
 pub struct AsyncContext {
     driver: Driver,
@@ -127,6 +187,14 @@ pub struct AsyncContext {
     version: u64,
     ready: VecDeque<Tagged<Box<dyn Any + Send>>>,
     next_bcast_id: u64,
+    degrade: DegradePolicy,
+    retry_max: u32,
+    /// Replay tickets for in-flight tasks (empty unless retries are on).
+    tickets: Vec<RetryTicket>,
+    /// Lost tasks awaiting re-submission to a surviving worker.
+    retry_queue: VecDeque<RetryTicket>,
+    lost_tasks: u64,
+    retried_tasks: u64,
 }
 
 impl AsyncContext {
@@ -140,6 +208,12 @@ impl AsyncContext {
             version: 0,
             ready: VecDeque::new(),
             next_bcast_id: 0,
+            degrade: DegradePolicy::default(),
+            retry_max: 0,
+            tickets: Vec::new(),
+            retry_queue: VecDeque::new(),
+            lost_tasks: 0,
+            retried_tasks: 0,
         }
     }
 
@@ -185,6 +259,189 @@ impl AsyncContext {
     pub fn advance_version(&mut self) -> u64 {
         self.version += 1;
         self.version
+    }
+
+    /// Installs the [`DegradePolicy`] consulted by
+    /// [`AsyncContext::degrade_directive`]. The default
+    /// ([`DegradePolicy::BestEffort`]) reproduces the pre-supervision
+    /// behavior.
+    pub fn set_degrade_policy(&mut self, policy: DegradePolicy) {
+        self.degrade = policy;
+    }
+
+    /// The installed [`DegradePolicy`].
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// Enables task retry: a task surfacing as [`Completion::Lost`] is
+    /// re-submitted to a surviving worker (at its *original* model version)
+    /// up to `max_attempts` times before it is abandoned and counted in
+    /// [`AsyncContext::lost_tasks`]. `0` (the default) disables retries —
+    /// no replay state is captured at submission and losses surface
+    /// exactly as before.
+    pub fn set_retry_lost(&mut self, max_attempts: u32) {
+        self.retry_max = max_attempts;
+    }
+
+    /// The configured retry bound (0 = retries off).
+    pub fn retry_lost(&self) -> u32 {
+        self.retry_max
+    }
+
+    /// Tasks abandoned to worker failures: every [`Completion::Lost`] that
+    /// was not (or could no longer be) retried.
+    pub fn lost_tasks(&self) -> u64 {
+        self.lost_tasks
+    }
+
+    /// Successful re-submissions of lost tasks.
+    pub fn retried_tasks(&self) -> u64 {
+        self.retried_tasks
+    }
+
+    /// Lost tasks currently queued for re-submission (no surviving worker
+    /// has had capacity yet).
+    pub fn retries_pending(&self) -> usize {
+        self.retry_queue.len()
+    }
+
+    /// Abandons every queued retry (counting each in
+    /// [`AsyncContext::lost_tasks`]) and returns how many were dropped.
+    /// Called when a run winds down so end-of-run drains don't re-issue
+    /// work nobody will consume.
+    pub fn cancel_retries(&mut self) -> usize {
+        let n = self.retry_queue.len();
+        self.lost_tasks += n as u64;
+        self.retry_queue.clear();
+        n
+    }
+
+    /// What the installed [`DegradePolicy`] says about the current alive
+    /// set. Callers consult this at wave boundaries — most usefully when a
+    /// collect came back empty (the pre-supervision "give up" points).
+    /// "Recovery is scheduled" is read from
+    /// [`sparklet::Driver::next_event_at`], so supervised respawns and
+    /// scripted chaos revivals both count.
+    pub fn degrade_directive(&self) -> WaveDirective {
+        let snap = self.stat.snapshot(self.driver.now(), self.version);
+        let total = snap.workers.len();
+        let alive = snap.alive_count();
+        let recovery = self.driver.next_event_at().is_some();
+        match self.degrade {
+            DegradePolicy::FailFast => {
+                if alive == total {
+                    WaveDirective::Proceed
+                } else {
+                    WaveDirective::Halt
+                }
+            }
+            DegradePolicy::Quorum(frac) => {
+                let need = ((frac * total as f64).ceil() as usize).clamp(1, total.max(1));
+                if alive >= need {
+                    WaveDirective::Proceed
+                } else if recovery {
+                    WaveDirective::Wait
+                } else {
+                    WaveDirective::Halt
+                }
+            }
+            DegradePolicy::BestEffort => {
+                if alive > 0 {
+                    WaveDirective::Proceed
+                } else if recovery {
+                    WaveDirective::Wait
+                } else {
+                    WaveDirective::Halt
+                }
+            }
+        }
+    }
+
+    /// Blocks until the alive set *grows* — a supervised respawn, scripted
+    /// revival, or mid-run join surfacing as [`Completion::WorkerUp`] —
+    /// and returns `true`; returns `false` when the engine has nothing
+    /// scheduled that could ever grow it. Results absorbed while waiting
+    /// land in the ready queue as usual, and queued retries are flushed as
+    /// soon as the newcomer appears.
+    ///
+    /// On the simulated engine the completion pump itself advances time to
+    /// the next scheduled event. Wall-clock engines return `None` from the
+    /// pump when nothing is in flight even with a revival scheduled, so
+    /// this sleeps toward [`sparklet::Driver::next_event_at`] and re-polls.
+    pub fn await_recovery(&mut self) -> bool {
+        let baseline = self
+            .stat
+            .snapshot(self.driver.now(), self.version)
+            .alive_count();
+        loop {
+            if let Some(c) = self.driver.next_completion() {
+                self.absorb(c);
+                self.flush_retries();
+                let alive = self
+                    .stat
+                    .snapshot(self.driver.now(), self.version)
+                    .alive_count();
+                if alive > baseline {
+                    return true;
+                }
+                continue;
+            }
+            let Some(at) = self.driver.next_event_at() else {
+                return false;
+            };
+            let wait = at.saturating_since(self.driver.now()).as_micros();
+            // Cap each nap: wall-clock engines may scale virtual time, and
+            // chaos fronts can move as faults land, so re-poll frequently.
+            std::thread::sleep(std::time::Duration::from_micros(wait.clamp(100, 5_000)));
+        }
+    }
+
+    /// Re-submits queued retries to idle alive workers (first-fit over the
+    /// `STAT` table, engine-gated). Tickets that cannot be placed stay
+    /// queued for the next flush. No-op (and allocation-free) when the
+    /// queue is empty — i.e. always, unless retries are enabled and a task
+    /// was lost.
+    fn flush_retries(&mut self) {
+        while !self.retry_queue.is_empty() {
+            let target = {
+                let snap = self.stat.snapshot(self.driver.now(), self.version);
+                snap.workers.iter().enumerate().find_map(|(w, row)| {
+                    (row.alive && row.available && self.driver.available(w)).then_some(w)
+                })
+            };
+            let Some(w) = target else { break };
+            let mut t = self
+                .retry_queue
+                .pop_front()
+                .expect("queue checked non-empty");
+            let part = t.tag as usize;
+            let wire = t.wire.as_ref().map(|r| {
+                let build = Arc::clone(&r.build);
+                let decode = Arc::clone(&r.decode);
+                WireTask {
+                    routine: r.routine,
+                    build: Box::new(move |mirror: &mut WorkerCtx| build(mirror, part)),
+                    decode: Box::new(move |bytes: &[u8]| decode(bytes)),
+                }
+            });
+            let issued_at = self.driver.now();
+            if self
+                .driver
+                .submit_raw_wired(w, t.tag, t.cost, t.extra_bytes, &t.uses, (t.replay)(), wire)
+                .is_ok()
+            {
+                self.stat
+                    .task_issued(w, t.issued_version, issued_at, t.minibatch);
+                t.worker = w;
+                t.attempts += 1;
+                self.retried_tasks += 1;
+                self.tickets.push(t);
+            } else {
+                self.retry_queue.push_front(t);
+                break;
+            }
+        }
     }
 
     /// The paper's `AC.STAT`: a read-only snapshot of the worker table at
@@ -320,11 +577,11 @@ impl AsyncContext {
             // so every partition is visited at the worker's own pace.
             let part = parts[(self.stat.get(w).clock as usize) % parts.len()];
             let ops = rdd.ops();
-            let f = f.clone();
+            let f_run = f.clone();
             let cost = rdd.cost_hint(part) * opts.effective_cost_scale();
             let run = Box::new(move |ctx: &mut WorkerCtx| {
                 let data = ops.compute(part);
-                Box::new(f(ctx, data, part)) as Box<dyn Any + Send>
+                Box::new(f_run(ctx, data, part)) as Box<dyn Any + Send>
             });
             let wire = remote.map(|r| {
                 let build = Arc::clone(&r.build);
@@ -343,6 +600,33 @@ impl AsyncContext {
             {
                 self.stat
                     .task_issued(w, self.version, issued_at, opts.minibatch);
+                // With retries on, capture everything needed to replay this
+                // task if its worker dies. Off (the default), no state is
+                // captured and losses surface exactly as before.
+                if self.retry_max > 0 {
+                    let ops = rdd.ops();
+                    let f = f.clone();
+                    let replay: ReplayFn = Arc::new(move || {
+                        let ops = Arc::clone(&ops);
+                        let f = f.clone();
+                        Box::new(move |ctx: &mut WorkerCtx| {
+                            let data = ops.compute(part);
+                            Box::new(f(ctx, data, part)) as Box<dyn Any + Send>
+                        })
+                    });
+                    self.tickets.push(RetryTicket {
+                        worker: w,
+                        tag: part as u64,
+                        cost,
+                        extra_bytes: opts.extra_bytes,
+                        uses: opts.uses.to_vec(),
+                        minibatch: opts.minibatch,
+                        issued_version: self.version,
+                        attempts: 0,
+                        replay,
+                        wire: remote.cloned(),
+                    });
+                }
                 submitted.push(w);
             }
         }
@@ -415,7 +699,7 @@ impl AsyncContext {
     /// assert!(!ctx.has_next());
     /// ```
     pub fn has_next(&self) -> bool {
-        !self.ready.is_empty() || self.driver.pending() > 0
+        !self.ready.is_empty() || self.driver.pending() > 0 || !self.retry_queue.is_empty()
     }
 
     /// Tasks currently in flight.
@@ -449,9 +733,13 @@ impl AsyncContext {
     /// assert!(ctx.collect::<i64>().is_none());
     /// ```
     pub fn collect<R: Send + 'static>(&mut self) -> Option<Tagged<R>> {
+        self.flush_retries();
         while self.ready.is_empty() {
             let c = self.driver.next_completion()?;
             self.absorb(c);
+            // A loss absorbed just now may have queued a retry: re-issue
+            // immediately so the pump keeps blocking on the replacement.
+            self.flush_retries();
         }
         self.ready.pop_front().map(downcast_tagged)
     }
@@ -465,6 +753,7 @@ impl AsyncContext {
         while let Some(c) = self.driver.try_next_completion() {
             self.absorb(c);
         }
+        self.flush_retries();
         self.ready.drain(..).map(downcast_tagged).collect()
     }
 
@@ -516,6 +805,15 @@ impl AsyncContext {
                     .stat
                     .task_completed(d.worker, d.finished_at, d.service_time)
                     .expect("coordinator: completion from a worker with no in-flight task");
+                if !self.tickets.is_empty() {
+                    if let Some(i) = self
+                        .tickets
+                        .iter()
+                        .position(|t| t.worker == d.worker && t.tag == d.tag)
+                    {
+                        self.tickets.swap_remove(i);
+                    }
+                }
                 let attrs = TaskAttrs {
                     worker: d.worker,
                     partition: d.tag as usize,
@@ -531,7 +829,25 @@ impl AsyncContext {
                     attrs,
                 });
             }
-            Completion::Lost { worker, .. } | Completion::WorkerDown { worker } => {
+            Completion::Lost { worker, tag } => {
+                self.stat.worker_died(worker);
+                match self
+                    .tickets
+                    .iter()
+                    .position(|t| t.worker == worker && t.tag == tag)
+                {
+                    Some(i) => {
+                        let t = self.tickets.swap_remove(i);
+                        if t.attempts < self.retry_max {
+                            self.retry_queue.push_back(t);
+                        } else {
+                            self.lost_tasks += 1;
+                        }
+                    }
+                    None => self.lost_tasks += 1,
+                }
+            }
+            Completion::WorkerDown { worker } => {
                 self.stat.worker_died(worker);
             }
             Completion::WorkerUp { worker } => {
@@ -896,5 +1212,158 @@ mod tests {
         let rdd = unit_rdd(1);
         ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
         let _ = ctx.collect::<String>();
+    }
+
+    #[test]
+    fn defaults_leave_losses_unretried_but_counted() {
+        let mut ctx = quiet_ctx(3, DelayModel::None);
+        assert_eq!(ctx.degrade_policy(), DegradePolicy::BestEffort);
+        assert_eq!(ctx.retry_lost(), 0);
+        let rdd = unit_rdd(3);
+        ctx.driver_mut().schedule_failure(2, VTime::from_micros(10));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        let mut n = 0;
+        while ctx.collect::<i64>().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2, "the lost task is not replayed by default");
+        assert_eq!(ctx.lost_tasks(), 1);
+        assert_eq!(ctx.retried_tasks(), 0);
+        assert_eq!(ctx.retries_pending(), 0);
+    }
+
+    #[test]
+    fn retry_reassigns_a_lost_task_to_a_survivor() {
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        ctx.set_retry_lost(2);
+        let rdd = unit_rdd(2);
+        // Worker 1 dies 10 µs in — its task (partition 1) is lost and must
+        // resurface on worker 0 after worker 0 finishes its own task.
+        ctx.driver_mut().schedule_failure(1, VTime::from_micros(10));
+        let subs = ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert_eq!(subs, vec![0, 1]);
+        let mut got = Vec::new();
+        while let Some(t) = ctx.collect::<i64>() {
+            got.push((t.attrs.worker, t.attrs.partition, t.value));
+        }
+        got.sort_unstable();
+        // Both partitions complete, both on worker 0.
+        assert_eq!(got, vec![(0, 0, 0), (0, 1, 1)]);
+        assert_eq!(ctx.retried_tasks(), 1);
+        assert_eq!(ctx.lost_tasks(), 0);
+        assert!(!ctx.has_next());
+    }
+
+    #[test]
+    fn retried_tasks_keep_their_original_issued_version() {
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        ctx.set_retry_lost(1);
+        let rdd = unit_rdd(2);
+        ctx.driver_mut().schedule_failure(1, VTime::from_micros(10));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        // Model advances while the wave is in flight: the retried task
+        // still reports staleness against its original submission version.
+        ctx.advance_version();
+        ctx.advance_version();
+        let mut attrs = Vec::new();
+        while let Some(t) = ctx.collect::<i64>() {
+            attrs.push(t.attrs);
+        }
+        assert_eq!(attrs.len(), 2);
+        for a in &attrs {
+            assert_eq!(a.issued_version, 0);
+            assert_eq!(a.staleness, 2);
+        }
+    }
+
+    #[test]
+    fn retry_attempts_are_bounded() {
+        let mut ctx = quiet_ctx(2, DelayModel::None);
+        ctx.set_retry_lost(1);
+        let rdd = unit_rdd(2);
+        // Worker 1 dies early; its task retries once onto worker 0 (after
+        // worker 0's own 1 s task completes), and worker 0 dies mid-retry.
+        ctx.driver_mut().schedule_failure(1, VTime::from_micros(10));
+        ctx.driver_mut()
+            .schedule_failure(0, VTime::from_micros(1_500_000));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        let mut n = 0;
+        while ctx.collect::<i64>().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "only worker 0's own task completes");
+        assert_eq!(ctx.retried_tasks(), 1);
+        assert_eq!(ctx.lost_tasks(), 1, "the exhausted retry is abandoned");
+        assert_eq!(ctx.retries_pending(), 0);
+    }
+
+    #[test]
+    fn unplaceable_retries_queue_then_cancel() {
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        ctx.set_retry_lost(3);
+        let rdd = unit_rdd(1);
+        ctx.driver_mut().schedule_failure(0, VTime::from_micros(10));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert!(ctx.collect::<i64>().is_none());
+        // The sole worker is dead: the retry cannot be placed anywhere.
+        assert_eq!(ctx.retries_pending(), 1);
+        assert!(ctx.has_next(), "a queued retry keeps the pipeline open");
+        assert_eq!(ctx.cancel_retries(), 1);
+        assert_eq!(ctx.lost_tasks(), 1);
+        assert!(!ctx.has_next());
+    }
+
+    #[test]
+    fn degrade_directives_follow_the_alive_set() {
+        let mut ctx = quiet_ctx(4, DelayModel::None);
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Proceed);
+        ctx.set_degrade_policy(DegradePolicy::FailFast);
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Proceed);
+        // One death: FailFast halts, Quorum(0.5) and BestEffort proceed.
+        ctx.driver_mut().kill_worker(3);
+        while ctx.collect::<i64>().is_some() {}
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Halt);
+        ctx.set_degrade_policy(DegradePolicy::Quorum(0.5));
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Proceed);
+        // Two more deaths: 1/4 alive is below quorum, and with no
+        // scheduled recovery the directive is Halt.
+        ctx.driver_mut().kill_worker(2);
+        ctx.driver_mut().kill_worker(1);
+        while ctx.collect::<i64>().is_some() {}
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Halt);
+        ctx.set_degrade_policy(DegradePolicy::BestEffort);
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Proceed);
+        // Full blackout without recovery: even BestEffort halts.
+        ctx.driver_mut().kill_worker(0);
+        while ctx.collect::<i64>().is_some() {}
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Halt);
+        // A scheduled revival turns Halt into Wait, and awaiting it
+        // restores Proceed.
+        let at = ctx.now() + VDur::from_millis(5);
+        ctx.driver_mut().schedule_revival(0, at);
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Wait);
+        assert!(ctx.await_recovery());
+        assert_eq!(ctx.stat().alive_count(), 1);
+        assert_eq!(ctx.degrade_directive(), WaveDirective::Proceed);
+    }
+
+    #[test]
+    fn await_recovery_flushes_queued_retries_onto_the_newcomer() {
+        let mut ctx = quiet_ctx(1, DelayModel::None);
+        ctx.set_retry_lost(2);
+        let rdd = unit_rdd(1);
+        ctx.driver_mut().schedule_failure(0, VTime::from_micros(10));
+        ctx.async_reduce(&rdd, &BarrierFilter::Asp, SubmitOpts::default(), sum_task);
+        assert!(ctx.collect::<i64>().is_none());
+        assert_eq!(ctx.retries_pending(), 1);
+        let at = ctx.now() + VDur::from_millis(2);
+        ctx.driver_mut().schedule_revival(0, at);
+        assert!(ctx.await_recovery());
+        // The queued retry was re-issued onto the revived worker.
+        assert_eq!(ctx.retries_pending(), 0);
+        let t = ctx.collect::<i64>().expect("retried result");
+        assert_eq!(t.value, 0);
+        assert_eq!(ctx.retried_tasks(), 1);
+        assert_eq!(ctx.lost_tasks(), 0);
     }
 }

@@ -41,5 +41,7 @@ pub mod stat;
 
 pub use barrier::BarrierFilter;
 pub use broadcast::{AsyncBcast, HistoryHandle, HistoryStats, PatchCodes, ReadPin, WirePlan};
-pub use context::{AsyncContext, RemoteRoutine, SubmitOpts, Tagged, TaskAttrs};
+pub use context::{
+    AsyncContext, DegradePolicy, RemoteRoutine, SubmitOpts, Tagged, TaskAttrs, WaveDirective,
+};
 pub use stat::{StatSnapshot, WorkerStat};

@@ -39,7 +39,10 @@ use crate::compression::{CompressCfg, CompressorBank};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
-use crate::solver::{block_rdd, crossed_multiple, AsyncSolver, PinLedger, RunReport, SolverCfg};
+use crate::solver::{
+    begin_supervised, block_rdd, crossed_multiple, stalled_should_wait, wave_admitted, AsyncSolver,
+    PinLedger, RunReport, SolverCfg,
+};
 
 /// One task's SAGA contribution. Crate-visible so the remote wire codec
 /// ([`crate::remote`]) can decode worker responses into the same message
@@ -224,6 +227,7 @@ impl AsyncSolver for Asaga {
 
     fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport {
         assert_eq!(ctx.pending(), 0, "asaga: context has in-flight tasks");
+        let (lost0, retried0) = begin_supervised(ctx, cfg);
         let (blocks, rdd) = block_rdd(ctx, dataset, cfg);
         let dcols = dataset.cols();
         let n = dataset.rows();
@@ -301,14 +305,22 @@ impl AsyncSolver for Asaga {
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
+            // Degrade-policy gate: see `SolverCfg::degrade`.
+            if !wave_admitted(ctx) {
+                break;
+            }
             let want = absorb_batch.min((cfg.max_updates - updates) as usize);
             crate::solver::collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
-                // fresh wave if revived/joined workers are available.
+                // fresh wave if revived/joined workers are available, or
+                // wait toward a scheduled recovery before giving up.
                 let v = ctx.version();
                 let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool, &bank);
                 if ws.is_empty() {
+                    if stalled_should_wait(ctx) {
+                        continue;
+                    }
                     break;
                 }
                 pinned.record_wave(v, &ws);
@@ -432,6 +444,8 @@ impl AsyncSolver for Asaga {
             final_objective,
             checkpoints,
             serve,
+            lost_tasks: ctx.lost_tasks() - lost0,
+            retried_tasks: ctx.retried_tasks() - retried0,
         }
     }
 }

@@ -26,8 +26,9 @@ use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
 use crate::solver::{
-    block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
-    GradMsg, PinLedger, RunReport, SolverCfg,
+    begin_supervised, block_rdd, collect_wave, crossed_multiple, drain_grad_tasks,
+    stalled_should_wait, submit_grad_wave, wave_admitted, AsyncSolver, GradMsg, PinLedger,
+    RunReport, SolverCfg,
 };
 
 /// Asynchronous stochastic gradient descent.
@@ -77,6 +78,7 @@ impl AsyncSolver for Asgd {
 
     fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport {
         assert_eq!(ctx.pending(), 0, "asgd: context has in-flight tasks");
+        let (lost0, retried0) = begin_supervised(ctx, cfg);
         let (blocks, rdd) = block_rdd(ctx, dataset, cfg);
         let dcols = dataset.cols();
         let mean_rows = dataset.rows() / blocks.len().max(1);
@@ -162,12 +164,20 @@ impl AsyncSolver for Asgd {
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
+            // The degrade-policy gate: FailFast halts on any observed
+            // death, Quorum/BestEffort wait toward scheduled recoveries
+            // when the alive set is too thin to proceed.
+            if !wave_admitted(ctx) {
+                break;
+            }
             let want = absorb_batch.min((cfg.max_updates - updates) as usize);
             collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall: every in-flight task was lost to failures.
                 // If chaos has since revived or joined workers, a fresh
-                // wave restarts the run; otherwise the cluster is dead.
+                // wave restarts the run; otherwise wait for a scheduled
+                // recovery (supervised respawn, scripted revival) — and
+                // only when none exists is the cluster truly dead.
                 let v = ctx.version();
                 let ws = submit_grad_wave(
                     ctx,
@@ -180,6 +190,9 @@ impl AsyncSolver for Asgd {
                     &bank,
                 );
                 if ws.is_empty() {
+                    if stalled_should_wait(ctx) {
+                        continue;
+                    }
                     break;
                 }
                 pinned.record_wave(v, &ws);
@@ -290,6 +303,8 @@ impl AsyncSolver for Asgd {
             final_objective,
             checkpoints,
             serve,
+            lost_tasks: ctx.lost_tasks() - lost0,
+            retried_tasks: ctx.retried_tasks() - retried0,
         }
     }
 }

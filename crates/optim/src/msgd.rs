@@ -37,8 +37,9 @@ use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
 use crate::solver::{
-    block_rdd, collect_wave, crossed_multiple, drain_grad_tasks, submit_grad_wave, AsyncSolver,
-    GradMsg, PinLedger, RunReport, SolverCfg,
+    begin_supervised, block_rdd, collect_wave, crossed_multiple, drain_grad_tasks,
+    stalled_should_wait, submit_grad_wave, wave_admitted, AsyncSolver, GradMsg, PinLedger,
+    RunReport, SolverCfg,
 };
 
 /// Asynchronous momentum SGD with staleness-adaptive damping.
@@ -100,6 +101,7 @@ impl AsyncSolver for AsyncMsgd {
 
     fn run(&mut self, ctx: &mut AsyncContext, dataset: &Dataset, cfg: &SolverCfg) -> RunReport {
         assert_eq!(ctx.pending(), 0, "async-msgd: context has in-flight tasks");
+        let (lost0, retried0) = begin_supervised(ctx, cfg);
         let (blocks, rdd) = block_rdd(ctx, dataset, cfg);
         let dcols = dataset.cols();
         let mean_rows = dataset.rows() / blocks.len().max(1);
@@ -175,11 +177,16 @@ impl AsyncSolver for AsyncMsgd {
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
         while updates < cfg.max_updates {
+            // Degrade-policy gate: see `SolverCfg::degrade`.
+            if !wave_admitted(ctx) {
+                break;
+            }
             let want = absorb_batch.min((cfg.max_updates - updates) as usize);
             collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
-                // fresh wave if revived/joined workers are available.
+                // fresh wave if revived/joined workers are available, or
+                // wait toward a scheduled recovery before giving up.
                 let v = ctx.version();
                 let ws = submit_grad_wave(
                     ctx,
@@ -192,6 +199,9 @@ impl AsyncSolver for AsyncMsgd {
                     &bank,
                 );
                 if ws.is_empty() {
+                    if stalled_should_wait(ctx) {
+                        continue;
+                    }
                     break;
                 }
                 pinned.record_wave(v, &ws);
@@ -309,6 +319,8 @@ impl AsyncSolver for AsyncMsgd {
             final_objective,
             checkpoints,
             serve,
+            lost_tasks: ctx.lost_tasks() - lost0,
+            retried_tasks: ctx.retried_tasks() - retried0,
         }
     }
 }

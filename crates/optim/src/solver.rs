@@ -7,7 +7,9 @@
 //! [`RunReport`] so benches and tests read one structure.
 
 use async_cluster::{ConvergenceTrace, VDur, VTime};
-use async_core::{AsyncBcast, AsyncContext, BarrierFilter, SubmitOpts};
+use async_core::{
+    AsyncBcast, AsyncContext, BarrierFilter, DegradePolicy, SubmitOpts, WaveDirective,
+};
 use async_data::{sampler, Block, Dataset};
 use async_linalg::{GradDelta, ParallelismCfg};
 use sparklet::{Payload, Rdd, WorkerCtx};
@@ -122,6 +124,21 @@ pub struct SolverCfg {
     /// same MVCC ring the training loop pushes into — and folds the feed's
     /// serving counters into [`RunReport::serve`] at run end.
     pub serve_feed: Option<ServeFeed>,
+    /// How the run degrades when worker deaths shrink the alive set
+    /// ([`DegradePolicy::BestEffort`], the default, reproduces the
+    /// pre-supervision behavior: keep going with the survivors, give up
+    /// only when nobody is left and no recovery is scheduled). Consulted at
+    /// every wave boundary; `Wait` directives block through
+    /// [`AsyncContext::await_recovery`] toward supervised respawns and
+    /// scripted revivals instead of ending the run early.
+    pub degrade: DegradePolicy,
+    /// Re-submission bound for tasks lost to worker failures (0, the
+    /// default, disables retries bit-identically to older builds). A lost
+    /// gradient task is re-issued to a surviving worker at its *original*
+    /// model version — staleness accounting and broadcast pins stay honest
+    /// — up to this many times before it is abandoned and counted in
+    /// [`RunReport::lost_tasks`].
+    pub retry_lost: u32,
 }
 
 impl Default for SolverCfg {
@@ -143,6 +160,8 @@ impl Default for SolverCfg {
             absorb_batch: 1,
             compress: CompressCfg::Off,
             serve_feed: None,
+            degrade: DegradePolicy::BestEffort,
+            retry_lost: 0,
         }
     }
 }
@@ -252,6 +271,10 @@ impl SolverCfgBuilder {
         absorb_batch: usize,
         /// Worker → server delta compression ([`SolverCfg::compress`]).
         compress: CompressCfg,
+        /// Degradation policy under worker deaths ([`SolverCfg::degrade`]).
+        degrade: DegradePolicy,
+        /// Lost-task re-submission bound ([`SolverCfg::retry_lost`]).
+        retry_lost: u32,
     }
 
     /// Attaches a serving rendezvous ([`SolverCfg::serve_feed`]).
@@ -362,6 +385,12 @@ pub struct RunReport {
     /// Serving counters accumulated by readers attached through
     /// [`SolverCfg::serve_feed`] over the run (all zeros without one).
     pub serve: ServeCounters,
+    /// Tasks abandoned to worker failures over this run (losses that were
+    /// not, or could no longer be, retried under [`SolverCfg::retry_lost`]).
+    pub lost_tasks: u64,
+    /// Lost tasks successfully re-submitted to surviving workers over this
+    /// run (always 0 with retries off).
+    pub retried_tasks: u64,
 }
 
 /// An asynchronous optimization algorithm runnable on an [`AsyncContext`].
@@ -460,6 +489,36 @@ pub(crate) fn submit_grad_wave(
     submitted
 }
 
+/// Installs the run's supervision knobs on the context and returns the
+/// `(lost, retried)` counter baselines, so the report can attribute only
+/// this run's losses (contexts are reused across runs).
+pub(crate) fn begin_supervised(ctx: &mut AsyncContext, cfg: &SolverCfg) -> (u64, u64) {
+    ctx.set_degrade_policy(cfg.degrade);
+    ctx.set_retry_lost(cfg.retry_lost);
+    (ctx.lost_tasks(), ctx.retried_tasks())
+}
+
+/// The policy gate at every wave boundary: `Proceed` falls through,
+/// `Wait` blocks toward the engine's next scheduled recovery, `Halt` (or
+/// a wait nothing can satisfy) tells the caller to end the run. With the
+/// default policy and a non-empty alive set this is a pure read.
+pub(crate) fn wave_admitted(ctx: &mut AsyncContext) -> bool {
+    match ctx.degrade_directive() {
+        WaveDirective::Proceed => true,
+        WaveDirective::Halt => false,
+        WaveDirective::Wait => ctx.await_recovery(),
+    }
+}
+
+/// The stall decision after a fresh submission admitted nobody: wait for a
+/// scheduled recovery unless the policy already says halt. Returns `true`
+/// when the caller should retry the wave. When nothing is scheduled,
+/// `await_recovery` returns immediately and this reproduces the historical
+/// unconditional give-up.
+pub(crate) fn stalled_should_wait(ctx: &mut AsyncContext) -> bool {
+    !matches!(ctx.degrade_directive(), WaveDirective::Halt) && ctx.await_recovery()
+}
+
 /// The per-worker ledger of history-broadcast pins held by in-flight (or
 /// lost) tasks. Under static membership a worker holds at most one pin,
 /// but under churn a worker can accumulate pins from *lost* incarnations
@@ -495,11 +554,23 @@ impl PinLedger {
     }
 
     /// Consumes one pin of `version` held by `worker` (its task's result
-    /// arrived and the caller unpinned the broadcast).
+    /// arrived and the caller unpinned the broadcast). A retried task
+    /// completes on a *different* worker than the one whose submission
+    /// recorded the pin, so a primary-key miss falls back to consuming the
+    /// version wherever it was recorded — without the fallback the
+    /// original entry would linger and `release_leftovers` would unpin a
+    /// version the consumer already unpinned.
     pub fn consume(&mut self, worker: usize, version: u64) {
         if let Some(pins) = self.by_worker.get_mut(worker) {
             if let Some(i) = pins.iter().position(|&v| v == version) {
                 pins.swap_remove(i);
+                return;
+            }
+        }
+        for pins in &mut self.by_worker {
+            if let Some(i) = pins.iter().position(|&v| v == version) {
+                pins.swap_remove(i);
+                return;
             }
         }
     }
@@ -544,10 +615,15 @@ pub(crate) fn drain_grad_tasks(
     bcast: &AsyncBcast<Vec<f64>>,
     mut pinned: PinLedger,
 ) {
+    // The run is over: abandon queued retries up front so the drain
+    // doesn't re-issue work nobody will consume, and again afterwards for
+    // tasks lost (and left unplaceable) during the drain itself.
+    ctx.cancel_retries();
     while let Some(t) = ctx.collect::<GradMsg>() {
         bcast.unpin(t.attrs.issued_version);
         pinned.consume(t.attrs.worker, t.attrs.issued_version);
     }
+    ctx.cancel_retries();
     pinned.release_leftovers(bcast);
 }
 

@@ -22,10 +22,12 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use async_cluster::{ChaosAction, ChaosSchedule, ClusterSpec, DelayModel};
 
 use crate::engine::{Engine, EngineError};
+use crate::fault::FaultPlan;
 use crate::remote::{
     default_worker_bin, RemoteConfig, RemoteEngine, RoutineRegistry, WorkerLauncher,
 };
@@ -54,6 +56,13 @@ pub struct EngineBuilder {
     worker_bin: Option<PathBuf>,
     worker_args: Vec<String>,
     loopback: Option<Arc<dyn Fn() -> RoutineRegistry + Send + Sync>>,
+    handshake_timeout: Option<Duration>,
+    poll_interval: Option<Duration>,
+    heartbeat: Option<Duration>,
+    liveness: Option<Duration>,
+    task_deadline: Option<Duration>,
+    max_inflight: Option<usize>,
+    fault: Option<FaultPlan>,
 }
 
 impl EngineBuilder {
@@ -69,6 +78,13 @@ impl EngineBuilder {
             worker_bin: None,
             worker_args: Vec::new(),
             loopback: None,
+            handshake_timeout: None,
+            poll_interval: None,
+            heartbeat: None,
+            liveness: None,
+            task_deadline: None,
+            max_inflight: None,
+            fault: None,
         }
     }
 
@@ -141,6 +157,53 @@ impl EngineBuilder {
         self
     }
 
+    /// Handshake deadline for freshly spawned remote workers (default
+    /// 10 s).
+    pub fn handshake_timeout(mut self, d: Duration) -> Self {
+        self.handshake_timeout = Some(d);
+        self
+    }
+
+    /// Cap on each deadline-aware wait in the remote result pump (default
+    /// 500 µs); only applies while a timer is armed.
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = Some(d);
+        self
+    }
+
+    /// Remote worker heartbeat period (default: no heartbeats).
+    pub fn heartbeat(mut self, period: Duration) -> Self {
+        self.heartbeat = Some(period);
+        self
+    }
+
+    /// Remote liveness deadline: a worker silent for this long is declared
+    /// dead. Requires [`EngineBuilder::heartbeat`].
+    pub fn liveness(mut self, deadline: Duration) -> Self {
+        self.liveness = Some(deadline);
+        self
+    }
+
+    /// Remote per-task deadline: an unanswered submission older than this
+    /// kills the worker incarnation and surfaces the task as lost.
+    pub fn task_deadline(mut self, deadline: Duration) -> Self {
+        self.task_deadline = Some(deadline);
+        self
+    }
+
+    /// Bound on in-flight tasks per remote worker (default 1).
+    pub fn max_inflight(mut self, bound: usize) -> Self {
+        self.max_inflight = Some(bound);
+        self
+    }
+
+    /// Wire-level fault injection plan for the remote backend (default:
+    /// zero faults).
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Constructs the engine. Sim and threaded construction cannot fail
     /// (spec validation panics, as their constructors always have);
     /// remote construction returns [`EngineError::Io`] on bind, spawn, or
@@ -163,9 +226,17 @@ impl EngineBuilder {
                         }
                     }
                 };
+                let defaults = RemoteConfig::process(PathBuf::new());
                 let cfg = RemoteConfig {
                     addr: self.addr,
                     launcher,
+                    handshake_timeout: self.handshake_timeout.unwrap_or(defaults.handshake_timeout),
+                    poll_interval: self.poll_interval.unwrap_or(defaults.poll_interval),
+                    heartbeat: self.heartbeat,
+                    liveness: self.liveness,
+                    task_deadline: self.task_deadline,
+                    max_inflight: self.max_inflight.unwrap_or(defaults.max_inflight),
+                    fault: self.fault.unwrap_or_default(),
                 };
                 Box::new(RemoteEngine::new(self.spec, self.time_scale, cfg)?)
             }

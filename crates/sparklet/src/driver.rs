@@ -9,7 +9,9 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use async_cluster::{ChaosAction, ChaosSchedule, ClusterSpec, VTime, WaitTimeRecorder, WorkerId};
+use async_cluster::{
+    ChaosAction, ChaosSchedule, ClusterSpec, VDur, VTime, WaitTimeRecorder, WorkerId,
+};
 
 use crate::broadcast::{BcastCharge, Broadcast, BroadcastRegistry};
 use crate::builder::EngineBuilder;
@@ -35,6 +37,126 @@ pub struct StageStats {
     pub last_finish: Vec<Option<VTime>>,
 }
 
+/// Supervised auto-respawn policy: when a worker dies for *any* reason —
+/// scripted chaos, a crashed process, a missed liveness or task deadline —
+/// the driver schedules a revival after an exponentially backed-off,
+/// jittered delay, unless the worker is crash-looping.
+///
+/// Delays are virtual durations, so the same policy is deterministic on
+/// the simulator (byte-gateable) and maps to real elapsed time on the
+/// threaded/remote backends. The jitter stream is seeded, never
+/// wall-clock.
+#[derive(Debug, Clone)]
+pub struct SuperviseCfg {
+    /// Delay before the first respawn attempt.
+    pub backoff_base: VDur,
+    /// Multiplier applied per consecutive crash (≥ 1).
+    pub backoff_factor: f64,
+    /// Ceiling on the backed-off delay (before jitter).
+    pub backoff_max: VDur,
+    /// Uniform jitter fraction: the delay is stretched by up to this
+    /// fraction (e.g. `0.1` → ×[1.0, 1.1)). Keeps respawn herds apart.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// Circuit breaker: after this many consecutive crashes (each without
+    /// `crash_window` of uptime in between) the worker is abandoned — no
+    /// further respawns until something external revives it.
+    pub max_crashes: u32,
+    /// Uptime that counts as "recovered": a death after at least this much
+    /// uptime starts a fresh crash streak.
+    pub crash_window: VDur,
+}
+
+impl Default for SuperviseCfg {
+    fn default() -> Self {
+        Self {
+            backoff_base: VDur::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_max: VDur::from_millis(1_000),
+            jitter_frac: 0.1,
+            seed: 0x5EED_CAFE,
+            max_crashes: 5,
+            crash_window: VDur::from_millis(500),
+        }
+    }
+}
+
+/// Per-worker supervisor bookkeeping (see [`SuperviseCfg`]).
+struct Supervisor {
+    cfg: SuperviseCfg,
+    rng: u64,
+    /// A supervised revival is already scheduled; don't schedule another
+    /// (one death can surface as several `Lost` completions when multiple
+    /// tasks were in flight).
+    scheduled: Vec<bool>,
+    /// Consecutive crashes without `crash_window` of uptime in between.
+    streak: Vec<u32>,
+    /// When the worker last came (or started) up.
+    up_since: Vec<VTime>,
+    /// Circuit open: crash-looped past `max_crashes`, abandoned.
+    broken: Vec<bool>,
+    respawns: u64,
+}
+
+impl Supervisor {
+    fn new(cfg: SuperviseCfg, workers: usize, now: VTime) -> Self {
+        let rng = cfg.seed | 1;
+        Self {
+            cfg,
+            rng,
+            scheduled: vec![false; workers],
+            streak: vec![0; workers],
+            up_since: vec![now; workers],
+            broken: vec![false; workers],
+            respawns: 0,
+        }
+    }
+
+    fn grow(&mut self, workers: usize, now: VTime) {
+        while self.scheduled.len() < workers {
+            self.scheduled.push(false);
+            self.streak.push(0);
+            self.up_since.push(now);
+            self.broken.push(false);
+        }
+    }
+
+    /// Next uniform sample in `[0, 1)` from the seeded jitter stream
+    /// (splitmix64).
+    fn unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Registers a death at `now`; returns the instant to schedule the
+    /// respawn at, or `None` when the circuit is (now) open.
+    fn on_death(&mut self, w: WorkerId, now: VTime) -> Option<VTime> {
+        if self.broken[w] {
+            return None;
+        }
+        if now.saturating_since(self.up_since[w]) >= self.cfg.crash_window {
+            self.streak[w] = 0;
+        }
+        self.streak[w] += 1;
+        if self.streak[w] > self.cfg.max_crashes {
+            self.broken[w] = true;
+            return None;
+        }
+        let exp = (self.streak[w] - 1).min(30);
+        let backed = (self.cfg.backoff_base.as_micros() as f64
+            * self.cfg.backoff_factor.powi(exp as i32))
+        .min(self.cfg.backoff_max.as_micros() as f64);
+        let jittered = backed * (1.0 + self.cfg.jitter_frac * self.unit());
+        self.respawns += 1;
+        Some(now + VDur::from_micros(jittered.round() as u64))
+    }
+}
+
 /// The cluster driver. See the module docs.
 pub struct Driver {
     engine: Box<dyn Engine>,
@@ -42,6 +164,7 @@ pub struct Driver {
     wait: WaitTimeRecorder,
     total_bytes: u64,
     total_tasks: u64,
+    supervisor: Option<Supervisor>,
 }
 
 impl Driver {
@@ -76,7 +199,32 @@ impl Driver {
             wait: WaitTimeRecorder::new(n),
             total_bytes: 0,
             total_tasks: 0,
+            supervisor: None,
         }
+    }
+
+    /// Installs the supervised auto-respawn policy: every subsequent
+    /// death observed through the completion stream schedules a backed-off
+    /// jittered revival (see [`SuperviseCfg`]). Scripted
+    /// [`ChaosSchedule`] revivals compose — reviving an alive worker is a
+    /// no-op at fire time.
+    pub fn supervise(&mut self, cfg: SuperviseCfg) {
+        let now = self.engine.now();
+        self.supervisor = Some(Supervisor::new(cfg, self.engine.workers(), now));
+    }
+
+    /// Respawns the supervisor has scheduled so far (0 when supervision is
+    /// not installed).
+    pub fn supervised_respawns(&self) -> u64 {
+        self.supervisor.as_ref().map_or(0, |s| s.respawns)
+    }
+
+    /// True when the supervisor abandoned `w` after it crash-looped past
+    /// [`SuperviseCfg::max_crashes`].
+    pub fn circuit_open(&self, w: WorkerId) -> bool {
+        self.supervisor
+            .as_ref()
+            .is_some_and(|s| w < s.broken.len() && s.broken[w])
     }
 
     /// Total workers (dead or alive).
@@ -104,6 +252,13 @@ impl Driver {
     /// Tasks currently in flight.
     pub fn pending(&self) -> usize {
         self.engine.pending()
+    }
+
+    /// The earliest still-scheduled membership event (including
+    /// supervisor-scheduled revivals), or `None`. See
+    /// [`Engine::next_event_at`].
+    pub fn next_event_at(&self) -> Option<VTime> {
+        self.engine.next_event_at()
     }
 
     /// The stable owner of partition `part` given the current set of alive
@@ -242,6 +397,35 @@ impl Driver {
                 // A dead worker is not waiting at a barrier: discard its
                 // open wait so downtime never inflates mean wait times.
                 self.wait.cancel_open(worker);
+            }
+            Completion::Done(_) => {}
+        }
+        self.supervise_membership(c);
+    }
+
+    /// The supervisor's half of membership bookkeeping: deaths schedule
+    /// backed-off revivals, ups reset the crash window. One death can
+    /// surface as several `Lost` completions (multiple tasks in flight);
+    /// the `scheduled` latch collapses them into one respawn.
+    fn supervise_membership(&mut self, c: &Completion) {
+        let now = self.engine.now();
+        let workers = self.engine.workers();
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        sup.grow(workers, now);
+        match *c {
+            Completion::WorkerUp { worker } => {
+                sup.scheduled[worker] = false;
+                sup.up_since[worker] = now;
+            }
+            Completion::Lost { worker, .. } | Completion::WorkerDown { worker } => {
+                if !sup.scheduled[worker] {
+                    if let Some(at) = sup.on_death(worker, now) {
+                        sup.scheduled[worker] = true;
+                        self.engine.schedule_revival(worker, at);
+                    }
+                }
             }
             Completion::Done(_) => {}
         }
@@ -964,6 +1148,126 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(a, Some(1 + 4 + 9 + 16 + 25 + 36));
+    }
+
+    #[test]
+    fn supervisor_respawns_an_unscripted_death_with_backoff() {
+        let mut d = sim_driver(2, DelayModel::None);
+        d.supervise(SuperviseCfg {
+            backoff_base: VDur::from_millis(10),
+            jitter_frac: 0.0,
+            ..SuperviseCfg::default()
+        });
+        // An unscripted kill: no chaos schedule mentions a revival, only
+        // the supervisor can bring worker 1 back.
+        d.schedule_failure(1, VTime::from_micros(1_000));
+        let rdd =
+            Rdd::parallelize_with_cost((0..4).map(|p| vec![p as i64]).collect(), vec![2e8; 4]);
+        let (vals, _) = d
+            .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+            .unwrap();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        assert_eq!(d.supervised_respawns(), 1);
+        while d.next_completion().is_some() {}
+        assert_eq!(d.alive_workers(), vec![0, 1], "worker 1 came back");
+        assert!(!d.circuit_open(1));
+    }
+
+    #[test]
+    fn supervisor_backoff_grows_and_jitter_is_deterministic() {
+        let run = || {
+            let mut d = sim_driver(1, DelayModel::None);
+            d.supervise(SuperviseCfg {
+                backoff_base: VDur::from_millis(10),
+                backoff_factor: 2.0,
+                backoff_max: VDur::from_millis(80),
+                jitter_frac: 0.5,
+                seed: 42,
+                max_crashes: 10,
+                crash_window: VDur::from_millis(100_000), // never recovers
+            });
+            let mut ups = Vec::new();
+            for _ in 0..4 {
+                d.kill_worker(0);
+                loop {
+                    match d.next_completion() {
+                        Some(Completion::WorkerUp { .. }) => {
+                            ups.push(d.now().as_micros());
+                            break;
+                        }
+                        Some(_) => continue,
+                        None => panic!("supervisor must revive worker 0"),
+                    }
+                }
+            }
+            ups
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded jitter must be reproducible");
+        // Gaps between death (at the prior up instant) and the next up
+        // grow roughly geometrically: each at least the un-jittered
+        // backoff for its streak position.
+        let mut prev = 0;
+        for (i, &up) in a.iter().enumerate() {
+            let gap = up - prev;
+            let floor = (10_000u64 << i).min(80_000);
+            assert!(
+                gap >= floor,
+                "respawn {i} came after {gap}us, backoff floor {floor}us"
+            );
+            prev = up;
+        }
+    }
+
+    #[test]
+    fn crash_loop_opens_the_circuit_breaker() {
+        let mut d = sim_driver(2, DelayModel::None);
+        d.supervise(SuperviseCfg {
+            max_crashes: 2,
+            jitter_frac: 0.0,
+            crash_window: VDur::from_millis(100_000),
+            ..SuperviseCfg::default()
+        });
+        // Worker 0 dies instantly every time it comes up.
+        for _ in 0..3 {
+            d.kill_worker(0);
+            // Drain until the respawn lands (or nothing more happens).
+            while d.next_completion().is_some() {}
+        }
+        assert!(d.circuit_open(0), "third crash must open the circuit");
+        assert_eq!(d.supervised_respawns(), 2, "no respawn past the breaker");
+        assert_eq!(d.alive_workers(), vec![1]);
+        // External revival still works and the worker stays supervisable
+        // for bookkeeping (the circuit stays open by design).
+        d.revive_worker(0).unwrap();
+        while d.next_completion().is_some() {}
+        assert_eq!(d.alive_workers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn uptime_past_the_crash_window_resets_the_streak() {
+        let mut d = sim_driver(1, DelayModel::None);
+        d.supervise(SuperviseCfg {
+            max_crashes: 2,
+            jitter_frac: 0.0,
+            crash_window: VDur::from_millis(1), // recovers almost instantly
+            ..SuperviseCfg::default()
+        });
+        // Many kill/recover cycles separated by "long" uptime: the streak
+        // resets each time, so the circuit never opens.
+        let rdd = Rdd::parallelize_with_cost(vec![vec![1i64]], vec![2e8]);
+        for _ in 0..5 {
+            d.kill_worker(0);
+            while d.next_completion().is_some() {}
+            // Run a stage so virtual time advances well past the window.
+            let (v, _) = d
+                .run_stage(&rdd, &[], 1.0, |_ctx, data, _| data[0])
+                .unwrap();
+            assert_eq!(v, vec![1]);
+        }
+        assert!(!d.circuit_open(0));
+        assert_eq!(d.supervised_respawns(), 5);
     }
 
     #[test]

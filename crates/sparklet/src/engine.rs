@@ -222,4 +222,16 @@ pub trait Engine: Send {
     /// keeping the worker dead until its instant) or lazily at fire time
     /// (the threaded backend).
     fn schedule_join(&mut self, _at: VTime) {}
+
+    /// The instant of the earliest still-scheduled membership event
+    /// (failure/revival/join), or `None` when nothing is scheduled.
+    ///
+    /// Recovery-aware callers use this to decide whether waiting is
+    /// worthwhile: `next()` on the wall-clock backends returns `None` as
+    /// soon as nothing is *in flight*, even when a revival is scheduled in
+    /// the future — a supervisor that knows a worker is coming back can
+    /// sleep toward this horizon instead of giving up.
+    fn next_event_at(&self) -> Option<VTime> {
+        None
+    }
 }

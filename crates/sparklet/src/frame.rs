@@ -77,12 +77,23 @@ pub enum Msg {
     },
     /// Driver → worker: exit cleanly.
     Shutdown,
+    /// Worker → driver, periodic: "incarnation `epoch` of worker `worker`
+    /// is still alive". Sent from a dedicated thread so a long-running
+    /// routine does not silence the worker; the driver's liveness deadline
+    /// declares a worker dead when beats stop arriving.
+    Heartbeat {
+        /// The worker beating.
+        worker: u32,
+        /// The incarnation beating (stale epochs are dropped).
+        epoch: u64,
+    },
 }
 
 const TAG_WORKER_UP: u8 = 0;
 const TAG_SUBMIT: u8 = 1;
 const TAG_COMPLETION: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
 
 fn need(bytes: &[u8], at: usize, n: usize) -> Result<(), DecodeError> {
     let have = bytes.len().saturating_sub(at);
@@ -145,6 +156,11 @@ pub fn encode_frame(msg: &Msg, buf: &mut BytesMut) {
         Msg::Shutdown => {
             buf.put_u8(TAG_SHUTDOWN);
         }
+        Msg::Heartbeat { worker, epoch } => {
+            buf.put_u8(TAG_HEARTBEAT);
+            buf.put_u32_le(*worker);
+            buf.put_u64_le(*epoch);
+        }
     }
     let body = (buf.len() - start - 4) as u32;
     buf[start..start + 4].copy_from_slice(&body.to_le_bytes());
@@ -203,6 +219,11 @@ fn decode_body(body: &[u8]) -> Result<Msg, DecodeError> {
             })
         }
         TAG_SHUTDOWN => Ok(Msg::Shutdown),
+        TAG_HEARTBEAT => {
+            let worker = u32_at(body, 1)?;
+            let epoch = u64_at(body, 5)?;
+            Ok(Msg::Heartbeat { worker, epoch })
+        }
         tag => Err(DecodeError::BadTag { at: 0, tag }),
     }
 }
@@ -270,6 +291,29 @@ mod tests {
             response: vec![],
         });
         roundtrip(&Msg::Shutdown);
+        roundtrip(&Msg::Heartbeat {
+            worker: 7,
+            epoch: 23,
+        });
+    }
+
+    #[test]
+    fn heartbeat_torn_at_every_cut_reports_position() {
+        let mut buf = BytesMut::new();
+        encode_frame(
+            &Msg::Heartbeat {
+                worker: 2,
+                epoch: 5,
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf.as_slice()[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { at, .. } if at <= cut),
+                "cut {cut}: {err}"
+            );
+        }
     }
 
     #[test]
@@ -369,5 +413,41 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             std::io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn torn_frame_mid_stream_after_valid_traffic() {
+        // A peer that dies mid-write leaves a prefix of its last frame on
+        // the wire. Every earlier frame must still decode, and the torn
+        // tail must surface as UnexpectedEof no matter where the tear is —
+        // inside the length prefix or inside the body.
+        let good = Msg::Completion {
+            tag: 3,
+            epoch: 1,
+            response: vec![0xAB; 24],
+        };
+        let torn = Msg::Submit {
+            tag: 4,
+            epoch: 1,
+            routine: 2,
+            sleep_us: 5,
+            slow_factor: 1.5,
+            request: vec![0xCD; 40],
+        };
+        let mut prefix = Vec::new();
+        write_frame(&mut prefix, &good).expect("write");
+        let mut tail = Vec::new();
+        write_frame(&mut tail, &torn).expect("write");
+        for cut in 0..tail.len() {
+            let mut wire = prefix.clone();
+            wire.extend_from_slice(&tail[..cut]);
+            let mut r = wire.as_slice();
+            assert_eq!(&read_frame(&mut r).expect("valid prefix"), &good);
+            assert_eq!(
+                read_frame(&mut r).unwrap_err().kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut {cut}"
+            );
+        }
     }
 }

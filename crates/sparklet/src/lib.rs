@@ -34,6 +34,7 @@ pub mod broadcast;
 pub mod builder;
 pub mod driver;
 pub mod engine;
+pub mod fault;
 pub mod frame;
 pub mod payload;
 pub mod rdd;
@@ -44,11 +45,12 @@ pub mod worker;
 
 pub use broadcast::{BcastCharge, Broadcast};
 pub use builder::{EngineBuilder, EngineKind};
-pub use driver::{Driver, StageStats};
-pub use engine::{Completion, Engine, EngineError, Task, TaskDone, WireTask};
+pub use driver::{Driver, StageStats, SuperviseCfg};
+pub use engine::{Completion, Engine, EngineError, Task, TaskDone, TaskFn, WireTask};
+pub use fault::{FaultAction, FaultDir, FaultInjector, FaultPlan};
 pub use payload::{DecodeError, Payload};
 pub use rdd::Rdd;
-pub use remote::{RemoteConfig, RemoteEngine, RoutineRegistry};
+pub use remote::{RemoteConfig, RemoteEngine, RoutineRegistry, WorkerOpts};
 pub use worker::WorkerCtx;
 
 /// Identifies one worker, dense from 0 (re-exported from async-cluster).

@@ -23,19 +23,42 @@
 //! patches, shipped partitions) fold into the task's `bytes_in` just as a
 //! worker-side cache miss would on the simulator.
 //!
-//! ## Failures are real
+//! ## Failures are real — scripted and unscripted
 //!
 //! The epoch-guard + chaos machinery maps onto real connection drops:
 //!
 //! * [`Engine::kill_worker`] kills the worker *process* (socket shutdown +
-//!   SIGKILL) and surfaces the in-flight task as [`Completion::Lost`];
+//!   SIGKILL) and surfaces each in-flight task as [`Completion::Lost`];
 //! * a spontaneously dropped socket is detected by the per-connection
-//!   reader thread and handled identically — lost task, dead worker;
+//!   reader thread and handled identically — lost tasks, dead worker;
 //! * [`Engine::revive_worker`] / [`Engine::add_worker`] spawn a fresh
 //!   process at a bumped epoch; any result a dying incarnation managed to
 //!   flush is dropped by the same epoch check the threaded engine uses;
 //! * a [`ChaosSchedule`](async_cluster::ChaosSchedule) installed through
 //!   the driver therefore drives actual process kills and respawns.
+//!
+//! On top of the scripted paths sits the **supervision layer**, which
+//! catches failures nobody scheduled:
+//!
+//! * **Heartbeats** ([`RemoteConfig::heartbeat`]): each worker incarnation
+//!   beats from a dedicated thread; the driver tracks the last frame seen
+//!   per worker (beats *and* completions count) and, past the
+//!   [`RemoteConfig::liveness`] deadline of silence, declares the worker
+//!   dead exactly as if its socket had dropped — which catches a hung
+//!   process or a one-way partition that keeps the TCP session open.
+//! * **Task deadlines** ([`RemoteConfig::task_deadline`]): a submission
+//!   whose completion does not arrive in time kills the incarnation (epoch
+//!   bump) and surfaces the task as [`Completion::Lost`], so a worker that
+//!   still beats but stopped producing results cannot wedge a wave. Late
+//!   results from the killed incarnation are dropped by the epoch guard
+//!   like any stale completion.
+//! * **Fault injection** ([`RemoteConfig::fault`]): a seeded
+//!   [`FaultPlan`] drops/delays/duplicates/truncates/resets frames on
+//!   either direction, which is how the supervision paths are proven —
+//!   see [`crate::fault`].
+//!
+//! All supervision knobs default *off*; a default-configured engine is
+//! byte-for-byte the pre-supervision engine.
 //!
 //! Straggler delays are computed driver-side from the cluster spec
 //! (modelled cost + communication time, scaled by `time_scale` and the
@@ -46,74 +69,117 @@
 //! [`Payload`]: crate::payload::Payload
 
 use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use async_cluster::straggler::DelayAssignment;
 use async_cluster::{ClusterSpec, CommModel, VTime, WorkerId, WorkerProfile};
 
 use crate::engine::{Completion, Engine, EngineError, Task, TaskDone, TaskOutput, WireTask};
-use crate::frame::{read_frame, write_frame, Msg};
+use crate::fault::{FaultAction, FaultDir, FaultInjector, FaultPlan};
+use crate::frame::{encode_frame, read_frame, write_frame, Msg};
 use crate::payload::DecodeError;
 use crate::worker::WorkerCtx;
 
-/// How long to wait for a freshly spawned worker process to connect and
-/// greet before declaring the spawn failed.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default for [`RemoteConfig::handshake_timeout`].
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default for [`RemoteConfig::poll_interval`].
+const DEFAULT_POLL_INTERVAL: Duration = Duration::from_micros(500);
 
 /// How a [`RemoteEngine`] starts worker incarnations.
 pub enum WorkerLauncher {
     /// Spawn `program args.. --connect <addr> --worker <id> --epoch <e>`
-    /// as a child process. The program is expected to call
-    /// [`worker_main`] (or [`run_worker`]) with its routine registry.
+    /// (plus `--beat-us <n>` / `--fault <spec>` when heartbeats or fault
+    /// injection are configured) as a child process. The program is
+    /// expected to call [`worker_main`] (or [`run_worker_with`]) with its
+    /// routine registry.
     Process {
         /// Worker executable.
         program: PathBuf,
         /// Extra arguments placed before the `--connect ..` triple.
         args: Vec<String>,
     },
-    /// Run [`run_worker`] on an in-process thread — still a real TCP
+    /// Run [`run_worker_with`] on an in-process thread — still a real TCP
     /// connection through the loopback interface, just without the
     /// process-management half. Used by tests that exercise the wire
     /// protocol, epoch guard, and disconnect handling in isolation.
     Loopback(Arc<dyn Fn() -> RoutineRegistry + Send + Sync>),
 }
 
-/// Configuration for [`RemoteEngine::new`].
+/// Configuration for [`RemoteEngine::new`]. Everything beyond `addr` and
+/// `launcher` defaults to the unsupervised engine: generous handshake
+/// timeout, no heartbeats, no deadlines, one task in flight per worker,
+/// zero-fault transport.
 pub struct RemoteConfig {
     /// Address the driver listens on; workers connect back to it.
     /// `127.0.0.1:0` (any free loopback port) by default.
     pub addr: String,
     /// How worker processes are started.
     pub launcher: WorkerLauncher,
+    /// How long to wait for a freshly spawned worker process to connect
+    /// and greet before declaring the spawn failed (default 10 s).
+    pub handshake_timeout: Duration,
+    /// Upper bound on how long the result pump blocks per wait *while a
+    /// timer is armed* (scheduled chaos, liveness, or task deadlines).
+    /// The pump waits exactly until the earliest deadline, capped by this
+    /// (default 500 µs, the historical poll cadence); with no timers armed
+    /// it parks on a blocking receive and burns no cycles.
+    pub poll_interval: Duration,
+    /// Worker heartbeat period. `None` (default) disables heartbeats.
+    pub heartbeat: Option<Duration>,
+    /// Liveness deadline: a worker whose frames (beats or completions)
+    /// stop arriving for this long is declared dead. Requires `heartbeat`.
+    /// `None` (default) disables the check.
+    pub liveness: Option<Duration>,
+    /// Per-task deadline: an in-flight submission older than this kills
+    /// the worker incarnation and surfaces the task as lost. `None`
+    /// (default) disables the check.
+    pub task_deadline: Option<Duration>,
+    /// Bound on tasks in flight per worker (default 1). Submissions past
+    /// the bound return [`EngineError::WorkerBusy`]; see
+    /// [`RemoteEngine::submit_wired_blocking`] for the blocking variant.
+    pub max_inflight: usize,
+    /// Wire-level fault injection plan (default zero — no faults).
+    pub fault: FaultPlan,
 }
 
 impl RemoteConfig {
-    /// Process-launching config using `program` as the worker binary.
-    pub fn process(program: PathBuf) -> Self {
+    fn with_launcher(launcher: WorkerLauncher) -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
-            launcher: WorkerLauncher::Process {
-                program,
-                args: Vec::new(),
-            },
+            launcher,
+            handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
+            poll_interval: DEFAULT_POLL_INTERVAL,
+            heartbeat: None,
+            liveness: None,
+            task_deadline: None,
+            max_inflight: 1,
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// Process-launching config using `program` as the worker binary.
+    pub fn process(program: PathBuf) -> Self {
+        Self::with_launcher(WorkerLauncher::Process {
+            program,
+            args: Vec::new(),
+        })
     }
 
     /// Loopback-thread config (tests); `registry` builds each worker
     /// incarnation's routine table.
     pub fn loopback(registry: Arc<dyn Fn() -> RoutineRegistry + Send + Sync>) -> Self {
-        Self {
-            addr: "127.0.0.1:0".to_string(),
-            launcher: WorkerLauncher::Loopback(registry),
-        }
+        Self::with_launcher(WorkerLauncher::Loopback(registry))
     }
 }
 
@@ -156,15 +222,21 @@ enum WireEvent {
         tag: u64,
         response: Vec<u8>,
     },
+    /// A heartbeat frame arrived.
+    Beat { worker: WorkerId, epoch: u64 },
     /// The connection dropped (EOF, reset, or a malformed frame).
     Gone { worker: WorkerId, epoch: u64 },
 }
 
-/// Response decoding + accounting for one in-flight wired task.
-struct Inflight {
+/// One in-flight wired task: response decoding + accounting plus the
+/// issue instants the deadline check and the completion report need.
+struct InflightEntry {
+    tag: u64,
     #[allow(clippy::type_complexity)]
     decode: Box<dyn Fn(&[u8]) -> Result<TaskOutput, DecodeError> + Send>,
     bytes_in: u64,
+    issued_at: VTime,
+    issued_real: Instant,
 }
 
 /// A membership change scheduled against elapsed engine time.
@@ -184,6 +256,13 @@ pub struct RemoteEngine {
     listener: TcpListener,
     local_addr: String,
     launcher: WorkerLauncher,
+    handshake_timeout: Duration,
+    poll_interval: Duration,
+    heartbeat: Option<Duration>,
+    liveness: Option<Duration>,
+    task_deadline: Option<Duration>,
+    max_inflight: usize,
+    fault: FaultPlan,
     conns: Vec<Option<WorkerConn>>,
     readers: Vec<Option<std::thread::JoinHandle<()>>>,
     results_tx: Sender<WireEvent>,
@@ -192,14 +271,19 @@ pub struct RemoteEngine {
     /// `(broadcast, version)` keys (and shipped partitions) it holds.
     /// Reset to empty on revive/join, exactly like the real cache.
     mirrors: Vec<WorkerCtx>,
-    busy: Vec<bool>,
     dead: Vec<bool>,
     /// Worker incarnation counters; bumped on kill so orphaned completions
     /// and a revived executor can never be confused.
     epoch: Vec<u64>,
-    inflight_tag: Vec<Option<u64>>,
-    inflight: Vec<Option<Inflight>>,
-    issued_at: Vec<VTime>,
+    /// Per-worker FIFO of in-flight submissions (bounded by
+    /// `max_inflight`).
+    inflight: Vec<VecDeque<InflightEntry>>,
+    /// Last instant each worker proved it was alive (handshake, beat, or
+    /// completion).
+    last_beat: Vec<Instant>,
+    /// Driver→worker fault injectors, one per live incarnation when the
+    /// plan is non-zero.
+    injectors: Vec<Option<FaultInjector>>,
     task_seq: Vec<u64>,
     pending: usize,
     queued: VecDeque<Completion>,
@@ -214,10 +298,16 @@ impl RemoteEngine {
     /// # Panics
     /// Panics if the spec fails validation or `time_scale` is negative.
     /// Transport failures (bind, spawn, handshake) return
-    /// [`EngineError::Io`].
+    /// [`EngineError::Io`]; a liveness deadline without a heartbeat period
+    /// is rejected as `Io(InvalidInput)` (silent workers would all be
+    /// declared dead).
     pub fn new(spec: ClusterSpec, time_scale: f64, cfg: RemoteConfig) -> Result<Self, EngineError> {
         spec.validate().expect("invalid cluster spec");
         assert!(time_scale >= 0.0, "time_scale must be nonnegative");
+        assert!(cfg.max_inflight >= 1, "max_inflight must be at least 1");
+        if cfg.liveness.is_some() && cfg.heartbeat.is_none() {
+            return Err(EngineError::Io(io::ErrorKind::InvalidInput));
+        }
         let n = spec.workers;
         let assignment = Arc::new(spec.delay.assign(n));
         let comm = spec.comm.clone();
@@ -227,32 +317,38 @@ impl RemoteEngine {
             .map_err(|e| EngineError::Io(e.kind()))?
             .to_string();
         let (res_tx, res_rx) = unbounded::<WireEvent>();
+        let now = Instant::now();
         let mut engine = Self {
             spec,
             assignment,
             comm,
             time_scale,
-            start: Instant::now(),
+            start: now,
             listener,
             local_addr,
             launcher: cfg.launcher,
+            handshake_timeout: cfg.handshake_timeout,
+            poll_interval: cfg.poll_interval.max(Duration::from_micros(1)),
+            heartbeat: cfg.heartbeat,
+            liveness: cfg.liveness,
+            task_deadline: cfg.task_deadline,
+            max_inflight: cfg.max_inflight,
+            fault: cfg.fault,
             conns: Vec::with_capacity(n),
             readers: Vec::with_capacity(n),
             results_tx: res_tx,
             results_rx: res_rx,
             mirrors: (0..n).map(WorkerCtx::new).collect(),
-            busy: vec![false; n],
             dead: vec![false; n],
             epoch: vec![0; n],
-            inflight_tag: vec![None; n],
-            inflight: Vec::new(),
-            issued_at: vec![VTime::ZERO; n],
+            inflight: (0..n).map(|_| VecDeque::new()).collect(),
+            last_beat: vec![now; n],
+            injectors: (0..n).map(|_| None).collect(),
             task_seq: vec![0; n],
             pending: 0,
             queued: VecDeque::new(),
             chaos: VecDeque::new(),
         };
-        engine.inflight = (0..n).map(|_| None).collect();
         for w in 0..n {
             engine.conns.push(None);
             engine.readers.push(None);
@@ -272,26 +368,35 @@ impl RemoteEngine {
     /// the connection handshake.
     fn spawn_worker(&mut self, w: WorkerId) -> io::Result<()> {
         let epoch = self.epoch[w];
+        let opts = WorkerOpts {
+            heartbeat: self.heartbeat,
+            fault: self.fault.clone(),
+        };
         let mut child = match &self.launcher {
-            WorkerLauncher::Process { program, args } => Some(
-                Command::new(program)
-                    .args(args)
+            WorkerLauncher::Process { program, args } => {
+                let mut cmd = Command::new(program);
+                cmd.args(args)
                     .arg("--connect")
                     .arg(&self.local_addr)
                     .arg("--worker")
                     .arg(w.to_string())
                     .arg("--epoch")
-                    .arg(epoch.to_string())
-                    .stdin(Stdio::null())
-                    .spawn()?,
-            ),
+                    .arg(epoch.to_string());
+                if let Some(beat) = opts.heartbeat {
+                    cmd.arg("--beat-us").arg(beat.as_micros().to_string());
+                }
+                if !opts.fault.is_zero() {
+                    cmd.arg("--fault").arg(opts.fault.to_spec());
+                }
+                Some(cmd.stdin(Stdio::null()).spawn()?)
+            }
             WorkerLauncher::Loopback(factory) => {
                 let addr = self.local_addr.clone();
                 let factory = Arc::clone(factory);
                 std::thread::Builder::new()
                     .name(format!("remote-loopback-{w}-e{epoch}"))
                     .spawn(move || {
-                        let _ = run_worker(&addr, w as u32, epoch, factory());
+                        let _ = run_worker_with(&addr, w as u32, epoch, factory(), opts);
                     })?;
                 None
             }
@@ -308,6 +413,11 @@ impl RemoteEngine {
         };
         let reader_stream = stream.try_clone()?;
         self.conns[w] = Some(WorkerConn { stream, child });
+        self.last_beat[w] = Instant::now();
+        self.injectors[w] = self
+            .fault
+            .applies(FaultDir::DriverToWorker)
+            .then(|| self.fault.injector(w, epoch, FaultDir::DriverToWorker));
         let tx = self.results_tx.clone();
         let handle = std::thread::Builder::new()
             .name(format!("remote-reader-{w}-e{epoch}"))
@@ -326,13 +436,14 @@ impl RemoteEngine {
         epoch: u64,
         mut child: Option<&mut Child>,
     ) -> io::Result<TcpStream> {
-        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let timeout = self.handshake_timeout;
+        let deadline = Instant::now() + timeout;
         self.listener.set_nonblocking(true)?;
         loop {
             match self.listener.accept() {
                 Ok((mut stream, _)) => {
                     stream.set_nonblocking(false)?;
-                    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+                    stream.set_read_timeout(Some(timeout))?;
                     match read_frame(&mut stream) {
                         Ok(Msg::WorkerUp {
                             worker,
@@ -343,7 +454,9 @@ impl RemoteEngine {
                             return Ok(stream);
                         }
                         // A greeting from a stale incarnation or unexpected
-                        // worker: close it and keep waiting for ours.
+                        // worker, a torn frame from a peer that dropped
+                        // mid-handshake, or outright garbage: close it and
+                        // keep waiting for ours.
                         _ => {
                             let _ = stream.shutdown(Shutdown::Both);
                         }
@@ -361,7 +474,7 @@ impl RemoteEngine {
                     if Instant::now() >= deadline {
                         return Err(io::Error::new(
                             io::ErrorKind::TimedOut,
-                            format!("worker {w} did not connect within {HANDSHAKE_TIMEOUT:?}"),
+                            format!("worker {w} did not connect within {timeout:?}"),
                         ));
                     }
                     std::thread::sleep(Duration::from_millis(2));
@@ -389,19 +502,23 @@ impl RemoteEngine {
         }
     }
 
-    /// Marks `w` dead at a bumped epoch and queues the loss notification —
-    /// shared by explicit kills and detected disconnects.
+    /// Marks `w` dead at a bumped epoch and queues the loss
+    /// notifications — shared by explicit kills, detected disconnects,
+    /// and missed liveness/task deadlines. Every queued in-flight task
+    /// surfaces as its own [`Completion::Lost`] (FIFO order); an idle
+    /// death queues [`Completion::WorkerDown`].
     fn mark_dead(&mut self, w: WorkerId) {
         self.dead[w] = true;
         self.epoch[w] += 1;
-        if self.busy[w] {
-            self.busy[w] = false;
-            self.pending -= 1;
-            self.inflight[w] = None;
-            let tag = self.inflight_tag[w].take().expect("busy worker has a tag");
-            self.queued.push_back(Completion::Lost { worker: w, tag });
-        } else {
+        self.injectors[w] = None;
+        let lost: Vec<u64> = self.inflight[w].drain(..).map(|e| e.tag).collect();
+        if lost.is_empty() {
             self.queued.push_back(Completion::WorkerDown { worker: w });
+        } else {
+            self.pending -= lost.len();
+            for tag in lost {
+                self.queued.push_back(Completion::Lost { worker: w, tag });
+            }
         }
     }
 
@@ -421,6 +538,86 @@ impl RemoteEngine {
                     self.add_worker();
                 }
             }
+        }
+    }
+
+    /// Declares workers dead for missed liveness or task deadlines. Runs
+    /// alongside `apply_due_chaos` in every pump iteration; both checks
+    /// are no-ops unless configured.
+    fn enforce_deadlines(&mut self) {
+        if self.liveness.is_none() && self.task_deadline.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let mut victims: Vec<WorkerId> = Vec::new();
+        for w in 0..self.spec.workers {
+            if self.dead[w] {
+                continue;
+            }
+            let silent = self
+                .liveness
+                .is_some_and(|liv| now.duration_since(self.last_beat[w]) > liv);
+            let overdue = self.task_deadline.is_some_and(|dl| {
+                self.inflight[w]
+                    .front()
+                    .is_some_and(|e| now.duration_since(e.issued_real) > dl)
+            });
+            if silent || overdue {
+                victims.push(w);
+            }
+        }
+        for w in victims {
+            self.teardown_conn(w);
+            self.mark_dead(w);
+        }
+    }
+
+    /// Time until the earliest armed timer (scheduled chaos, liveness
+    /// deadline, task deadline), or `None` when no timer is armed and the
+    /// pump can park indefinitely.
+    fn wait_horizon(&self) -> Option<Duration> {
+        let mut horizon: Option<Duration> = None;
+        let mut fold = |d: Duration| {
+            horizon = Some(match horizon {
+                Some(h) => h.min(d),
+                None => d,
+            });
+        };
+        if let Some(&(at, _)) = self.chaos.front() {
+            let left = at.saturating_since(self.elapsed());
+            fold(Duration::from_micros(left.as_micros()));
+        }
+        let now = Instant::now();
+        if let Some(liv) = self.liveness {
+            for w in 0..self.spec.workers {
+                if !self.dead[w] {
+                    fold((self.last_beat[w] + liv).saturating_duration_since(now));
+                }
+            }
+        }
+        if let Some(dl) = self.task_deadline {
+            for w in 0..self.spec.workers {
+                if self.dead[w] {
+                    continue;
+                }
+                if let Some(e) = self.inflight[w].front() {
+                    fold((e.issued_real + dl).saturating_duration_since(now));
+                }
+            }
+        }
+        horizon
+    }
+
+    /// One deadline-aware wait on the result channel: parks indefinitely
+    /// when no timer is armed, otherwise until the earliest deadline
+    /// (capped by `poll_interval`, the historical cadence).
+    fn wait_event(&self) -> Result<WireEvent, RecvTimeoutError> {
+        match self.wait_horizon() {
+            None => self
+                .results_rx
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected),
+            Some(d) => self.results_rx.recv_timeout(d.min(self.poll_interval)),
         }
     }
 
@@ -447,49 +644,147 @@ impl RemoteEngine {
                     // reported.
                     return None;
                 }
+                // Any frame proves liveness.
+                self.last_beat[worker] = Instant::now();
                 let finished_at = self.elapsed();
-                let Some(inflight) = self.inflight[worker].take() else {
-                    // An unsolicited completion: protocol violation, but
-                    // nothing is owed for it — drop it.
+                let pos = self.inflight[worker].iter().position(|e| e.tag == tag);
+                let Some(pos) = pos else {
+                    // An unsolicited completion — a duplicated frame or a
+                    // protocol violation. Nothing is owed for it; drop it.
                     return None;
                 };
-                match (inflight.decode)(&response) {
+                let entry = self.inflight[worker].remove(pos).expect("position exists");
+                match (entry.decode)(&response) {
                     Ok(output) => {
-                        self.busy[worker] = false;
-                        self.inflight_tag[worker] = None;
                         self.pending -= 1;
-                        let issued_at = self.issued_at[worker];
                         Some(Completion::Done(TaskDone {
                             worker,
                             tag,
                             output,
-                            issued_at,
+                            issued_at: entry.issued_at,
                             finished_at,
-                            service_time: finished_at.saturating_since(issued_at),
-                            bytes_in: inflight.bytes_in,
+                            service_time: finished_at.saturating_since(entry.issued_at),
+                            bytes_in: entry.bytes_in,
                         }))
                     }
                     Err(_) => {
                         // A response this driver cannot decode means the
                         // incarnation is not speaking the protocol — treat
-                        // it like a crashed worker: tear down, report the
-                        // task lost.
+                        // it like a crashed worker: tear down, report every
+                        // queued task lost. The entry was already removed;
+                        // account its loss here, the rest via `mark_dead`.
+                        self.pending -= 1;
+                        self.queued.push_back(Completion::Lost { worker, tag });
                         self.teardown_conn(worker);
                         self.mark_dead(worker);
-                        self.queued.pop_back()
+                        None
                     }
                 }
+            }
+            WireEvent::Beat { worker, epoch } => {
+                if !self.dead[worker] && epoch == self.epoch[worker] {
+                    self.last_beat[worker] = Instant::now();
+                }
+                None
             }
             WireEvent::Gone { worker, epoch } => {
                 if self.dead[worker] || epoch != self.epoch[worker] {
                     return None; // expected: we tore this connection down
                 }
                 // A real, uncommanded connection drop: dropped socket →
-                // lost task, dead worker (revivable like any other death).
+                // lost tasks, dead worker (revivable like any other death).
                 self.teardown_conn(worker);
                 self.mark_dead(worker);
-                self.queued.pop_back()
+                None
             }
+        }
+    }
+
+    /// Drains every event already sitting in the result channel into the
+    /// completion queue. Run before enforcing deadlines so liveness
+    /// verdicts see the freshest beats — a driver that slept between pump
+    /// calls must not declare a dutifully beating worker dead on stale
+    /// bookkeeping.
+    fn drain_ready_events(&mut self) {
+        while let Ok(ev) = self.results_rx.try_recv() {
+            if let Some(c) = self.accept(ev) {
+                self.queued.push_back(c);
+            }
+        }
+    }
+
+    /// Like [`Engine::submit_wired`], but when worker `w` is at its
+    /// in-flight bound this blocks — pumping arriving results into the
+    /// completion queue — until a slot frees, the worker dies, or the
+    /// event channel closes. The backpressure face of
+    /// [`RemoteConfig::max_inflight`].
+    pub fn submit_wired_blocking(
+        &mut self,
+        w: WorkerId,
+        task: Task,
+        wire: WireTask,
+    ) -> Result<(), EngineError> {
+        loop {
+            self.drain_ready_events();
+            self.apply_due_chaos();
+            self.enforce_deadlines();
+            if self.dead[w] {
+                return Err(EngineError::WorkerDead(w));
+            }
+            if self.inflight[w].len() < self.max_inflight {
+                return self.submit_wired(w, task, wire);
+            }
+            match self.wait_event() {
+                Ok(ev) => {
+                    if let Some(c) = self.accept(ev) {
+                        self.queued.push_back(c);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(EngineError::Disconnected(w)),
+            }
+        }
+    }
+}
+
+/// Writes one frame through a fault injector: delivers, drops, delays,
+/// duplicates, truncates (torn frame + shutdown), or resets per the
+/// injector's deterministic stream. Truncate and reset return an error —
+/// the connection is gone, exactly like a peer dying mid-write.
+fn write_with_faults(stream: &mut TcpStream, msg: &Msg, inj: &mut FaultInjector) -> io::Result<()> {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf);
+    match inj.next_action(buf.len()) {
+        FaultAction::Deliver => {
+            stream.write_all(&buf)?;
+            stream.flush()
+        }
+        FaultAction::Drop => Ok(()),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            stream.write_all(&buf)?;
+            stream.flush()
+        }
+        FaultAction::Duplicate => {
+            stream.write_all(&buf)?;
+            stream.write_all(&buf)?;
+            stream.flush()
+        }
+        FaultAction::Truncate(n) => {
+            let _ = stream.write_all(&buf[..n]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "fault injection: torn frame",
+            ))
+        }
+        FaultAction::Reset => {
+            let _ = stream.shutdown(Shutdown::Both);
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "fault injection: connection reset",
+            ))
         }
     }
 }
@@ -514,6 +809,19 @@ fn reader_loop(w: WorkerId, epoch: u64, mut stream: TcpStream, tx: Sender<WireEv
                     break; // engine dropped
                 }
             }
+            Ok(Msg::Heartbeat { epoch: e, .. }) => {
+                // Trust the connection's identity over the frame's worker
+                // field, like completions; the epoch still guards staleness.
+                if tx
+                    .send(WireEvent::Beat {
+                        worker: w,
+                        epoch: e,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
             Ok(_) => continue,
             Err(_) => {
                 let _ = tx.send(WireEvent::Gone { worker: w, epoch });
@@ -533,7 +841,7 @@ impl Engine for RemoteEngine {
     }
 
     fn available(&self, w: WorkerId) -> bool {
-        !self.dead[w] && !self.busy[w]
+        !self.dead[w] && self.inflight[w].len() < self.max_inflight
     }
 
     fn alive(&self, w: WorkerId) -> bool {
@@ -550,7 +858,7 @@ impl Engine for RemoteEngine {
         if self.dead[w] {
             return Err(EngineError::WorkerDead(w));
         }
-        if self.busy[w] {
+        if self.inflight[w].len() >= self.max_inflight {
             return Err(EngineError::WorkerBusy(w));
         }
         let seq = self.task_seq[w];
@@ -578,28 +886,36 @@ impl Engine for RemoteEngine {
         let conn = self.conns[w]
             .as_mut()
             .expect("alive worker has a connection");
-        if write_frame(&mut conn.stream, &msg).is_err() {
-            // The process died under us between completions: surface the
-            // death now. The task was never accepted (not busy), so
-            // `mark_dead` queues WorkerDown, not Lost.
+        let written = match self.injectors[w].as_mut() {
+            Some(inj) => write_with_faults(&mut conn.stream, &msg, inj),
+            None => write_frame(&mut conn.stream, &msg),
+        };
+        if written.is_err() {
+            // The process died under us between completions (or fault
+            // injection reset the connection): surface the death now. The
+            // task was never accepted, so it is not among the losses
+            // `mark_dead` queues for previously accepted submissions.
             self.teardown_conn(w);
             self.mark_dead(w);
             return Err(EngineError::Disconnected(w));
         }
-        self.busy[w] = true;
-        self.inflight_tag[w] = Some(task.tag);
-        self.inflight[w] = Some(Inflight {
+        let issued_at = self.elapsed();
+        self.inflight[w].push_back(InflightEntry {
+            tag: task.tag,
             decode: wire.decode,
             bytes_in: total_bytes,
+            issued_at,
+            issued_real: Instant::now(),
         });
-        self.issued_at[w] = self.elapsed();
         self.pending += 1;
         Ok(())
     }
 
     fn next(&mut self) -> Option<Completion> {
         loop {
+            self.drain_ready_events();
             self.apply_due_chaos();
+            self.enforce_deadlines();
             if let Some(c) = self.queued.pop_front() {
                 return Some(c);
             }
@@ -610,7 +926,7 @@ impl Engine for RemoteEngine {
                 // see `ThreadedEngine::next`).
                 return None;
             }
-            match self.results_rx.recv_timeout(Duration::from_micros(500)) {
+            match self.wait_event() {
                 Ok(ev) => {
                     if let Some(c) = self.accept(ev) {
                         return Some(c);
@@ -623,20 +939,10 @@ impl Engine for RemoteEngine {
     }
 
     fn try_next(&mut self) -> Option<Completion> {
-        loop {
-            self.apply_due_chaos();
-            if let Some(c) = self.queued.pop_front() {
-                return Some(c);
-            }
-            match self.results_rx.try_recv() {
-                Ok(ev) => {
-                    if let Some(c) = self.accept(ev) {
-                        return Some(c);
-                    }
-                }
-                Err(_) => return None,
-            }
-        }
+        self.drain_ready_events();
+        self.apply_due_chaos();
+        self.enforce_deadlines();
+        self.queued.pop_front()
     }
 
     fn pending(&self) -> usize {
@@ -661,9 +967,7 @@ impl Engine for RemoteEngine {
         self.spawn_worker(w)
             .map_err(|e| EngineError::Io(e.kind()))?;
         self.dead[w] = false;
-        self.busy[w] = false;
-        self.inflight_tag[w] = None;
-        self.inflight[w] = None;
+        self.inflight[w].clear();
         self.queued.push_back(Completion::WorkerUp { worker: w });
         Ok(())
     }
@@ -673,12 +977,11 @@ impl Engine for RemoteEngine {
         self.spec.workers += 1;
         self.spec.profiles.push(WorkerProfile::default_speed());
         self.mirrors.push(WorkerCtx::new(w));
-        self.busy.push(false);
         self.dead.push(false);
         self.epoch.push(0);
-        self.inflight_tag.push(None);
-        self.inflight.push(None);
-        self.issued_at.push(VTime::ZERO);
+        self.inflight.push(VecDeque::new());
+        self.last_beat.push(Instant::now());
+        self.injectors.push(None);
         self.task_seq.push(0);
         self.conns.push(None);
         self.readers.push(None);
@@ -705,6 +1008,10 @@ impl Engine for RemoteEngine {
 
     fn schedule_join(&mut self, at: VTime) {
         self.push_chaos(at, PendingChaos::Join);
+    }
+
+    fn next_event_at(&self) -> Option<VTime> {
+        self.chaos.front().map(|&(at, _)| at)
     }
 }
 
@@ -751,95 +1058,207 @@ impl RoutineRegistry {
     }
 }
 
+/// Worker-side runtime options: the heartbeat period the driver asked for
+/// and the transport fault plan this endpoint applies to its own writes.
+/// Defaults are "no beats, no faults" — the pre-supervision worker.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerOpts {
+    /// Heartbeat period (`--beat-us` on a worker command line).
+    pub heartbeat: Option<Duration>,
+    /// Fault plan for worker→driver frames (`--fault <spec>`).
+    pub fault: FaultPlan,
+}
+
 /// The generic worker-process loop: connect back to the driver, greet,
-/// then serve submissions until shutdown or disconnect.
+/// then serve submissions until shutdown or disconnect. [`run_worker`] is
+/// the options-free shorthand.
 ///
 /// A request naming an unregistered routine, or one whose handler reports
 /// a decode error, terminates the worker with an error — the driver
 /// observes the dropped connection and reports the in-flight task lost,
 /// which is exactly the fault model for a crashed executor.
+///
+/// With a heartbeat period set, a dedicated thread beats over the same
+/// connection (writes are mutex-serialized with completions) so a
+/// long-running routine never silences the worker. With a non-zero fault
+/// plan, completion and heartbeat writes pass through this worker's
+/// deterministic [`FaultInjector`]; the greeting is exempt (see
+/// [`crate::fault`]). A hang-faulted worker keeps computing but stops
+/// writing anything — the driver-side liveness deadline is the only way
+/// to notice.
+pub fn run_worker_with(
+    addr: &str,
+    worker: u32,
+    epoch: u64,
+    registry: RoutineRegistry,
+    opts: WorkerOpts,
+) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let write = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut read = stream;
+    {
+        let mut wh = write.lock().expect("fresh write lock");
+        write_frame(&mut *wh, &Msg::WorkerUp { worker, epoch })?;
+    }
+    let mut inj = opts.fault.applies(FaultDir::WorkerToDriver).then(|| {
+        opts.fault
+            .injector(worker as usize, epoch, FaultDir::WorkerToDriver)
+    });
+    let hung = Arc::new(AtomicBool::new(false));
+    if inj.as_ref().is_some_and(|i| i.hang_reached()) {
+        hung.store(true, Ordering::SeqCst);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_handle = opts.heartbeat.map(|period| {
+        let write = Arc::clone(&write);
+        let hung = Arc::clone(&hung);
+        let stop = Arc::clone(&stop);
+        // The beat thread gets its own injector stream, decorrelated from
+        // the completion stream by flipping the epoch's top bit; the hang
+        // verdict is shared through the flag so "hung" silences both.
+        let mut binj = opts.fault.applies(FaultDir::WorkerToDriver).then(|| {
+            opts.fault
+                .injector(worker as usize, epoch | (1 << 63), FaultDir::WorkerToDriver)
+        });
+        std::thread::Builder::new()
+            .name(format!("worker-beat-{worker}-e{epoch}"))
+            .spawn(move || loop {
+                std::thread::sleep(period);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if hung.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let msg = Msg::Heartbeat { worker, epoch };
+                let res = {
+                    let mut s = write.lock().expect("beat write lock");
+                    match binj.as_mut() {
+                        Some(i) => write_with_faults(&mut s, &msg, i),
+                        None => write_frame(&mut *s, &msg),
+                    }
+                };
+                if res.is_err() {
+                    break; // connection gone; the serve loop will see it too
+                }
+            })
+            .expect("spawn beat thread")
+    });
+    let served = (|| -> io::Result<()> {
+        let mut ctx = WorkerCtx::new(worker as WorkerId);
+        loop {
+            match read_frame(&mut read)? {
+                Msg::Submit {
+                    tag,
+                    epoch: e,
+                    routine,
+                    sleep_us,
+                    slow_factor,
+                    request,
+                } => {
+                    let handler = registry.handlers.get(&routine).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("unregistered routine {routine}"),
+                        )
+                    })?;
+                    let t0 = Instant::now();
+                    let response = handler(&mut ctx, &request)
+                        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+                    let measured = t0.elapsed();
+                    // Byte charges are accounted by the driver-side mirror;
+                    // drain the local ones so they never accumulate.
+                    let _ = ctx.take_charges();
+                    // The modelled (pre-scaled) delay shipped by the driver,
+                    // plus the straggler stretch of real compute time — the
+                    // threaded engine's sleep, across a socket.
+                    let sleep = sleep_us as f64 + measured.as_secs_f64() * 1e6 * slow_factor;
+                    if sleep >= 1.0 {
+                        std::thread::sleep(Duration::from_micros(sleep as u64));
+                    }
+                    if hung.load(Ordering::SeqCst) {
+                        // Hang fault: keep serving, write nothing.
+                        continue;
+                    }
+                    let msg = Msg::Completion {
+                        tag,
+                        epoch: e,
+                        response,
+                    };
+                    {
+                        let mut s = write.lock().expect("completion write lock");
+                        match inj.as_mut() {
+                            Some(i) => write_with_faults(&mut s, &msg, i)?,
+                            None => write_frame(&mut *s, &msg)?,
+                        }
+                    }
+                    if inj.as_ref().is_some_and(|i| i.hang_reached()) {
+                        hung.store(true, Ordering::SeqCst);
+                    }
+                }
+                Msg::Shutdown => return Ok(()),
+                // Nothing else is driver→worker; ignore rather than die.
+                _ => continue,
+            }
+        }
+    })();
+    stop.store(true, Ordering::SeqCst);
+    if let Some(h) = beat_handle {
+        let _ = h.join();
+    }
+    served
+}
+
+/// [`run_worker_with`] with default options (no heartbeats, no faults) —
+/// the original worker loop.
 pub fn run_worker(
     addr: &str,
     worker: u32,
     epoch: u64,
     registry: RoutineRegistry,
 ) -> io::Result<()> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    write_frame(&mut stream, &Msg::WorkerUp { worker, epoch })?;
-    let mut ctx = WorkerCtx::new(worker as WorkerId);
-    loop {
-        match read_frame(&mut stream)? {
-            Msg::Submit {
-                tag,
-                epoch: e,
-                routine,
-                sleep_us,
-                slow_factor,
-                request,
-            } => {
-                let handler = registry.handlers.get(&routine).ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidInput,
-                        format!("unregistered routine {routine}"),
-                    )
-                })?;
-                let t0 = Instant::now();
-                let response = handler(&mut ctx, &request)
-                    .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
-                let measured = t0.elapsed();
-                // Byte charges are accounted by the driver-side mirror;
-                // drain the local ones so they never accumulate.
-                let _ = ctx.take_charges();
-                // The modelled (pre-scaled) delay shipped by the driver,
-                // plus the straggler stretch of real compute time — the
-                // threaded engine's sleep, across a socket.
-                let sleep = sleep_us as f64 + measured.as_secs_f64() * 1e6 * slow_factor;
-                if sleep >= 1.0 {
-                    std::thread::sleep(Duration::from_micros(sleep as u64));
-                }
-                write_frame(
-                    &mut stream,
-                    &Msg::Completion {
-                        tag,
-                        epoch: e,
-                        response,
-                    },
-                )?;
-            }
-            Msg::Shutdown => return Ok(()),
-            // Nothing else is driver→worker; ignore rather than die.
-            Msg::WorkerUp { .. } | Msg::Completion { .. } => continue,
-        }
-    }
+    run_worker_with(addr, worker, epoch, registry, WorkerOpts::default())
 }
 
 /// Entry point for worker binaries: parses `--connect <addr> --worker <id>
-/// --epoch <e>` from `std::env::args` and runs [`run_worker`]. A worker
-/// binary is three lines: build a registry, call this, exit.
+/// --epoch <e>` (plus the optional `--beat-us <n>` heartbeat period and
+/// `--fault <spec>` plan) from `std::env::args` and runs
+/// [`run_worker_with`]. A worker binary is three lines: build a registry,
+/// call this, exit.
 pub fn worker_main(registry: RoutineRegistry) -> io::Result<()> {
     let mut addr = None;
     let mut worker = None;
     let mut epoch = 0u64;
+    let mut opts = WorkerOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--connect" => addr = args.next(),
             "--worker" => worker = args.next().and_then(|v| v.parse::<u32>().ok()),
             "--epoch" => epoch = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--beat-us" => {
+                opts.heartbeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(Duration::from_micros)
+            }
+            "--fault" => {
+                let spec = args.next().unwrap_or_default();
+                opts.fault = FaultPlan::from_spec(&spec)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            }
             _ => {}
         }
     }
     let (addr, worker) = match (addr, worker) {
         (Some(a), Some(w)) => (a, w),
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "usage: --connect <addr> --worker <id> [--epoch <e>]",
-            ))
-        }
+        _ => return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "usage: --connect <addr> --worker <id> [--epoch <e>] [--beat-us <n>] [--fault <spec>]",
+        )),
     };
-    run_worker(&addr, worker, epoch, registry)
+    run_worker_with(&addr, worker, epoch, registry, opts)
 }
 
 #[cfg(test)]
@@ -1135,5 +1554,373 @@ mod tests {
             done += 1;
         }
         assert_eq!(done, 3);
+    }
+
+    // ---------------------------------------------------------------
+    // Supervision: heartbeats, deadlines, backpressure, fault paths
+    // ---------------------------------------------------------------
+
+    fn supervised_cfg(cfg: RemoteConfig) -> RemoteConfig {
+        RemoteConfig {
+            heartbeat: Some(Duration::from_millis(2)),
+            liveness: Some(Duration::from_millis(60)),
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn liveness_without_heartbeat_is_rejected() {
+        let cfg = RemoteConfig {
+            liveness: Some(Duration::from_millis(10)),
+            ..RemoteConfig::loopback(Arc::new(doubling_registry))
+        };
+        match RemoteEngine::new(spec(1), 0.0, cfg).map(|_| ()) {
+            Err(EngineError::Io(io::ErrorKind::InvalidInput)) => {}
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn liveness_deadline_declares_a_partitioned_worker_dead() {
+        // hang_after = 0: worker 0 greets, then every outbound frame
+        // (completions and beats) vanishes — a one-way partition. No chaos
+        // script kills it; only the liveness deadline can.
+        let cfg = RemoteConfig {
+            fault: FaultPlan {
+                hang_worker: Some(0),
+                hang_after: 0,
+                ..FaultPlan::default()
+            },
+            ..supervised_cfg(RemoteConfig::loopback(Arc::new(doubling_registry)))
+        };
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        let (task, wire) = wired(5, 4);
+        e.submit_wired(0, task, wire).unwrap();
+        let t0 = Instant::now();
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 5 }) => {}
+            other => panic!(
+                "expected Lost, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(!e.alive(0), "silent worker must be declared dead");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(55),
+            "death must wait out the liveness deadline, not fire early"
+        );
+        // The partitioned worker is revivable like any other casualty; the
+        // fresh incarnation gets a fresh injector state, but the plan still
+        // says worker 0 hangs from frame zero — so don't submit to it, just
+        // confirm the respawn handshake works.
+        e.revive_worker(0).unwrap();
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_worker_alive_past_the_liveness_deadline() {
+        // Routine 9 takes ~3x the liveness deadline to answer. Without
+        // heartbeats the driver would declare the worker dead; with them
+        // the completion must arrive as a normal Done.
+        let registry = Arc::new(|| {
+            let mut reg = doubling_registry();
+            reg.register(9, |_ctx, req| {
+                std::thread::sleep(Duration::from_millis(180));
+                Ok(req.to_vec())
+            });
+            reg
+        });
+        let cfg = supervised_cfg(RemoteConfig::loopback(registry));
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        let task = Task {
+            tag: 1,
+            cost: 0.0,
+            bytes_in: 0,
+            run: Box::new(|_| Box::new(())),
+        };
+        let wire = WireTask {
+            routine: 9,
+            build: Box::new(|_| Vec::new()),
+            decode: Box::new(|_| Ok(Box::new(()) as TaskOutput)),
+        };
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(d.tag, 1),
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(e.alive(0), "a beating worker must not be declared dead");
+    }
+
+    #[test]
+    fn task_deadline_kills_a_worker_that_beats_but_never_answers() {
+        // Routine 9 sleeps far past the task deadline while the beat
+        // thread keeps the liveness check satisfied: only the per-task
+        // deadline can reclaim the submission.
+        let registry = Arc::new(|| {
+            let mut reg = doubling_registry();
+            reg.register(9, |_ctx, req| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(req.to_vec())
+            });
+            reg
+        });
+        let cfg = RemoteConfig {
+            task_deadline: Some(Duration::from_millis(50)),
+            ..supervised_cfg(RemoteConfig::loopback(registry))
+        };
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        let task = Task {
+            tag: 8,
+            cost: 0.0,
+            bytes_in: 0,
+            run: Box::new(|_| Box::new(())),
+        };
+        let wire = WireTask {
+            routine: 9,
+            build: Box::new(|_| Vec::new()),
+            decode: Box::new(|_| Ok(Box::new(()) as TaskOutput)),
+        };
+        let t0 = Instant::now();
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 8 }) => {}
+            other => panic!(
+                "expected Lost, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(!e.alive(0));
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(45) && waited < Duration::from_millis(350),
+            "deadline fired at {waited:?}, expected ~50ms"
+        );
+        // The late completion from the killed incarnation must be dropped
+        // by the epoch guard once it finally flushes.
+        e.revive_worker(0).unwrap();
+        assert!(matches!(e.next(), Some(Completion::WorkerUp { worker: 0 })));
+        std::thread::sleep(Duration::from_millis(400));
+        let (task, wire) = wired(2, 3);
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Done(d)) => assert_eq!(d.tag, 2),
+            other => panic!(
+                "expected Done, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+    }
+
+    #[test]
+    fn bounded_inflight_backpressure_and_blocking_submit() {
+        let cfg = RemoteConfig {
+            max_inflight: 2,
+            ..RemoteConfig::loopback(Arc::new(doubling_registry))
+        };
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        let (t1, w1) = wired(1, 10);
+        let (t2, w2) = wired(2, 20);
+        let (t3, w3) = wired(3, 30);
+        e.submit_wired(0, t1, w1).unwrap();
+        assert!(e.available(0), "one slot of two used");
+        e.submit_wired(0, t2, w2).unwrap();
+        assert!(!e.available(0), "at the in-flight bound");
+        assert_eq!(
+            e.submit_wired(0, t3, w3).unwrap_err(),
+            EngineError::WorkerBusy(0)
+        );
+        // The blocking variant waits for a slot instead of failing.
+        let (t3, w3) = wired(3, 30);
+        e.submit_wired_blocking(0, t3, w3).unwrap();
+        let mut seen = std::collections::HashMap::new();
+        while let Some(c) = e.next() {
+            if let Completion::Done(d) = c {
+                seen.insert(d.tag, *d.output.downcast::<u64>().unwrap());
+            }
+        }
+        assert_eq!(seen.len(), 3, "all three tasks completed: {seen:?}");
+        assert_eq!((seen[&1], seen[&2], seen[&3]), (20, 40, 60));
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn killing_a_worker_loses_every_queued_inflight_task() {
+        let cfg = RemoteConfig {
+            max_inflight: 3,
+            ..RemoteConfig::loopback(Arc::new(|| {
+                let mut reg = RoutineRegistry::new();
+                reg.register(9, |_ctx, req| {
+                    std::thread::sleep(Duration::from_millis(100));
+                    Ok(req.to_vec())
+                });
+                reg
+            }))
+        };
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        for tag in [11, 12, 13] {
+            let task = Task {
+                tag,
+                cost: 0.0,
+                bytes_in: 0,
+                run: Box::new(|_| Box::new(())),
+            };
+            let wire = WireTask {
+                routine: 9,
+                build: Box::new(|_| Vec::new()),
+                decode: Box::new(|_| Ok(Box::new(()) as TaskOutput)),
+            };
+            e.submit_wired(0, task, wire).unwrap();
+        }
+        assert_eq!(e.pending(), 3);
+        e.kill_worker(0);
+        let mut lost = Vec::new();
+        while let Some(c) = e.next() {
+            match c {
+                Completion::Lost { worker: 0, tag } => lost.push(tag),
+                other => panic!("unexpected: {:?}", completion_kind(&other)),
+            }
+        }
+        assert_eq!(lost, vec![11, 12, 13], "FIFO loss order");
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn truncate_fault_tears_the_stream_and_surfaces_lost() {
+        // Worker→driver truncation probability 1: the first completion is
+        // torn mid-frame and the connection shut down; the reader must
+        // surface a lost task, never a mangled Done.
+        let cfg = RemoteConfig {
+            fault: FaultPlan {
+                seed: 7,
+                truncate: 1.0,
+                only: Some(FaultDir::WorkerToDriver),
+                ..FaultPlan::default()
+            },
+            ..RemoteConfig::loopback(Arc::new(doubling_registry))
+        };
+        let mut e = RemoteEngine::new(spec(1), 0.0, cfg).expect("engine starts");
+        let (task, wire) = wired(6, 2);
+        e.submit_wired(0, task, wire).unwrap();
+        match e.next() {
+            Some(Completion::Lost { worker: 0, tag: 6 }) => {}
+            other => panic!(
+                "expected Lost, got {:?}",
+                other.as_ref().map(completion_kind)
+            ),
+        }
+        assert!(!e.alive(0));
+    }
+
+    #[test]
+    fn handshake_timeout_is_configurable_and_fires() {
+        // `sh -c 'sleep 30'` spawns fine but never connects: the
+        // configured (short) handshake deadline must fire, not the old
+        // hardcoded 10 s.
+        let cfg = RemoteConfig {
+            handshake_timeout: Duration::from_millis(80),
+            ..RemoteConfig::process(PathBuf::from("sh"))
+        };
+        let cfg = RemoteConfig {
+            launcher: WorkerLauncher::Process {
+                program: PathBuf::from("sh"),
+                args: vec!["-c".into(), "sleep 30".into(), "sh".into()],
+            },
+            ..cfg
+        };
+        let t0 = Instant::now();
+        match RemoteEngine::new(spec(1), 0.0, cfg).map(|_| ()) {
+            Err(EngineError::Io(io::ErrorKind::TimedOut)) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(75) && waited < Duration::from_secs(5),
+            "handshake timeout honored the configured deadline: {waited:?}"
+        );
+    }
+
+    #[test]
+    fn worker_exiting_before_connecting_is_a_refused_spawn() {
+        let cfg = RemoteConfig {
+            launcher: WorkerLauncher::Process {
+                program: PathBuf::from("sh"),
+                args: vec!["-c".into(), "exit 0".into(), "sh".into()],
+            },
+            ..RemoteConfig::process(PathBuf::from("sh"))
+        };
+        match RemoteEngine::new(spec(1), 0.0, cfg).map(|_| ()) {
+            Err(EngineError::Io(io::ErrorKind::ConnectionRefused)) => {}
+            other => panic!("expected ConnectionRefused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_handshake_disconnects_are_dropped_not_fatal() {
+        // A rogue peer hammers the driver's port while the cluster forms:
+        // it connects, writes a torn frame (or a stale greeting), and
+        // disconnects. The handshake loop must discard every such
+        // connection and still complete the real workers' handshakes.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let stop = Arc::new(AtomicBool::new(false));
+        let rogue = {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    if let Ok(mut s) = TcpStream::connect(&addr) {
+                        if i.is_multiple_of(2) {
+                            // A torn frame: length prefix promising 3 bytes,
+                            // then EOF.
+                            let _ = s.write_all(&[3, 0, 0, 0]);
+                        } else {
+                            // A stale greeting from a foreign incarnation.
+                            let _ = write_frame(
+                                &mut s,
+                                &Msg::WorkerUp {
+                                    worker: 99,
+                                    epoch: 77,
+                                },
+                            );
+                        }
+                        drop(s);
+                    }
+                    i += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let cfg = RemoteConfig {
+            addr: addr.clone(),
+            ..RemoteConfig::loopback(Arc::new(doubling_registry))
+        };
+        let mut e = RemoteEngine::new(spec(2), 0.0, cfg).expect("cluster forms despite rogues");
+        for w in 0..2 {
+            let (task, wire) = wired(w as u64, 50 + w as u64);
+            e.submit_wired(w, task, wire).unwrap();
+        }
+        let mut done = 0;
+        while let Some(c) = e.next() {
+            if matches!(c, Completion::Done(_)) {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 2);
+        stop.store(true, Ordering::SeqCst);
+        rogue.join().unwrap();
+    }
+
+    #[test]
+    fn next_event_at_reports_the_chaos_horizon() {
+        let mut e = loopback_engine(1);
+        assert_eq!(e.next_event_at(), None);
+        e.schedule_revival(0, VTime::from_micros(50_000));
+        e.schedule_failure(0, VTime::from_micros(10_000));
+        assert_eq!(e.next_event_at(), Some(VTime::from_micros(10_000)));
     }
 }

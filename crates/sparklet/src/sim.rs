@@ -250,6 +250,13 @@ impl Engine for SimEngine {
         let w = self.grow_one_dead();
         self.queue.push(at, SimEvent::Up { worker: w });
     }
+
+    fn next_event_at(&self) -> Option<VTime> {
+        // The simulator's queue holds completions *and* membership events;
+        // either way this is the instant `next()` would advance to, which
+        // is what recovery-aware callers want to know.
+        self.queue.peek_time()
+    }
 }
 
 impl SimEngine {

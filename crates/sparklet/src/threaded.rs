@@ -424,6 +424,10 @@ impl Engine for ThreadedEngine {
     fn schedule_join(&mut self, at: VTime) {
         self.push_chaos(at, PendingChaos::Join);
     }
+
+    fn next_event_at(&self) -> Option<VTime> {
+        self.chaos.front().map(|&(at, _)| at)
+    }
 }
 
 impl Drop for ThreadedEngine {
