@@ -1,0 +1,36 @@
+//! Records the durable-recovery datapoint: one ASGD lineage crashed at a
+//! cadence boundary and auto-resumed from the crash-consistent checkpoint
+//! store — once cleanly, once through torn-write and bit-rot disk havoc —
+//! gated on finishing bit-identically to the uninterrupted reference.
+//!
+//! Usage: `cargo run --release -p async-bench --bin bench_durable_recovery
+//! [output.json]` (default `BENCH_durable_recovery.json` in the current
+//! directory). Keys prefixed `wc_` time cold recovery on this host and
+//! vary run to run; everything else is deterministic for the default
+//! configuration — CI gates the file with `grep -v '"wc_'` on both sides
+//! of the diff.
+
+use async_bench::durable_recovery::{run_durable_recovery, DurableRecoveryCfg};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_durable_recovery.json".to_string());
+    let b = run_durable_recovery(DurableRecoveryCfg::default());
+    let json = b.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    let [resumed, faulted] = &b.arms[..] else {
+        panic!("two recovery arms");
+    };
+    eprintln!(
+        "durable_recovery: resumed gen {} bit_identical {}, faulted gen {} \
+         bit_identical {}, {:.2}x write amplification, {:.1} MB/s cold recovery -> {}",
+        resumed.resumed_from,
+        resumed.bit_identical,
+        faulted.resumed_from,
+        faulted.bit_identical,
+        resumed.write_amplification,
+        b.wc_recovery.mb_per_sec,
+        out,
+    );
+}

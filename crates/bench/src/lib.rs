@@ -18,6 +18,7 @@ use async_linalg::ParallelismCfg;
 use async_optim::{Asgd, AsyncSolver, Objective, RunReport, SolverCfg};
 
 pub mod comm_compress;
+pub mod durable_recovery;
 pub mod elastic_chaos;
 pub mod fault_recovery;
 pub mod hotpath;

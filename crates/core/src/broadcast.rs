@@ -99,6 +99,11 @@ struct VersionTable<T> {
     /// Sample universe size: once every index has an explicit entry, the
     /// base version can no longer be implicitly referenced.
     n_indices: u64,
+    /// Version number of `versions[0]`. Zero for a fresh broadcast; a
+    /// resumed run re-seats the table at the checkpoint's model version
+    /// ([`AsyncBcast::new_at`]) so version IDs keep counting from where
+    /// the crashed run left off instead of restarting at zero.
+    base: u64,
     min_live: u64,
     live_count: u64,
     live_bytes: u64,
@@ -117,8 +122,14 @@ struct VersionTable<T> {
 }
 
 impl<T> VersionTable<T> {
+    /// Slot index of version `v` (versions are stored offset by `base`).
+    fn idx(&self, v: u64) -> usize {
+        debug_assert!(v >= self.base, "version {v} precedes table base");
+        (v - self.base) as usize
+    }
+
     fn latest(&self) -> u64 {
-        (self.versions.len() - 1) as u64
+        self.base + (self.versions.len() - 1) as u64
     }
 
     fn base_pinned(&self) -> bool {
@@ -129,10 +140,10 @@ impl<T> VersionTable<T> {
         if v == self.latest() {
             return false;
         }
-        if v == 0 && self.base_pinned() {
+        if v == self.base && self.base_pinned() {
             return false;
         }
-        match &self.versions[v as usize] {
+        match &self.versions[self.idx(v)] {
             Some(e) => e.rc == 0 && e.pins == 0,
             None => false,
         }
@@ -140,7 +151,8 @@ impl<T> VersionTable<T> {
 
     fn try_prune(&mut self, v: u64) {
         if self.prunable(v) {
-            if let Some(e) = self.versions[v as usize].take() {
+            let i = self.idx(v);
+            if let Some(e) = self.versions[i].take() {
                 self.live_count -= 1;
                 self.live_bytes -= e.bytes;
                 // Reclaim the snapshot buffer for a later `push_snapshot`
@@ -153,8 +165,8 @@ impl<T> VersionTable<T> {
             }
         }
         // Advance the live watermark past pruned slots.
-        while (self.min_live as usize) < self.versions.len()
-            && self.versions[self.min_live as usize].is_none()
+        while ((self.min_live - self.base) as usize) < self.versions.len()
+            && self.versions[(self.min_live - self.base) as usize].is_none()
         {
             self.min_live += 1;
         }
@@ -261,6 +273,16 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// is the sample universe size (`n` in SAGA): it controls when version
     /// 0 stops being implicitly referenced by never-sampled rows.
     pub fn new(id: u64, initial: T, n_indices: u64) -> Self {
+        Self::new_at(id, initial, n_indices, 0)
+    }
+
+    /// Creates the broadcast with its base value seated at version `base`
+    /// instead of 0 — the resume path: a solver restoring a checkpoint
+    /// taken at model version `v` re-seats its broadcast at `base = v`, so
+    /// pushed versions continue the crashed run's numbering and samples
+    /// whose history was never recorded implicitly reference the restored
+    /// model. With `base = 0` this is exactly [`AsyncBcast::new`].
+    pub fn new_at(id: u64, initial: T, n_indices: u64, base: u64) -> Self {
         let bytes = initial.encoded_len();
         let table = VersionTable {
             versions: vec![Some(Entry {
@@ -271,7 +293,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
             })],
             index_version: HashMap::new(),
             n_indices,
-            min_live: 0,
+            base,
+            min_live: base,
             live_count: 1,
             live_bytes: bytes,
             ring: VecDeque::new(),
@@ -354,16 +377,12 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
         self.table.read().latest()
     }
 
-    /// The version sample `idx` last saw (version 0 if never recorded) —
-    /// the paper's "ID of the previously broadcast variable for the
-    /// specified index".
+    /// The version sample `idx` last saw (the table's base version — 0 for
+    /// a fresh run — if never recorded) — the paper's "ID of the
+    /// previously broadcast variable for the specified index".
     pub fn version_for_index(&self, idx: u64) -> u64 {
-        self.table
-            .read()
-            .index_version
-            .get(&idx)
-            .copied()
-            .unwrap_or(0)
+        let t = self.table.read();
+        t.index_version.get(&idx).copied().unwrap_or(t.base)
     }
 
     /// Records that samples `indices` have now been processed at `version`
@@ -372,27 +391,31 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     pub fn record_use(&self, indices: &[u64], version: u64) {
         let mut t = self.table.write();
         debug_assert!(
-            (version as usize) < t.versions.len(),
+            version >= t.base && t.idx(version) < t.versions.len(),
             "recording unknown version"
         );
         for &idx in indices {
             debug_assert!(idx < t.n_indices, "index {idx} out of declared universe");
             let old = t.index_version.insert(idx, version);
-            if let Some(e) = t.versions[version as usize].as_mut() {
+            let i = t.idx(version);
+            if let Some(e) = t.versions[i].as_mut() {
                 e.rc += 1;
             }
             match old {
                 Some(o) => {
-                    if let Some(e) = t.versions[o as usize].as_mut() {
+                    let oi = t.idx(o);
+                    if let Some(e) = t.versions[oi].as_mut() {
                         e.rc -= 1;
                     }
                     t.try_prune(o);
                 }
                 None => {
-                    // The index previously referenced version 0 implicitly;
-                    // once the whole universe is explicit, v0 may go.
+                    // The index previously referenced the base version
+                    // implicitly; once the whole universe is explicit,
+                    // the base may go.
                     if !t.base_pinned() {
-                        t.try_prune(0);
+                        let b = t.base;
+                        t.try_prune(b);
                     }
                 }
             }
@@ -407,7 +430,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// Panics if `version` is unknown or already pruned.
     pub fn pin(&self, version: u64) {
         let mut t = self.table.write();
-        t.versions[version as usize]
+        let i = t.idx(version);
+        t.versions[i]
             .as_mut()
             .unwrap_or_else(|| panic!("pin: history version {version} already pruned"))
             .pins += 1;
@@ -417,7 +441,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// any more.
     pub fn unpin(&self, version: u64) {
         let mut t = self.table.write();
-        if let Some(e) = t.versions[version as usize].as_mut() {
+        let i = t.idx(version);
+        if let Some(e) = t.versions[i].as_mut() {
             debug_assert!(
                 e.pins > 0,
                 "unpin without matching pin on version {version}"
@@ -460,7 +485,8 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     pub fn pin_read(&self) -> ReadPin<T> {
         let mut t = self.table.write();
         let version = t.latest();
-        let e = t.versions[version as usize]
+        let i = t.idx(version);
+        let e = t.versions[i]
             .as_mut()
             .expect("latest version is always live");
         e.pins += 1;
@@ -478,10 +504,11 @@ impl<T: Payload + Send + Sync + 'static> AsyncBcast<T> {
     /// the pruner.
     pub fn try_pin_read_at(&self, version: u64) -> Option<ReadPin<T>> {
         let mut t = self.table.write();
-        if version as usize >= t.versions.len() {
+        if version < t.base || (version - t.base) as usize >= t.versions.len() {
             return None;
         }
-        let e = t.versions[version as usize].as_mut()?;
+        let i = t.idx(version);
+        let e = t.versions[i].as_mut()?;
         e.pins += 1;
         let value = Some(Arc::clone(&e.value));
         Some(ReadPin {
@@ -566,7 +593,8 @@ impl<T: Payload + Send + Sync + 'static> Drop for ReadPin<T> {
         // free pool instead of merely freeing it.
         drop(self.value.take());
         let mut t = self.table.write();
-        if let Some(e) = t.versions[self.version as usize].as_mut() {
+        let i = t.idx(self.version);
+        if let Some(e) = t.versions[i].as_mut() {
             debug_assert!(e.pins > 0, "ReadPin drop without matching pin");
             e.pins = e.pins.saturating_sub(1);
         }
@@ -779,7 +807,7 @@ impl<T: Payload + Send + Sync + 'static> HistoryHandle<T> {
         }
         let (value, bytes) = {
             let t = self.table.read();
-            let entry = t.versions[version as usize]
+            let entry = t.versions[t.idx(version)]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
             (Arc::clone(&entry.value), entry.bytes)
@@ -886,7 +914,7 @@ impl HistoryHandle<Vec<f64>> {
                     std::mem::swap(union, tmp);
                 }
             }
-            let entry = t.versions[version as usize]
+            let entry = t.versions[t.idx(version)]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
             let bytes = qpatch_wire_bytes(t.patch_quant, union.len());
@@ -1012,7 +1040,7 @@ impl HistoryHandle<Vec<f64>> {
                     std::mem::swap(union, tmp);
                 }
             }
-            let entry = t.versions[version as usize]
+            let entry = t.versions[t.idx(version)]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
             let bytes = qpatch_wire_bytes(t.patch_quant, union.len());
@@ -1136,7 +1164,7 @@ impl HistoryHandle<Vec<f64>> {
         }
         let (value, bytes) = {
             let t = self.table.read();
-            let entry = t.versions[version as usize]
+            let entry = t.versions[t.idx(version)]
                 .as_ref()
                 .unwrap_or_else(|| panic!("history version {version} was pruned while in use"));
             (Arc::clone(&entry.value), entry.bytes)
@@ -1989,6 +2017,64 @@ mod tests {
         assert!(matches!(plan, WirePlan::Cached { version: 1, .. }));
         assert_eq!(plan.apply(&mut remote, h.id())[0], 1.0);
         assert_eq!(b.stats().fetches, 1);
+    }
+
+    #[test]
+    fn reseated_table_continues_version_numbering() {
+        // The resume path: a broadcast seated at base 100 numbers its
+        // versions from there, treats never-recorded samples as implicit
+        // references to the base, and rejects reads below the base.
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new_at(0, vec![5.0; 4], 3, 100);
+        assert_eq!(b.latest_version(), 100);
+        assert_eq!(
+            b.version_for_index(2),
+            100,
+            "implicit reference is the base"
+        );
+        let v = b.push(vec![6.0; 4]);
+        assert_eq!(v, 101);
+        b.record_use(&[0, 1], v);
+        // Index 2 still implicitly references the base: it must stay live.
+        assert_eq!(b.stats().versions_live, 2);
+        let h = b.handle();
+        let mut ctx = WorkerCtx::new(0);
+        assert_eq!(h.value_at(&mut ctx, b.version_for_index(2))[0], 5.0);
+        assert!(b.try_pin_read_at(99).is_none(), "below the base");
+        let pin = b.pin_read();
+        assert_eq!(pin.version(), 101);
+        drop(pin);
+        // Once the whole universe is explicit the base is reclaimed.
+        b.record_use(&[2], v);
+        assert_eq!(b.stats().versions_live, 1);
+    }
+
+    #[test]
+    fn reseated_table_prunes_and_recycles_like_a_fresh_one() {
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new_at(0, vec![0.0; 32], 0, 40);
+        for k in 0..6 {
+            assert_eq!(b.push_snapshot(&vec![k as f64; 32]), 41 + k);
+        }
+        let s = b.stats();
+        assert_eq!(s.versions_live, 1);
+        assert!(s.recycled_buffers >= 4, "recycling survives the re-seat");
+    }
+
+    #[test]
+    fn reseated_incremental_patches_reconstruct_exactly() {
+        let dim = 100;
+        let b: AsyncBcast<Vec<f64>> = AsyncBcast::new_at(7, vec![1.0; dim], 0, 64);
+        b.enable_incremental(8);
+        let mut ctx = WorkerCtx::new(0);
+        b.handle().value_incremental(&mut ctx); // cold fetch of the base
+        let mut w = vec![1.0; dim];
+        for k in 0..3u32 {
+            let u = sparse_delta(&[(3 + k, 0.5)], dim);
+            u.axpy_into(1.0, &mut w);
+            b.push_snapshot_diff(&w, &u);
+        }
+        let got = b.handle().value_incremental(&mut ctx);
+        assert_eq!(got.as_slice(), w.as_slice(), "bit-exact across the base");
+        assert_eq!(b.stats().incremental_fetches, 1);
     }
 
     #[test]

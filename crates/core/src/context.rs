@@ -261,6 +261,24 @@ impl AsyncContext {
         self.version
     }
 
+    /// Re-seats the model version counter at `version` — the durable-resume
+    /// path: a solver restoring a checkpoint taken at model version `v`
+    /// continues numbering (and seeding per-task RNG streams) from `v`
+    /// instead of restarting at 0. Only legal while nothing is in flight;
+    /// in-flight tasks carry their issued version, so re-seating under them
+    /// would corrupt staleness accounting.
+    ///
+    /// # Panics
+    /// Panics if any task is in flight.
+    pub fn reseat_version(&mut self, version: u64) {
+        assert_eq!(
+            self.pending(),
+            0,
+            "reseat_version: context has in-flight tasks"
+        );
+        self.version = version;
+    }
+
     /// Installs the [`DegradePolicy`] consulted by
     /// [`AsyncContext::degrade_directive`]. The default
     /// ([`DegradePolicy::BestEffort`]) reproduces the pre-supervision
@@ -484,9 +502,23 @@ impl AsyncContext {
         initial: T,
         n_indices: u64,
     ) -> AsyncBcast<T> {
+        self.async_broadcast_at(initial, n_indices, 0)
+    }
+
+    /// Like [`AsyncContext::async_broadcast`], but seats the history's
+    /// initial value at version `base` instead of 0 (see
+    /// [`AsyncBcast::new_at`]) — used together with
+    /// [`AsyncContext::reseat_version`] when resuming a checkpointed run,
+    /// so broadcast version IDs continue the crashed run's numbering.
+    pub fn async_broadcast_at<T: Payload + Send + Sync + 'static>(
+        &mut self,
+        initial: T,
+        n_indices: u64,
+        base: u64,
+    ) -> AsyncBcast<T> {
         let id = self.next_bcast_id;
         self.next_bcast_id += 1;
-        AsyncBcast::new(id, initial, n_indices)
+        AsyncBcast::new_at(id, initial, n_indices, base)
     }
 
     /// Creates a classic Spark-style broadcast on the driver registry.

@@ -36,6 +36,7 @@ use sparklet::{Payload, Rdd, WorkerCtx};
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::{CompressCfg, CompressorBank};
+use crate::durable::{DurableSession, DurableStats};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
@@ -234,12 +235,23 @@ impl AsyncSolver for Asaga {
         let mean_rows = n / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
+        // Durability: open the store when configured; an explicit
+        // `resume_from` takes precedence over the store's newest valid
+        // generation, and a durable auto-resume completes the crashed
+        // run's lineage budget instead of adding a fresh one.
+        let mut durable = cfg.durable_dir.as_deref().map(|dir| {
+            DurableSession::open(dir).expect("asaga: cannot open durable checkpoint store")
+        });
+        let explicit = self.resume.take();
+        let from_store = explicit.is_none();
+        let resume = explicit.or_else(|| durable.as_mut().and_then(DurableSession::take_resume));
+
         // Resume from a checkpoint when one is installed: the model
         // restores bit-identically and the SAGA table re-bases at it —
-        // the fresh broadcast below starts at version 0 = restored w, so
+        // the broadcast below seats the restored w as its base version, so
         // every sample's implicit φⱼ is the restored model, and the
         // full-gradient seeding of ᾱ right after is exactly consistent.
-        let (mut w, base_updates) = match self.resume.take() {
+        let (mut w, base_updates, resumed) = match resume {
             Some(ckpt) => {
                 ckpt.validate_for("asaga", dcols)
                     .expect("asaga: incompatible resume checkpoint");
@@ -247,15 +259,36 @@ impl AsyncSolver for Asaga {
                     matches!(ckpt.history, SolverHistory::Saga { .. }),
                     "asaga: checkpoint lacks a SAGA history"
                 );
-                (ckpt.w, ckpt.updates)
+                for warning in cfg.lint_resume(&ckpt) {
+                    eprintln!("asaga resume: {warning}");
+                }
+                // Re-seat the version counter so task RNG streams (keyed
+                // on seed, version, part) continue the crashed run's
+                // numbering.
+                ctx.reseat_version(ckpt.version);
+                (ckpt.w, ckpt.updates, Some((ckpt.version, ckpt.residuals)))
             }
-            None => (vec![0.0; dcols], 0),
+            None => (vec![0.0; dcols], 0, None),
         };
-        // Every row's implicit initial version is 0 = w₀.
-        let bcast = ctx.async_broadcast(w.clone(), n as u64);
+        let budget = if from_store && resumed.is_some() {
+            cfg.max_updates.saturating_sub(base_updates)
+        } else {
+            cfg.max_updates
+        };
+        // Every row's implicit initial version is the broadcast base: w₀
+        // on a cold start, the re-based restored model on resume.
+        let bcast = match &resumed {
+            Some((version, _)) => ctx.async_broadcast_at(w.clone(), n as u64, *version),
+            None => ctx.async_broadcast(w.clone(), n as u64),
+        };
         // Steady-state buffer recycling for the delta/ids result cycle.
         let pool = ScratchPool::new();
         let bank = self.bank.take().unwrap_or_default();
+        // A resumed run reloads the crashed run's error-feedback residuals
+        // so compression continues instead of restarting cold.
+        if let Some((_, Some(residuals))) = &resumed {
+            bank.restore_residuals(residuals);
+        }
         // A bank reused across runs keeps only this run's partitions.
         bank.retain_parts_below(blocks.len().max(1));
         if let Some(feed) = cfg.serve_feed.as_ref() {
@@ -304,12 +337,12 @@ impl AsyncSolver for Asaga {
         let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
-        while updates < cfg.max_updates {
+        while updates < budget {
             // Degrade-policy gate: see `SolverCfg::degrade`.
             if !wave_admitted(ctx) {
                 break;
             }
-            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            let want = absorb_batch.min((budget - updates) as usize);
             crate::solver::collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
@@ -393,14 +426,36 @@ impl AsyncSolver for Asaga {
             if cfg.checkpoint_every > 0
                 && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
             {
+                let lineage = base_updates + updates;
+                let version = ctx.version();
                 checkpoints.push(Checkpoint {
                     solver: "asaga".to_string(),
-                    updates: base_updates + updates,
+                    updates: lineage,
+                    version,
                     w: w.clone(),
                     history: SolverHistory::Saga {
                         alpha_bar: alpha_bar.clone(),
                     },
+                    residuals: Some(bank.export_residuals()),
                 });
+                if let Some(session) = durable.as_mut() {
+                    // The just-pushed snapshot rides to the background
+                    // writer as a read pin; ᾱ clones like the in-memory
+                    // checkpoint already does.
+                    if let Some(pin) = bcast.try_pin_read_at(version) {
+                        session.submit(
+                            lineage,
+                            "asaga",
+                            lineage,
+                            version,
+                            pin,
+                            SolverHistory::Saga {
+                                alpha_bar: alpha_bar.clone(),
+                            },
+                            bank.export_residuals(),
+                        );
+                    }
+                }
             }
             let v = ctx.version();
             let ws = self.submit_wave(ctx, &rdd, &bcast, cfg, minibatch_hint, &pool, &bank);
@@ -409,6 +464,29 @@ impl AsyncSolver for Asaga {
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(wall_clock, final_objective - cfg.baseline);
+
+        // Final durable save (deduplicated when the run ended exactly on a
+        // cadence boundary), then drain the writer before reporting.
+        let durable_stats = match durable {
+            Some(mut session) => {
+                let lineage = base_updates + updates;
+                if let Some(pin) = bcast.try_pin_read_at(ctx.version()) {
+                    session.submit(
+                        lineage,
+                        "asaga",
+                        lineage,
+                        ctx.version(),
+                        pin,
+                        SolverHistory::Saga {
+                            alpha_bar: alpha_bar.clone(),
+                        },
+                        bank.export_residuals(),
+                    );
+                }
+                session.finish()
+            }
+            None => DurableStats::default(),
+        };
 
         // Drain in-flight tasks, releasing their pins without applying.
         while let Some(t) = ctx.collect::<DeltaMsg>() {
@@ -446,6 +524,7 @@ impl AsyncSolver for Asaga {
             serve,
             lost_tasks: ctx.lost_tasks() - lost0,
             retried_tasks: ctx.retried_tasks() - retried0,
+            durable: durable_stats,
         }
     }
 }

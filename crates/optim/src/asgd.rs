@@ -22,6 +22,7 @@ use async_linalg::GradDelta;
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::{CompressCfg, CompressorBank};
+use crate::durable::{DurableSession, DurableStats};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
@@ -84,9 +85,20 @@ impl AsyncSolver for Asgd {
         let mean_rows = dataset.rows() / blocks.len().max(1);
         let minibatch_hint = ((mean_rows as f64 * cfg.batch_fraction).ceil() as u64).max(1);
 
+        // Durability: open the store (and its background writer) when
+        // configured. An explicit `resume_from` takes precedence over the
+        // store's newest valid generation; a durable auto-resume completes
+        // the crashed run's lineage budget instead of adding a fresh one.
+        let mut durable = cfg.durable_dir.as_deref().map(|dir| {
+            DurableSession::open(dir).expect("asgd: cannot open durable checkpoint store")
+        });
+        let explicit = self.resume.take();
+        let from_store = explicit.is_none();
+        let resume = explicit.or_else(|| durable.as_mut().and_then(DurableSession::take_resume));
+
         // Resume from a checkpoint when one is installed: the server model
         // restores bit-identically; plain ASGD has no auxiliary history.
-        let (mut w, base_updates) = match self.resume.take() {
+        let (mut w, base_updates, resumed) = match resume {
             Some(ckpt) => {
                 ckpt.validate_for("asgd", dcols)
                     .expect("asgd: incompatible resume checkpoint");
@@ -94,14 +106,31 @@ impl AsyncSolver for Asgd {
                     matches!(ckpt.history, SolverHistory::None),
                     "asgd: checkpoint carries foreign solver history"
                 );
-                (ckpt.w, ckpt.updates)
+                for warning in cfg.lint_resume(&ckpt) {
+                    eprintln!("asgd resume: {warning}");
+                }
+                // Continue the crashed run's version numbering: per-task
+                // RNG streams key on (seed, version, part), so re-seating
+                // is what makes the resumed trajectory line up with the
+                // uninterrupted one.
+                ctx.reseat_version(ckpt.version);
+                (ckpt.w, ckpt.updates, Some((ckpt.version, ckpt.residuals)))
             }
-            None => (vec![0.0; dcols], 0),
+            None => (vec![0.0; dcols], 0, None),
+        };
+        let budget = if from_store && resumed.is_some() {
+            cfg.max_updates.saturating_sub(base_updates)
+        } else {
+            cfg.max_updates
         };
         // No per-sample history in plain ASGD: the sample universe is
         // empty, so superseded model versions prune as soon as no task
-        // needs them.
-        let bcast = ctx.async_broadcast(w.clone(), 0);
+        // needs them. A resumed run seats the ring at the checkpoint's
+        // version so broadcast IDs keep the crashed run's numbering.
+        let bcast = match &resumed {
+            Some((version, _)) => ctx.async_broadcast_at(w.clone(), 0, *version),
+            None => ctx.async_broadcast(w.clone(), 0),
+        };
         if cfg.bcast_ring > 0 {
             bcast.enable_incremental(cfg.bcast_ring);
             // With compression on, the same wire format also applies to
@@ -115,6 +144,12 @@ impl AsyncSolver for Asgd {
         // the result deltas all cycle through the pool.
         let pool = ScratchPool::new();
         let bank = self.bank.take().unwrap_or_default();
+        // A resumed run reloads the crashed run's error-feedback residuals
+        // so compression continues bit-identically instead of restarting
+        // cold (see `SolverCfg::lint_resume` for the legacy case).
+        if let Some((_, Some(residuals))) = &resumed {
+            bank.restore_residuals(residuals);
+        }
         // A bank reused across runs (or re-keyed after churn) keeps only
         // this run's partition universe — stale entries cannot accrete.
         bank.retain_parts_below(blocks.len().max(1));
@@ -163,14 +198,14 @@ impl AsyncSolver for Asgd {
         let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
-        while updates < cfg.max_updates {
+        while updates < budget {
             // The degrade-policy gate: FailFast halts on any observed
             // death, Quorum/BestEffort wait toward scheduled recoveries
             // when the alive set is too thin to proceed.
             if !wave_admitted(ctx) {
                 break;
             }
-            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            let want = absorb_batch.min((budget - updates) as usize);
             collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall: every in-flight task was lost to failures.
@@ -254,12 +289,31 @@ impl AsyncSolver for Asgd {
             if cfg.checkpoint_every > 0
                 && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
             {
+                let lineage = base_updates + updates;
+                let version = ctx.version();
                 checkpoints.push(Checkpoint {
                     solver: "asgd".to_string(),
-                    updates: base_updates + updates,
+                    updates: lineage,
+                    version,
                     w: w.clone(),
                     history: SolverHistory::None,
+                    residuals: Some(bank.export_residuals()),
                 });
+                if let Some(session) = durable.as_mut() {
+                    // The just-pushed snapshot rides to the background
+                    // writer as a read pin — no hot-path model clone.
+                    if let Some(pin) = bcast.try_pin_read_at(version) {
+                        session.submit(
+                            lineage,
+                            "asgd",
+                            lineage,
+                            version,
+                            pin,
+                            SolverHistory::None,
+                            bank.export_residuals(),
+                        );
+                    }
+                }
             }
             let v = ctx.version();
             let ws = submit_grad_wave(
@@ -277,6 +331,27 @@ impl AsyncSolver for Asgd {
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(wall_clock, final_objective - cfg.baseline);
+
+        // Final durable save (deduplicated when the run ended exactly on a
+        // cadence boundary), then drain the writer before reporting.
+        let durable_stats = match durable {
+            Some(mut session) => {
+                let lineage = base_updates + updates;
+                if let Some(pin) = bcast.try_pin_read_at(ctx.version()) {
+                    session.submit(
+                        lineage,
+                        "asgd",
+                        lineage,
+                        ctx.version(),
+                        pin,
+                        SolverHistory::None,
+                        bank.export_residuals(),
+                    );
+                }
+                session.finish()
+            }
+            None => DurableStats::default(),
+        };
 
         drain_grad_tasks(ctx, &bcast, pinned);
 
@@ -305,6 +380,7 @@ impl AsyncSolver for Asgd {
             serve,
             lost_tasks: ctx.lost_tasks() - lost0,
             retried_tasks: ctx.retried_tasks() - retried0,
+            durable: durable_stats,
         }
     }
 }

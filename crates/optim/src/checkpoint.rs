@@ -30,8 +30,10 @@
 
 /// Magic prefix of the checkpoint wire format.
 const MAGIC: &[u8; 8] = b"ASYNCKPT";
-/// Format version.
-const FORMAT: u32 = 1;
+/// Format version written by [`Checkpoint::to_bytes`]. Format 1 (no model
+/// version, no compressor residuals) is still parsed: see
+/// [`Checkpoint::from_bytes`].
+const FORMAT: u32 = 2;
 
 /// Solver-specific auxiliary state captured alongside the model.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,10 +67,20 @@ pub struct Checkpoint {
     /// Total server model updates applied when the checkpoint was taken
     /// (across resumes: a resumed run keeps counting from here).
     pub updates: u64,
+    /// Server model version at capture. Equals `updates` when every wave
+    /// applies one update, but diverges under `absorb_batch > 1` (many
+    /// updates per version); per-task RNG streams key on the version, so
+    /// a resumed run re-seats its counter here, not at `updates`.
+    pub version: u64,
     /// The server model.
     pub w: Vec<f64>,
     /// Solver-specific history.
     pub history: SolverHistory,
+    /// Per-partition error-feedback residuals of the run's
+    /// [`crate::CompressorBank`], sorted by partition. `Some(vec![])` for a
+    /// run with compression off; `None` only for checkpoints parsed from
+    /// the residual-less legacy format (see [`Checkpoint::has_residuals`]).
+    pub residuals: Option<Vec<(u64, Vec<f64>)>>,
 }
 
 /// Why a checkpoint failed to parse or apply.
@@ -177,6 +189,7 @@ impl Checkpoint {
         out.extend_from_slice(&(self.solver.len() as u32).to_le_bytes());
         out.extend_from_slice(self.solver.as_bytes());
         out.extend_from_slice(&self.updates.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         put_f64s(&mut out, &self.w);
         out.push(self.history.tag());
         match &self.history {
@@ -184,17 +197,31 @@ impl Checkpoint {
             SolverHistory::Momentum(u) => put_f64s(&mut out, u),
             SolverHistory::Saga { alpha_bar } => put_f64s(&mut out, alpha_bar),
         }
+        match &self.residuals {
+            None => out.push(0),
+            Some(parts) => {
+                out.push(1);
+                out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+                for (part, residual) in parts {
+                    out.extend_from_slice(&part.to_le_bytes());
+                    put_f64s(&mut out, residual);
+                }
+            }
+        }
         out
     }
 
     /// Parses the wire format produced by [`Checkpoint::to_bytes`].
+    /// Accepts the current format and the residual-less legacy format 1,
+    /// for which the model version defaults to the update count and
+    /// `residuals` parses as `None` (see [`Checkpoint::has_residuals`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         if r.take(8)? != MAGIC {
             return Err(CheckpointError::Malformed("bad magic"));
         }
         let format = r.u32()?;
-        if format != FORMAT {
+        if format != 1 && format != FORMAT {
             return Err(CheckpointError::UnsupportedFormat(format));
         }
         let name_len = r.u32()? as usize;
@@ -202,6 +229,7 @@ impl Checkpoint {
             .map_err(|_| CheckpointError::Malformed("solver name not utf-8"))?
             .to_string();
         let updates = r.u64()?;
+        let version = if format >= 2 { r.u64()? } else { updates };
         let w = r.f64s()?;
         let tag = r.take(1)?[0];
         let history = match tag {
@@ -212,15 +240,61 @@ impl Checkpoint {
             },
             _ => return Err(CheckpointError::Malformed("unknown history tag")),
         };
+        let residuals = if format >= 2 {
+            match r.take(1)?[0] {
+                0 => None,
+                1 => {
+                    let count = r.u64()? as usize;
+                    // Each entry is at least 16 bytes (part id + length);
+                    // bound the count before allocating.
+                    match count.checked_mul(16).and_then(|b| b.checked_add(r.pos)) {
+                        Some(needed) if needed <= bytes.len() => {}
+                        _ => {
+                            return Err(CheckpointError::Malformed(
+                                "residual count overruns buffer",
+                            ))
+                        }
+                    }
+                    let mut parts = Vec::with_capacity(count);
+                    let mut prev: Option<u64> = None;
+                    for _ in 0..count {
+                        let part = r.u64()?;
+                        if prev.is_some_and(|p| p >= part) {
+                            return Err(CheckpointError::Malformed(
+                                "residual partitions not strictly increasing",
+                            ));
+                        }
+                        prev = Some(part);
+                        parts.push((part, r.f64s()?));
+                    }
+                    Some(parts)
+                }
+                _ => return Err(CheckpointError::Malformed("unknown residual flag")),
+            }
+        } else {
+            None
+        };
         if r.pos != bytes.len() {
             return Err(CheckpointError::Malformed("trailing bytes"));
         }
         Ok(Self {
             solver,
             updates,
+            version,
             w,
             history,
+            residuals,
         })
+    }
+
+    /// Whether the error-feedback residual section was recorded at all —
+    /// `false` only for checkpoints parsed from the legacy format, which
+    /// predates residual capture. [`crate::SolverCfg::lint`] warns when a
+    /// compressed run resumes from such a checkpoint: the restored bank
+    /// starts with zero residuals, silently dropping the accumulated error
+    /// feedback.
+    pub fn has_residuals(&self) -> bool {
+        self.residuals.is_some()
     }
 
     /// Validates that this checkpoint can seed `expected` over a dataset of
@@ -250,9 +324,11 @@ mod tests {
         Checkpoint {
             solver: "async-msgd".to_string(),
             updates: 123,
+            version: 123,
             // Awkward values: negative zero, subnormal, extremes.
             w: vec![-0.0, f64::MIN_POSITIVE / 2.0, 1.0e300, -3.5],
             history: SolverHistory::Momentum(vec![0.25, -1.75, 0.0, 9.0]),
+            residuals: Some(vec![]),
         }
     }
 
@@ -263,16 +339,24 @@ mod tests {
             Checkpoint {
                 solver: "asgd".into(),
                 updates: 0,
+                version: 0,
                 w: vec![],
                 history: SolverHistory::None,
+                residuals: None,
             },
             Checkpoint {
                 solver: "asaga".into(),
                 updates: u64::MAX,
+                version: u64::MAX / 2,
                 w: vec![1.0; 7],
                 history: SolverHistory::Saga {
                     alpha_bar: vec![-2.0; 7],
                 },
+                residuals: Some(vec![
+                    (0, vec![-0.0, 1.5e-308, 4.0]),
+                    (3, vec![]),
+                    (9, vec![7.25]),
+                ]),
             },
         ] {
             let bytes = ckpt.to_bytes();
@@ -310,6 +394,72 @@ mod tests {
         assert_eq!(
             Checkpoint::from_bytes(&future),
             Err(CheckpointError::UnsupportedFormat(99))
+        );
+    }
+
+    /// Hand-built legacy (format 1) bytes: no version field, no residual
+    /// section — exactly what a pre-durability build serialized.
+    fn legacy_bytes() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"asgd");
+        bytes.extend_from_slice(&55u64.to_le_bytes()); // updates
+        bytes.extend_from_slice(&2u64.to_le_bytes()); // w length
+        bytes.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&(-2.0f64).to_bits().to_le_bytes());
+        bytes.push(0); // history tag: None
+        bytes
+    }
+
+    #[test]
+    fn legacy_format_parses_without_version_or_residuals() {
+        let ckpt = Checkpoint::from_bytes(&legacy_bytes()).expect("legacy parse");
+        assert_eq!(ckpt.solver, "asgd");
+        assert_eq!(ckpt.updates, 55);
+        assert_eq!(ckpt.version, 55, "legacy version defaults to updates");
+        assert_eq!(ckpt.w, vec![1.5, -2.0]);
+        assert_eq!(ckpt.history, SolverHistory::None);
+        assert!(!ckpt.has_residuals(), "legacy checkpoints lack residuals");
+        // Re-serializing upgrades to the current format and round-trips.
+        let upgraded = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("upgrade");
+        assert_eq!(upgraded, ckpt);
+    }
+
+    #[test]
+    fn hostile_residual_sections_are_rejected() {
+        // `sample()` serializes an empty residual list: flag 1, count 0.
+        // Strip the count and flip the flag to an unknown value.
+        let mut bad_flag = sample().to_bytes();
+        bad_flag.truncate(bad_flag.len() - 8);
+        assert_eq!(bad_flag.pop(), Some(1), "sample records residuals");
+        bad_flag.push(7);
+        // Restore a count so only the flag is wrong.
+        bad_flag.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            Checkpoint::from_bytes(&bad_flag),
+            Err(CheckpointError::Malformed("unknown residual flag"))
+        );
+        // An absurd residual count must be rejected before allocating.
+        let mut huge = sample().to_bytes();
+        huge.truncate(huge.len() - 8);
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Checkpoint::from_bytes(&huge),
+            Err(CheckpointError::Malformed("residual count overruns buffer"))
+        );
+        // Out-of-order partitions are rejected.
+        let mut ordered = sample();
+        ordered.residuals = Some(vec![(2, vec![1.0]), (5, vec![2.0])]);
+        assert!(Checkpoint::from_bytes(&ordered.to_bytes()).is_ok());
+        let mut swapped = sample();
+        swapped.residuals = Some(vec![(5, vec![2.0]), (2, vec![1.0])]);
+        assert_eq!(
+            Checkpoint::from_bytes(&swapped.to_bytes()),
+            Err(CheckpointError::Malformed(
+                "residual partitions not strictly increasing"
+            ))
         );
     }
 

@@ -177,6 +177,34 @@ impl CompressorBank {
             .is_some()
     }
 
+    /// Snapshot of every partition's error-feedback residual, sorted by
+    /// partition — the checkpointable face of the bank
+    /// ([`crate::Checkpoint::residuals`]). Empty for an uncompressed run.
+    pub fn export_residuals(&self) -> Vec<(u64, Vec<f64>)> {
+        let map = self.inner.lock().expect("compressor bank poisoned");
+        let mut out: Vec<(u64, Vec<f64>)> = map
+            .iter()
+            .map(|(&part, ef)| (part as u64, ef.residual().to_vec()))
+            .collect();
+        out.sort_unstable_by_key(|&(part, _)| part);
+        out
+    }
+
+    /// Rebuilds the bank's partition states from checkpointed residuals
+    /// (the inverse of [`CompressorBank::export_residuals`]), discarding
+    /// whatever states existed before. Compression resumed from a restored
+    /// bank is bit-identical to continuing the original one
+    /// ([`EfState::from_residual`]).
+    pub fn restore_residuals(&self, residuals: &[(u64, Vec<f64>)]) {
+        let mut map = self.inner.lock().expect("compressor bank poisoned");
+        map.clear();
+        for (part, residual) in residuals {
+            let s = EfState::from_residual(residual.clone());
+            let s = if self.track { s.with_tracking() } else { s };
+            map.insert(*part as usize, s);
+        }
+    }
+
     /// Keeps only partitions `< nparts`, dropping state for anything
     /// beyond the run's partition universe. Solvers call this at run
     /// start so a bank reused across runs (or a run with fewer
@@ -273,6 +301,43 @@ mod tests {
         assert!(bank
             .with_part(0, |ef| ef.residual().iter().all(|v| v.is_finite()))
             .unwrap());
+    }
+
+    #[test]
+    fn exported_residuals_restore_bit_identically() {
+        // Drive a bank, export, restore into a fresh bank, and continue
+        // both over the same stream: shipped selections and residuals must
+        // stay bitwise equal — the durable-resume contract.
+        let bank = CompressorBank::new();
+        let pool = ScratchPool::new();
+        let stream = |k: u32, part: usize| {
+            GradDelta::Dense(vec![
+                1.5 * f64::from(k),
+                -0.25,
+                f64::from(k * k) * 0.125,
+                -3.0 + f64::from(part as u32),
+            ])
+        };
+        for k in 0..3 {
+            for part in [0usize, 2] {
+                bank.compress(part, stream(k, part), 2, Quant::F16, &pool);
+            }
+        }
+        let exported = bank.export_residuals();
+        assert_eq!(exported.len(), 2);
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        let restored = CompressorBank::new();
+        restored.restore_residuals(&exported);
+        assert_eq!(restored.parts(), vec![0, 2]);
+        for k in 3..6 {
+            for part in [0usize, 2] {
+                let (a, wa) = bank.compress(part, stream(k, part), 2, Quant::F16, &pool);
+                let (b, wb) = restored.compress(part, stream(k, part), 2, Quant::F16, &pool);
+                assert_eq!(a, b, "k={k} part={part}");
+                assert_eq!(wa, wb);
+            }
+        }
+        assert_eq!(bank.export_residuals(), restored.export_residuals());
     }
 
     #[test]

@@ -39,6 +39,17 @@
 //! bit-identical serialize/restore plus per-solver `resume_from` — so a
 //! crashed driver resumes instead of restarting. `tests/chaos_e2e.rs`
 //! and `tests/chaos_proptests.rs` exercise all of it end to end.
+//!
+//! Checkpoints become *durable* through [`durable`]: an atomic on-disk
+//! generation store (temp file + fsync + rename, checksummed manifests),
+//! a background checkpointer that captures snapshots off the hot path via
+//! the read-pin API, and [`SolverCfg::durable_dir`]-driven auto-resume —
+//! a restarted driver picks up the newest valid generation, re-seats the
+//! broadcast ring at the crashed run's model version, and continues
+//! bit-identically. [`durable::DiskFaultPlan`] injects torn writes,
+//! failed fsyncs, bit rot, and dropped manifests to prove the recovery
+//! paths; `tests/durable_e2e.rs` and `tests/durable_proptests.rs` drive
+//! it.
 
 #![deny(missing_docs)]
 
@@ -47,6 +58,7 @@ pub mod asaga;
 pub mod asgd;
 pub mod checkpoint;
 pub mod compression;
+pub mod durable;
 pub mod msgd;
 pub mod objective;
 pub mod remote;
@@ -59,6 +71,9 @@ pub use asaga::Asaga;
 pub use asgd::Asgd;
 pub use checkpoint::{Checkpoint, CheckpointError, SolverHistory};
 pub use compression::{CompressCfg, CompressorBank};
+pub use durable::{
+    CheckpointStore, DiskFault, DiskFaultPlan, DurableSession, DurableStats, StoreCounters,
+};
 pub use msgd::AsyncMsgd;
 pub use objective::Objective;
 pub use remote::{worker_registry, EF_NS, ROUTINE_ASAGA, ROUTINE_GRAD};

@@ -33,6 +33,7 @@ use async_data::Dataset;
 use crate::absorber::ShardedAbsorber;
 use crate::checkpoint::{Checkpoint, SolverHistory};
 use crate::compression::CompressorBank;
+use crate::durable::{DurableSession, DurableStats};
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{PublishedModel, ServeCounters};
@@ -111,25 +112,60 @@ impl AsyncSolver for AsyncMsgd {
         // checked out of the same pool below.
         let pool = ScratchPool::new();
         let bank = self.bank.take().unwrap_or_default();
+        // Durability: open the store when configured; an explicit
+        // `resume_from` takes precedence over the store's newest valid
+        // generation, and a durable auto-resume completes the crashed
+        // run's lineage budget instead of adding a fresh one.
+        let mut durable = cfg.durable_dir.as_deref().map(|dir| {
+            DurableSession::open(dir).expect("async-msgd: cannot open durable checkpoint store")
+        });
+        let explicit = self.resume.take();
+        let from_store = explicit.is_none();
+        let resume = explicit.or_else(|| durable.as_mut().and_then(DurableSession::take_resume));
         // Resume from a checkpoint when one is installed: both the server
         // model and the heavy-ball velocity restore bit-identically.
-        let (mut w, mut u, base_updates) = match self.resume.take() {
+        let (mut w, mut u, base_updates, resumed) = match resume {
             Some(ckpt) => {
                 ckpt.validate_for("async-msgd", dcols)
                     .expect("async-msgd: incompatible resume checkpoint");
+                for warning in cfg.lint_resume(&ckpt) {
+                    eprintln!("async-msgd resume: {warning}");
+                }
+                // Per-task RNG streams key on (seed, version, part) —
+                // re-seating keeps the resumed trajectory on the crashed
+                // run's version numbering.
+                ctx.reseat_version(ckpt.version);
                 match ckpt.history {
                     SolverHistory::Momentum(u) => {
                         assert_eq!(u.len(), dcols, "async-msgd: velocity dimension mismatch");
-                        (ckpt.w, u, ckpt.updates)
+                        (
+                            ckpt.w,
+                            u,
+                            ckpt.updates,
+                            Some((ckpt.version, ckpt.residuals)),
+                        )
                     }
                     _ => panic!("async-msgd: checkpoint lacks a momentum history"),
                 }
             }
             // The heavy-ball velocity; dense by nature (momentum mixes
             // every coordinate), updated in O(dim) per server update.
-            None => (vec![0.0; dcols], pool.checkout_dense(dcols), 0),
+            None => (vec![0.0; dcols], pool.checkout_dense(dcols), 0, None),
         };
-        let bcast = ctx.async_broadcast(w.clone(), 0);
+        let budget = if from_store && resumed.is_some() {
+            cfg.max_updates.saturating_sub(base_updates)
+        } else {
+            cfg.max_updates
+        };
+        let bcast = match &resumed {
+            Some((version, _)) => ctx.async_broadcast_at(w.clone(), 0, *version),
+            None => ctx.async_broadcast(w.clone(), 0),
+        };
+        // A resumed run reloads the crashed run's error-feedback residuals
+        // so compression continues instead of restarting cold.
+        if let Some((_, Some(residuals))) = &resumed {
+            bank.restore_residuals(residuals);
+        }
         // A bank reused across runs keeps only this run's partitions.
         bank.retain_parts_below(blocks.len().max(1));
         if let Some(feed) = cfg.serve_feed.as_ref() {
@@ -176,12 +212,12 @@ impl AsyncSolver for AsyncMsgd {
         let mut result_bytes = 0u64;
         let mut wall_clock = ctx.now();
         let lambda = self.objective.lambda();
-        while updates < cfg.max_updates {
+        while updates < budget {
             // Degrade-policy gate: see `SolverCfg::degrade`.
             if !wave_admitted(ctx) {
                 break;
             }
-            let want = absorb_batch.min((cfg.max_updates - updates) as usize);
+            let want = absorb_batch.min((budget - updates) as usize);
             collect_wave(ctx, want, &mut wave);
             if wave.is_empty() {
                 // Total stall (all in-flight tasks lost): restart with a
@@ -270,12 +306,32 @@ impl AsyncSolver for AsyncMsgd {
             if cfg.checkpoint_every > 0
                 && crossed_multiple(prev_updates, updates, cfg.checkpoint_every)
             {
+                let lineage = base_updates + updates;
+                let version = ctx.version();
                 checkpoints.push(Checkpoint {
                     solver: "async-msgd".to_string(),
-                    updates: base_updates + updates,
+                    updates: lineage,
+                    version,
                     w: w.clone(),
                     history: SolverHistory::Momentum(u.clone()),
+                    residuals: Some(bank.export_residuals()),
                 });
+                if let Some(session) = durable.as_mut() {
+                    // The just-pushed snapshot rides to the background
+                    // writer as a read pin; the velocity clone matches the
+                    // in-memory checkpoint's cost.
+                    if let Some(pin) = bcast.try_pin_read_at(version) {
+                        session.submit(
+                            lineage,
+                            "async-msgd",
+                            lineage,
+                            version,
+                            pin,
+                            SolverHistory::Momentum(u.clone()),
+                            bank.export_residuals(),
+                        );
+                    }
+                }
             }
             let v = ctx.version();
             let ws = submit_grad_wave(
@@ -293,6 +349,27 @@ impl AsyncSolver for AsyncMsgd {
 
         let final_objective = self.objective.full_objective(cfg.eval_threads, dataset, &w);
         trace.push(wall_clock, final_objective - cfg.baseline);
+
+        // Final durable save (deduplicated when the run ended exactly on a
+        // cadence boundary), then drain the writer before reporting.
+        let durable_stats = match durable {
+            Some(mut session) => {
+                let lineage = base_updates + updates;
+                if let Some(pin) = bcast.try_pin_read_at(ctx.version()) {
+                    session.submit(
+                        lineage,
+                        "async-msgd",
+                        lineage,
+                        ctx.version(),
+                        pin,
+                        SolverHistory::Momentum(u.clone()),
+                        bank.export_residuals(),
+                    );
+                }
+                session.finish()
+            }
+            None => DurableStats::default(),
+        };
 
         drain_grad_tasks(ctx, &bcast, pinned);
 
@@ -321,6 +398,7 @@ impl AsyncSolver for AsyncMsgd {
             serve,
             lost_tasks: ctx.lost_tasks() - lost0,
             retried_tasks: ctx.retried_tasks() - retried0,
+            durable: durable_stats,
         }
     }
 }

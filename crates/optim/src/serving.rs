@@ -154,7 +154,15 @@ impl ServeFeed {
     /// once, right after the run creates its broadcast; wakes every thread
     /// blocked in [`ServeFeed::wait_model`].
     pub fn publish(&self, model: PublishedModel) {
-        *self.inner.model.lock().expect("serve feed poisoned") = Some(model);
+        // Re-arm the done flag while holding the model lock: a feed reused
+        // across runs (a durable resume republishing after its first run's
+        // `mark_done`) must let new readers rendezvous again instead of
+        // observing a published model on a "finished" feed. Clearing under
+        // the lock keeps the pair atomic for `wait_model`'s loop, which
+        // reads `done` only while holding the same lock.
+        let mut m = self.inner.model.lock().expect("serve feed poisoned");
+        self.inner.done.store(false, Ordering::SeqCst);
+        *m = Some(model);
         self.inner.ready.notify_all();
     }
 
@@ -267,6 +275,22 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         feed.mark_done();
         assert!(t.join().unwrap());
+        assert!(feed.is_done());
+    }
+
+    #[test]
+    fn republish_after_done_rearms_the_rendezvous() {
+        let feed = ServeFeed::new();
+        feed.publish(model(2));
+        feed.mark_done();
+        assert!(feed.is_done());
+        // A resumed run republishing through the same feed re-arms the
+        // done flag, so fresh readers rendezvous instead of observing a
+        // finished feed.
+        feed.publish(model(5));
+        assert!(!feed.is_done());
+        assert_eq!(feed.wait_model().map(|m| m.dim), Some(5));
+        feed.mark_done();
         assert!(feed.is_done());
     }
 

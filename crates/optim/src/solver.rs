@@ -16,6 +16,7 @@ use sparklet::{Payload, Rdd, WorkerCtx};
 
 use crate::checkpoint::Checkpoint;
 use crate::compression::{CompressCfg, CompressorBank};
+use crate::durable::DurableStats;
 use crate::objective::Objective;
 use crate::scratch::ScratchPool;
 use crate::serving::{ServeCounters, ServeFeed};
@@ -139,6 +140,19 @@ pub struct SolverCfg {
     /// — up to this many times before it is abandoned and counted in
     /// [`RunReport::lost_tasks`].
     pub retry_lost: u32,
+    /// Directory of the run's durable checkpoint store (`None`, the
+    /// default, is bit-identical to builds predating the durability
+    /// layer). When set, the solver opens a
+    /// [`crate::durable::CheckpointStore`] there, **auto-resumes** from
+    /// the newest valid generation it finds (model, solver history,
+    /// error-feedback residuals, model version, and update budget — the
+    /// run completes the crashed run's `max_updates` total), and writes
+    /// each [`SolverCfg::checkpoint_every`]-cadence checkpoint to disk
+    /// through a background writer thread, off the training hot path. An
+    /// explicit `resume_from` on the solver takes precedence over the
+    /// store's contents. The run's durability outcome lands in
+    /// [`RunReport::durable`].
+    pub durable_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SolverCfg {
@@ -162,6 +176,7 @@ impl Default for SolverCfg {
             serve_feed: None,
             degrade: DegradePolicy::BestEffort,
             retry_lost: 0,
+            durable_dir: None,
         }
     }
 }
@@ -283,6 +298,12 @@ impl SolverCfgBuilder {
         self
     }
 
+    /// Attaches a durable checkpoint store ([`SolverCfg::durable_dir`]).
+    pub fn durable_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.durable_dir = Some(dir.into());
+        self
+    }
+
     /// Validates and produces the configuration.
     pub fn build(self) -> Result<SolverCfg, SolverCfgError> {
         let cfg = self.cfg;
@@ -346,6 +367,31 @@ impl SolverCfg {
         }
         warnings
     }
+
+    /// Resume-time smells, checked against the checkpoint a run is about
+    /// to restore (auto-resume or explicit `resume_from`):
+    ///
+    /// * resuming a [`CompressCfg::TopK`] run from a checkpoint carrying
+    ///   **no error-feedback residuals** (a pre-durability format-1
+    ///   snapshot, or one captured with compression off): the compressors
+    ///   restart cold, silently dropping the deferred gradient signal the
+    ///   crashed run had accumulated — the run is *not* a continuation of
+    ///   the original trajectory.
+    pub fn lint_resume(&self, ckpt: &Checkpoint) -> Vec<String> {
+        let mut warnings = Vec::new();
+        if let CompressCfg::TopK { k, .. } = self.compress {
+            if !ckpt.has_residuals() {
+                warnings.push(format!(
+                    "resuming a top-{k} compressed run from a checkpoint without \
+                     error-feedback residuals (legacy format or captured with \
+                     compression off): the compressors restart cold and the \
+                     crashed run's deferred gradient signal is lost — the resumed \
+                     trajectory diverges from an uninterrupted one",
+                ));
+            }
+        }
+        warnings
+    }
 }
 
 /// Everything one solver run produces.
@@ -391,6 +437,10 @@ pub struct RunReport {
     /// Lost tasks successfully re-submitted to surviving workers over this
     /// run (always 0 with retries off).
     pub retried_tasks: u64,
+    /// Durability outcome under [`SolverCfg::durable_dir`]: the generation
+    /// the run auto-resumed from (if any) and the store's write counters
+    /// (all defaults without a durable store).
+    pub durable: DurableStats,
 }
 
 /// An asynchronous optimization algorithm runnable on an [`AsyncContext`].

@@ -331,8 +331,10 @@ fn checkpoint_mismatches_are_typed_errors() {
     let ckpt = Checkpoint {
         solver: "asgd".into(),
         updates: 10,
+        version: 10,
         w: vec![0.0; 12],
         history: SolverHistory::None,
+        residuals: None,
     };
     assert!(matches!(
         ckpt.validate_for("asaga", 12),
@@ -353,10 +355,12 @@ fn resuming_with_a_foreign_checkpoint_panics() {
     let ckpt = Checkpoint {
         solver: "asaga".into(),
         updates: 5,
+        version: 5,
         w: vec![0.0; d.cols()],
         history: SolverHistory::Saga {
             alpha_bar: vec![0.0; d.cols()],
         },
+        residuals: None,
     };
     let mut ctx = sim_ctx();
     let _ =

@@ -1,0 +1,142 @@
+//! Property tests for the crash-consistent checkpoint store: under
+//! *arbitrary* seeded disk-fault schedules, `latest_valid` never returns a
+//! faulted generation and never loses the newest cleanly committed one —
+//! the two invariants auto-resume stands on.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use async_optim::{Checkpoint, CheckpointStore, DiskFault, DiskFaultPlan, SolverHistory};
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("async-durable-prop-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic per-attempt payload, so the oracle can re-derive what the
+/// newest clean generation must contain.
+fn payload(attempt: usize) -> Vec<u8> {
+    (0..24 + attempt)
+        .map(|i| (attempt as u8) ^ (i as u8))
+        .collect()
+}
+
+/// Faults whose save attempt *reports success* (the writer cannot tell):
+/// torn payloads and post-commit bit rot are only caught at read time.
+fn silent(fault: DiskFault) -> bool {
+    matches!(
+        fault,
+        DiskFault::TornWrite { .. } | DiskFault::CorruptByte { .. }
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn latest_valid_is_always_the_newest_clean_generation(
+        seed in 0u64..1_000_000,
+        attempts in 1usize..32,
+    ) {
+        let dir = scratch_dir();
+        let plan = DiskFaultPlan::random(seed, attempts);
+        let mut store = CheckpointStore::open(&dir)
+            .unwrap()
+            .with_fault_plan(plan.clone());
+
+        // Drive one save per schedule slot; the oracle is the newest slot
+        // whose attempt ran clean.
+        let mut newest_clean: Option<usize> = None;
+        for i in 0..attempts {
+            let generation = (i + 1) as u64;
+            let result = store.save(generation, &payload(i));
+            match plan.faults[i] {
+                None => {
+                    prop_assert!(result.is_ok(), "clean save {i} must commit");
+                    newest_clean = Some(i);
+                }
+                Some(f) if silent(f) => {
+                    // The writer believes it succeeded; only recovery-time
+                    // validation can tell the generation is damaged.
+                    prop_assert!(result.is_ok(), "silent fault {f:?} at {i}");
+                    prop_assert!(!store.is_valid(generation));
+                }
+                Some(f) => {
+                    prop_assert!(result.is_err(), "loud fault {f:?} at {i}");
+                    prop_assert!(!store.is_valid(generation));
+                }
+            }
+        }
+
+        // Invariant 1: recovery never returns a faulted generation.
+        // Invariant 2: the newest cleanly committed generation is never
+        // lost (retention must not prune it, havoc must not shadow it).
+        let expect = newest_clean.map(|i| ((i + 1) as u64, payload(i)));
+        prop_assert_eq!(store.latest_valid(), expect.clone());
+
+        // A fresh process sees the same recovery point: reopen from disk
+        // with no in-memory state.
+        let reopened = CheckpointStore::open(&dir).unwrap();
+        prop_assert_eq!(reopened.latest_valid(), expect);
+
+        // Counter accounting matches the fault classification.
+        let loud = plan.faults[..attempts]
+            .iter()
+            .filter(|f| matches!(f, Some(x) if !silent(*x)))
+            .count() as u64;
+        prop_assert_eq!(store.counters().saves_failed, loud);
+        prop_assert_eq!(store.counters().saves_ok, attempts as u64 - loud);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_recovered_under_faults_parse_and_match(
+        seed in 0u64..1_000_000,
+        attempts in 1usize..16,
+        dim in 1usize..12,
+    ) {
+        // The end-to-end shape of auto-resume: real checkpoint bytes
+        // through a faulted store — whatever `latest_valid` hands back
+        // must parse and equal the checkpoint of that exact generation.
+        let dir = scratch_dir();
+        let plan = DiskFaultPlan::random(seed ^ 0x5EED, attempts);
+        let mut store = CheckpointStore::open(&dir)
+            .unwrap()
+            .with_fault_plan(plan.clone());
+
+        let ckpt_at = |i: usize| Checkpoint {
+            solver: "asgd".to_string(),
+            updates: (i as u64 + 1) * 10,
+            version: (i as u64 + 1) * 10,
+            w: (0..dim).map(|c| i as f64 + c as f64 * 0.5).collect(),
+            history: SolverHistory::None,
+            residuals: Some(vec![(0, vec![0.25 * (i as f64 + 1.0)])]),
+        };
+        let mut newest_clean = None;
+        for i in 0..attempts {
+            let _ = store.save(ckpt_at(i).updates, &ckpt_at(i).to_bytes());
+            if plan.faults[i].is_none() {
+                newest_clean = Some(i);
+            }
+        }
+
+        match (store.latest_valid(), newest_clean) {
+            (Some((generation, bytes)), Some(i)) => {
+                prop_assert_eq!(generation, ckpt_at(i).updates);
+                let recovered = Checkpoint::from_bytes(&bytes).expect("valid bytes parse");
+                prop_assert_eq!(recovered, ckpt_at(i));
+            }
+            (None, None) => {}
+            (got, want) => prop_assert!(
+                false,
+                "recovery disagreed with the oracle: got {got:?}, wanted clean slot {want:?}"
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -53,8 +53,8 @@ pub mod prelude {
     pub use async_linalg::{GradDelta, Matrix, ParallelismCfg, SparseVec};
     pub use async_optim::{
         worker_registry, Asaga, Asgd, AsyncMsgd, AsyncSolver, Checkpoint, CheckpointError,
-        Objective, RunReport, ServeFeed, SolverCfg, SolverCfgBuilder, SolverCfgError,
-        SolverHistory,
+        CheckpointStore, DiskFault, DiskFaultPlan, DurableStats, Objective, RunReport, ServeFeed,
+        SolverCfg, SolverCfgBuilder, SolverCfgError, SolverHistory,
     };
     pub use async_serve::{Predictor, ServeCfg, Server};
     pub use sparklet::{Driver, EngineBuilder, EngineKind, Rdd};
